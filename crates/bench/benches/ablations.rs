@@ -1,0 +1,94 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * D1 — function pool: linear-only vs the paper default vs all 11 kinds;
+//! * D2 — optimal DP partitioning vs greedy longest-fragment (Corollary 1);
+//! * D3 — per-fragment ε choice vs a single global ε;
+//! * D4 — SNeaTS model-selection sample fraction;
+//! * D5 — Elias-Fano vs bitvector rank for the start array `S`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neats_core::{Kind, ModelSelection, NeaTS, RankMode};
+use timeseries::{CompressedSeries, Dataset};
+
+fn d1_kind_pool(c: &mut Criterion) {
+    let ts = Dataset::DewpointTemp.generate(16_384);
+    let mut g = c.benchmark_group("d1_kind_pool");
+    g.sample_size(10);
+    for (label, kinds) in [
+        ("linear", vec![Kind::Linear]),
+        ("default4", Kind::NEATS_DEFAULT.to_vec()),
+        ("all11", Kind::ALL.to_vec()),
+    ] {
+        g.bench_function(label, |b| b.iter(|| NeaTS::builder().kinds(&kinds).build(&ts)));
+    }
+    g.finish();
+}
+
+fn d2_partitioning(c: &mut Criterion) {
+    // DP (size-optimal, via the builder) vs greedy longest-fragment
+    // (Corollary 1, fragment-count-optimal for one kind).
+    let ts = Dataset::CityTemp.generate(16_384);
+    let values = ts.values();
+    let mut g = c.benchmark_group("d2_partitioning");
+    g.sample_size(10);
+    g.bench_function("dp_single_eps", |b| {
+        b.iter(|| NeaTS::builder().kinds(&[Kind::Linear]).epsilons(&[32]).build(&ts))
+    });
+    g.bench_function("greedy_single_eps", |b| {
+        b.iter(|| neats_core::fit::greedy_partition(values, Kind::Linear, 32, 0))
+    });
+    g.finish();
+}
+
+fn d3_eps_sets(c: &mut Criterion) {
+    let ts = Dataset::Ecg.generate(16_384);
+    let mut g = c.benchmark_group("d3_eps_sets");
+    g.sample_size(10);
+    g.bench_function("single_eps", |b| b.iter(|| NeaTS::builder().epsilons(&[32]).build(&ts)));
+    g.bench_function("paper_eps_set", |b| b.iter(|| NeaTS::builder().build(&ts)));
+    g.finish();
+}
+
+fn d4_model_selection(c: &mut Criterion) {
+    let ts = Dataset::AirPressure.generate(16_384);
+    let mut g = c.benchmark_group("d4_model_selection");
+    g.sample_size(10);
+    g.bench_function("full", |b| b.iter(|| NeaTS::builder().build(&ts)));
+    for frac in [0.05f64, 0.10, 0.25] {
+        let policy = ModelSelection { sample_fraction: frac, top_k: 5 };
+        g.bench_with_input(BenchmarkId::new("sneats", format!("{frac}")), &policy, |b, &p| {
+            b.iter(|| NeaTS::builder().model_selection(p).build(&ts))
+        });
+    }
+    g.finish();
+}
+
+fn d5_rank_structure(c: &mut Criterion) {
+    let ts = Dataset::StocksUk.generate(65_536);
+    let ef = NeaTS::builder().rank_mode(RankMode::EliasFano).build(&ts);
+    let bv = NeaTS::builder().rank_mode(RankMode::BitVector).build(&ts);
+    let idx = bench::query_indices(ts.len(), 512);
+    let mut g = c.benchmark_group("d5_rank_structure");
+    for (label, comp) in [("elias_fano", &ef), ("bitvector", &bv)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &k in &idx {
+                    acc = acc.wrapping_add(comp.get(k));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    d1_kind_pool,
+    d2_partitioning,
+    d3_eps_sets,
+    d4_model_selection,
+    d5_rank_structure
+);
+criterion_main!(benches);

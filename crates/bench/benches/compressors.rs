@@ -1,0 +1,35 @@
+//! Compression and decompression throughput of every lossless compressor
+//! (the criterion view of Figs. 2–3's axes).
+
+use bench::lossless_roster;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use timeseries::Dataset;
+
+fn bench_compress(c: &mut Criterion) {
+    let ts = Dataset::StocksUsa.generate(8192);
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(ts.uncompressed_bytes() as u64));
+    g.sample_size(10);
+    for comp in lossless_roster() {
+        g.bench_with_input(BenchmarkId::from_parameter(comp.name()), &ts, |b, ts| {
+            b.iter(|| comp.compress_boxed(ts));
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let ts = Dataset::StocksUsa.generate(8192);
+    let mut g = c.benchmark_group("decompress");
+    g.throughput(Throughput::Bytes(ts.uncompressed_bytes() as u64));
+    for comp in lossless_roster() {
+        let compressed = comp.compress_boxed(&ts);
+        g.bench_function(BenchmarkId::from_parameter(comp.name()), |b| {
+            b.iter(|| compressed.decompress());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

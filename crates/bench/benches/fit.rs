@@ -1,0 +1,41 @@
+//! Microbenchmarks of the Theorem 1 fitter: longest-fragment computation
+//! per function kind, and the full partitioner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neats_core::fit::{greedy_partition, Kind};
+use neats_core::partition::{partition, positivity_shift, PartitionConfig};
+use timeseries::Dataset;
+
+fn bench_greedy_fit(c: &mut Criterion) {
+    let ts = Dataset::IrBioTemp.generate(16_384);
+    let values = ts.values();
+    let shift = positivity_shift(values, 64);
+    let mut g = c.benchmark_group("greedy_fit");
+    g.throughput(Throughput::Bytes((values.len() * 8) as u64));
+    for kind in Kind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| greedy_partition(values, kind, 64, shift));
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let ts = Dataset::IrBioTemp.generate(16_384);
+    let values = ts.values();
+    let mut g = c.benchmark_group("partition");
+    g.throughput(Throughput::Bytes((values.len() * 8) as u64));
+    g.sample_size(10);
+    for (label, kinds) in [
+        ("linear_only", vec![Kind::Linear]),
+        ("paper_default", Kind::NEATS_DEFAULT.to_vec()),
+    ] {
+        let shift = positivity_shift(values, 256);
+        let cfg = PartitionConfig::lossless(&kinds, &[0, 2, 8, 32, 128], shift);
+        g.bench_function(label, |b| b.iter(|| partition(values, &cfg)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_greedy_fit, bench_partition);
+criterion_main!(benches);

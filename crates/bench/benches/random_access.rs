@@ -1,0 +1,52 @@
+//! Random-access latency of every compressor (the right plot of Fig. 3),
+//! plus range scans of different sizes (Fig. 4's criterion view).
+
+use bench::{lossless_roster, query_indices};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use timeseries::Dataset;
+
+fn bench_get(c: &mut Criterion) {
+    let ts = Dataset::WindDirection.generate(65_536);
+    let idx = query_indices(ts.len(), 512);
+    let mut g = c.benchmark_group("random_access");
+    for comp in lossless_roster() {
+        let compressed = comp.compress_boxed(&ts);
+        g.bench_function(BenchmarkId::from_parameter(comp.name()), |b| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for &k in &idx {
+                    acc = acc.wrapping_add(compressed.get(k));
+                }
+                acc
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let ts = Dataset::WindDirection.generate(65_536);
+    let mut g = c.benchmark_group("range_scan");
+    for comp in lossless_roster() {
+        let compressed = comp.compress_boxed(&ts);
+        for range in [40usize, 640, 10_240] {
+            g.bench_function(BenchmarkId::new(comp.name(), range), |b| {
+                let starts = query_indices(ts.len() - range, 64);
+                let mut out = Vec::with_capacity(range);
+                b.iter(|| {
+                    let mut acc = 0i64;
+                    for &s in &starts {
+                        out.clear();
+                        compressed.scan_range(s, range, &mut out);
+                        acc = acc.wrapping_add(*out.last().expect("non-empty range"));
+                    }
+                    acc
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_get, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 2: the trade-off between compression ratio and compression speed of
+//! the lossless compressors (including LeaTS and SNeaTS), averaged over the
+//! 16 datasets. Prints the scatter points of the figure.
+
+use bench::{all_datasets, bench_n, bench_queries, fig2_roster, geomean, measure};
+
+fn main() {
+    let n = bench_n();
+    println!("Fig. 2 reproduction — ratio vs compression speed, n = {n} per dataset");
+    let datasets = all_datasets(n);
+    let roster = fig2_roster();
+
+    let mut points = Vec::new();
+    for comp in &roster {
+        eprintln!("measuring {} …", comp.name());
+        let mut ratios = Vec::new();
+        let mut speeds = Vec::new();
+        for (_, ts) in &datasets {
+            let m = measure(comp.as_ref(), ts, bench_queries().min(1000));
+            ratios.push(m.ratio_pct);
+            speeds.push(m.compress_mbs);
+        }
+        points.push((
+            comp.name(),
+            ratios.iter().sum::<f64>() / ratios.len() as f64,
+            geomean(&speeds),
+        ));
+    }
+
+    println!("\n{:<12} {:>12} {:>16}", "compressor", "ratio (%)", "comp speed MB/s");
+    for (name, ratio, speed) in &points {
+        println!("{name:<12} {ratio:>12.2} {speed:>16.2}");
+    }
+
+    // §IV-C1 variant claims.
+    let get = |n: &str| points.iter().find(|p| p.0 == n).expect("roster member");
+    let (_, neats_r, neats_s) = *get("NeaTS");
+    let (_, leats_r, leats_s) = *get("LeaTS");
+    let (_, sneats_r, sneats_s) = *get("SNeaTS");
+    println!(
+        "\nLeaTS: {:.2}x compression speed of NeaTS, ratio {:+.2}% (paper: 5.22x, +0.89%)",
+        leats_s / neats_s,
+        100.0 * (leats_r - neats_r) / neats_r
+    );
+    println!(
+        "SNeaTS: {:.2}x compression speed of NeaTS, ratio {:+.2}% (paper: 12.86x, +8.18%)",
+        sneats_s / neats_s,
+        100.0 * (sneats_r - neats_r) / neats_r
+    );
+}

@@ -1,0 +1,62 @@
+//! Fig. 3: compression ratio vs decompression speed (left plot) and
+//! compression ratio vs random-access speed (right plot, log axis), averaged
+//! over the 16 datasets. Prints the scatter points of both plots.
+
+use bench::{all_datasets, bench_n, bench_queries, geomean, lossless_roster, measure};
+
+fn main() {
+    let n = bench_n();
+    let queries = bench_queries();
+    println!("Fig. 3 reproduction — ratio vs decompression / random-access speed, n = {n}");
+    let datasets = all_datasets(n);
+    let roster = lossless_roster();
+
+    let mut points = Vec::new();
+    for comp in &roster {
+        eprintln!("measuring {} …", comp.name());
+        let mut ratios = Vec::new();
+        let mut dspeeds = Vec::new();
+        let mut raspeeds = Vec::new();
+        for (_, ts) in &datasets {
+            let m = measure(comp.as_ref(), ts, queries);
+            ratios.push(m.ratio_pct);
+            dspeeds.push(m.decompress_mbs);
+            raspeeds.push(m.random_access_mbs);
+        }
+        points.push((
+            comp.name(),
+            ratios.iter().sum::<f64>() / ratios.len() as f64,
+            geomean(&dspeeds),
+            geomean(&raspeeds),
+        ));
+    }
+
+    println!(
+        "\n{:<12} {:>11} {:>16} {:>16}",
+        "compressor", "ratio (%)", "decomp MB/s", "rnd access MB/s"
+    );
+    for (name, ratio, d, ra) in &points {
+        println!("{name:<12} {ratio:>11.2} {d:>16.0} {ra:>16.2}");
+    }
+
+    let get = |n: &str| points.iter().find(|p| p.0 == n).expect("roster member");
+    let neats = get("NeaTS");
+    let alp = get("ALP");
+    let dac = get("DAC");
+    let xz = get("EntropyLZ");
+    println!("\nshape checks vs paper:");
+    println!(
+        "  NeaTS vs ALP: ratio {:+.1}% (paper −16.4%), RA speed {:.1}x (paper ≥10x)",
+        100.0 * (neats.1 - alp.1) / alp.1,
+        neats.3 / alp.3
+    );
+    println!(
+        "  DAC vs NeaTS: RA speed {:.1}x faster (paper ~3x), ratio {:.1}% worse (paper +37%)",
+        dac.3 / neats.3,
+        100.0 * (dac.1 - neats.1) / neats.1
+    );
+    println!(
+        "  EntropyLZ (Xz/Zstd class) RA is {:.0}x slower than NeaTS (paper: 2-3 orders)",
+        neats.3 / xz.3
+    );
+}

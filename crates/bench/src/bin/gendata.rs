@@ -1,0 +1,30 @@
+//! Exports the synthetic datasets as one-value-per-line text files, in the
+//! same fixed-precision format the paper's real datasets ship in — useful
+//! for feeding the workloads to external compressors or for eyeballing the
+//! generators.
+//!
+//! Usage: `gendata <output-dir> [n]` (default n = 100000).
+
+use timeseries::Dataset;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let dir = std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+        eprintln!("usage: gendata <output-dir> [n]");
+        std::process::exit(2);
+    }));
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for ds in Dataset::ALL {
+        let ts = ds.generate(n);
+        let digits = ds.fractional_digits() as usize;
+        let scale = 10f64.powi(digits as i32);
+        let mut out = String::with_capacity(n * 12);
+        for &v in ts.values() {
+            out.push_str(&format!("{:.*}\n", digits, v as f64 / scale));
+        }
+        let path = dir.join(format!("{}.txt", ds.abbrev()));
+        std::fs::write(&path, out).expect("write dataset");
+        println!("{}: {} values -> {}", ds.full_name(), n, path.display());
+    }
+}

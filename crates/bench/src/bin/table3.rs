@@ -1,0 +1,78 @@
+//! Table III: compression ratio (top), decompression speed (middle), and
+//! random access speed (bottom) of all lossless compressors on the 16
+//! datasets.
+
+use bench::{all_datasets, bench_n, bench_queries, lossless_roster, measure, Measurement};
+
+fn main() {
+    let n = bench_n();
+    let queries = bench_queries();
+    println!("Table III reproduction — lossless compressors, n = {n}, {queries} RA queries");
+
+    let datasets = all_datasets(n);
+    let roster = lossless_roster();
+    let names: Vec<&str> = roster.iter().map(|c| c.name()).collect();
+
+    // measurements[d][c]
+    let mut table: Vec<Vec<Measurement>> = Vec::new();
+    for (ds, ts) in &datasets {
+        eprintln!("measuring {} …", ds.abbrev());
+        table.push(roster.iter().map(|c| measure(c.as_ref(), ts, queries)).collect());
+    }
+
+    for (title, pick, decimals) in [
+        ("Compression ratio (%)", 0usize, 2usize),
+        ("Decompression speed (MB/s)", 1, 0),
+        ("Random access speed (MB/s)", 2, 2),
+    ] {
+        println!("\n== {title} ==");
+        print!("{:<5}", "data");
+        for name in &names {
+            print!(" {name:>9}");
+        }
+        println!();
+        for (di, (ds, _)) in datasets.iter().enumerate() {
+            print!("{:<5}", ds.abbrev());
+            for m in &table[di] {
+                let v = match pick {
+                    0 => m.ratio_pct,
+                    1 => m.decompress_mbs,
+                    _ => m.random_access_mbs,
+                };
+                print!(" {v:>9.decimals$}");
+            }
+            println!();
+        }
+        // Column of per-compressor averages for quick shape comparison.
+        print!("{:<5}", "avg");
+        for ci in 0..names.len() {
+            let vals: Vec<f64> = table
+                .iter()
+                .map(|row| match pick {
+                    0 => row[ci].ratio_pct,
+                    1 => row[ci].decompress_mbs,
+                    _ => row[ci].random_access_mbs,
+                })
+                .collect();
+            print!(" {:>9.decimals$}", vals.iter().sum::<f64>() / vals.len() as f64);
+        }
+        println!();
+    }
+
+    // Paper shape checks printed as a summary.
+    let mut best_special = 0usize;
+    for row in &table {
+        let neats = row.last().expect("NeaTS last").ratio_pct;
+        // special-purpose columns: everything except the two LZ stand-ins
+        let best_other = row[2..row.len() - 1]
+            .iter()
+            .map(|m| m.ratio_pct)
+            .fold(f64::INFINITY, f64::min);
+        if neats <= best_other {
+            best_special += 1;
+        }
+    }
+    println!(
+        "\nNeaTS best special-purpose ratio on {best_special}/16 datasets (paper: 14/16)"
+    );
+}

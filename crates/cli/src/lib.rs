@@ -1,0 +1,498 @@
+//! Implementation of the `neats` command-line tool.
+//!
+//! The CLI wraps the library's full pipeline for shell use:
+//!
+//! ```text
+//! neats compress   <in.txt> <out.neats> [--digits D] [--kinds default|linear|all] [--sneats]
+//! neats lossy      <in.txt> <out.neatsl> --eps E [--digits D]
+//! neats decompress <in.neats> <out.txt>
+//! neats info       <in.neats>
+//! neats get        <in.neats> <index>...
+//! neats range      <in.neats> <start> <count>
+//! neats sum        <in.neats> <start> <count> [--exact]
+//! ```
+//!
+//! Input text files contain one decimal value per line (the format the
+//! paper's datasets ship in); `--digits` sets the fixed-precision scaling.
+
+use neats_core::{Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
+use std::path::Path;
+use timeseries::{io::load_fixed_precision, CompressedSeries};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("i/o error: {e}"))
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// Lossless compression of a text file.
+    Compress {
+        /// Input text path.
+        input: String,
+        /// Output `.neats` path.
+        output: String,
+        /// Fixed-precision digits.
+        digits: u8,
+        /// Function pool selector.
+        kinds: KindPool,
+        /// Use SNeaTS model selection.
+        sneats: bool,
+    },
+    /// Lossy compression under an error bound.
+    Lossy {
+        /// Input text path.
+        input: String,
+        /// Output `.neatsl` path.
+        output: String,
+        /// Fixed-precision digits.
+        digits: u8,
+        /// Error bound in scaled-integer units.
+        eps: u64,
+    },
+    /// Full decompression back to text.
+    Decompress {
+        /// Input `.neats` path.
+        input: String,
+        /// Output text path.
+        output: String,
+    },
+    /// Print layout statistics.
+    Info {
+        /// Input `.neats` path.
+        input: String,
+    },
+    /// Random access to one or more indices.
+    Get {
+        /// Input `.neats` path.
+        input: String,
+        /// Indices to fetch.
+        indices: Vec<usize>,
+    },
+    /// Range query.
+    Range {
+        /// Input `.neats` path.
+        input: String,
+        /// First index.
+        start: usize,
+        /// Number of values.
+        count: usize,
+    },
+    /// Range sum (estimate by default, `--exact` to scan).
+    Sum {
+        /// Input `.neats` path.
+        input: String,
+        /// First index.
+        start: usize,
+        /// Number of values.
+        count: usize,
+        /// Exact scan instead of the function-only estimate.
+        exact: bool,
+    },
+}
+
+/// Which function families to allow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KindPool {
+    /// The paper's four defaults.
+    Default,
+    /// Linear only (LeaTS).
+    Linear,
+    /// All eleven implemented families.
+    All,
+}
+
+impl KindPool {
+    fn kinds(self) -> Vec<Kind> {
+        match self {
+            KindPool::Default => Kind::NEATS_DEFAULT.to_vec(),
+            KindPool::Linear => vec![Kind::Linear],
+            KindPool::All => Kind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage:
+  neats compress   <in.txt> <out.neats> [--digits D] [--kinds default|linear|all] [--sneats]
+  neats lossy      <in.txt> <out.neatsl> --eps E [--digits D]
+  neats decompress <in.neats> <out.txt>
+  neats info       <in.neats>
+  neats get        <in.neats> <index>...
+  neats range      <in.neats> <start> <count>
+  neats sum        <in.neats> <start> <count> [--exact]";
+
+/// Parses an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut pos: Vec<&str> = Vec::new();
+    let mut digits = 0u8;
+    let mut eps: Option<u64> = None;
+    let mut kinds = KindPool::Default;
+    let mut sneats = false;
+    let mut exact = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--digits" => {
+                i += 1;
+                digits = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError("--digits needs a number 0-18".into()))?;
+            }
+            "--eps" => {
+                i += 1;
+                eps = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(CliError("--eps needs a non-negative integer".into()))?,
+                );
+            }
+            "--kinds" => {
+                i += 1;
+                kinds = match args.get(i).map(String::as_str) {
+                    Some("default") => KindPool::Default,
+                    Some("linear") => KindPool::Linear,
+                    Some("all") => KindPool::All,
+                    other => return err(format!("unknown kind pool {other:?}")),
+                };
+            }
+            "--sneats" => sneats = true,
+            "--exact" => exact = true,
+            flag if flag.starts_with("--") => return err(format!("unknown flag {flag}")),
+            p => pos.push(p),
+        }
+        i += 1;
+    }
+    let get_pos = |idx: usize, what: &str| -> Result<String, CliError> {
+        pos.get(idx).map(|s| s.to_string()).ok_or(CliError(format!("missing argument: {what}")))
+    };
+    let parse_usize = |s: &str, what: &str| -> Result<usize, CliError> {
+        s.parse().map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
+    };
+    match pos.first().copied() {
+        Some("compress") => Ok(Command::Compress {
+            input: get_pos(1, "input")?,
+            output: get_pos(2, "output")?,
+            digits,
+            kinds,
+            sneats,
+        }),
+        Some("lossy") => Ok(Command::Lossy {
+            input: get_pos(1, "input")?,
+            output: get_pos(2, "output")?,
+            digits,
+            eps: eps.ok_or(CliError("lossy requires --eps".into()))?,
+        }),
+        Some("decompress") => {
+            Ok(Command::Decompress { input: get_pos(1, "input")?, output: get_pos(2, "output")? })
+        }
+        Some("info") => Ok(Command::Info { input: get_pos(1, "input")? }),
+        Some("get") => {
+            let input = get_pos(1, "input")?;
+            if pos.len() < 3 {
+                return err("get needs at least one index");
+            }
+            let indices = pos[2..]
+                .iter()
+                .map(|s| parse_usize(s, "index"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::Get { input, indices })
+        }
+        Some("range") => Ok(Command::Range {
+            input: get_pos(1, "input")?,
+            start: parse_usize(&get_pos(2, "start")?, "start")?,
+            count: parse_usize(&get_pos(3, "count")?, "count")?,
+        }),
+        Some("sum") => Ok(Command::Sum {
+            input: get_pos(1, "input")?,
+            start: parse_usize(&get_pos(2, "start")?, "start")?,
+            count: parse_usize(&get_pos(3, "count")?, "count")?,
+            exact,
+        }),
+        Some(other) => err(format!("unknown command {other:?}\n{USAGE}")),
+        None => err(USAGE),
+    }
+}
+
+fn load_compressed(path: &str) -> Result<NeaTSCompressed, CliError> {
+    let bytes = std::fs::read(path)?;
+    NeaTSCompressed::from_bytes(&bytes).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// Executes a command, writing human-readable output to `out`.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    match cmd {
+        Command::Compress { input, output, digits, kinds, sneats } => {
+            let ts = load_fixed_precision(Path::new(&input), digits)
+                .map_err(|e| CliError(format!("{input}: {e}")))?;
+            let mut builder: NeaTSBuilder = NeaTS::builder().kinds(&kinds.kinds());
+            if sneats {
+                builder = builder.model_selection(Default::default());
+            }
+            let c = builder.build(&ts);
+            let bytes = c.to_bytes();
+            std::fs::write(&output, &bytes)?;
+            writeln!(
+                out,
+                "{} values -> {} bytes ({:.2}% of raw), {} fragments",
+                ts.len(),
+                bytes.len(),
+                100.0 * bytes.len() as f64 / ts.uncompressed_bytes().max(1) as f64,
+                c.fragment_count()
+            )?;
+            Ok(())
+        }
+        Command::Lossy { input, output, digits, eps } => {
+            let ts = load_fixed_precision(Path::new(&input), digits)
+                .map_err(|e| CliError(format!("{input}: {e}")))?;
+            let l = NeaTS::builder().build_lossy(&ts, eps);
+            let bytes = l.to_bytes();
+            std::fs::write(&output, &bytes)?;
+            writeln!(
+                out,
+                "{} values -> {} bytes ({:.2}% of raw), {} fragments, max error {} (bound {})",
+                ts.len(),
+                bytes.len(),
+                100.0 * bytes.len() as f64 / ts.uncompressed_bytes().max(1) as f64,
+                l.fragment_count(),
+                l.max_error(&ts),
+                eps,
+            )?;
+            Ok(())
+        }
+        Command::Decompress { input, output } => {
+            let c = load_compressed(&input)?;
+            let values = c.decompress();
+            let mut text = String::with_capacity(values.len() * 8);
+            for v in &values {
+                text.push_str(&v.to_string());
+                text.push('\n');
+            }
+            std::fs::write(&output, text)?;
+            writeln!(out, "{} values written to {output}", values.len())?;
+            Ok(())
+        }
+        Command::Info { input } => {
+            let c = load_compressed(&input)?;
+            writeln!(out, "values:        {}", c.len())?;
+            writeln!(out, "fragments:     {}", c.fragment_count())?;
+            writeln!(out, "size:          {} bytes", c.size_in_bytes())?;
+            writeln!(
+                out,
+                "ratio:         {:.2}% of raw 64-bit",
+                100.0 * c.size_in_bytes() as f64 / (c.len() * 8).max(1) as f64
+            )?;
+            writeln!(out, "shift:         {}", c.shift())?;
+            for (kind, count) in c.kind_histogram() {
+                writeln!(out, "kind {:<12} {count} fragments", kind.name())?;
+            }
+            Ok(())
+        }
+        Command::Get { input, indices } => {
+            let c = load_compressed(&input)?;
+            for k in indices {
+                if k >= c.len() {
+                    return err(format!("index {k} out of range (len {})", c.len()));
+                }
+                writeln!(out, "{}", c.get(k))?;
+            }
+            Ok(())
+        }
+        Command::Range { input, start, count } => {
+            let c = load_compressed(&input)?;
+            if start + count > c.len() {
+                return err(format!("range [{start}, {}) out of bounds", start + count));
+            }
+            let mut values = Vec::with_capacity(count);
+            c.scan_range(start, count, &mut values);
+            for v in values {
+                writeln!(out, "{v}")?;
+            }
+            Ok(())
+        }
+        Command::Sum { input, start, count, exact } => {
+            let c = load_compressed(&input)?;
+            if start + count > c.len() {
+                return err(format!("range [{start}, {}) out of bounds", start + count));
+            }
+            if exact {
+                writeln!(out, "{}", c.sum_range_exact(start, count))?;
+            } else {
+                let e = c.sum_range_estimate(start, count);
+                writeln!(out, "{} ± {}", e.value, e.max_error)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_compress_with_flags() {
+        let cmd = parse_args(&argv("compress in.txt out.neats --digits 3 --kinds all --sneats"))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Compress {
+                input: "in.txt".into(),
+                output: "out.neats".into(),
+                digits: 3,
+                kinds: KindPool::All,
+                sneats: true,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse_args(&argv("frobnicate x")).is_err());
+        assert!(parse_args(&argv("compress in.txt out --bogus")).is_err());
+        assert!(parse_args(&argv("lossy in.txt out")).is_err()); // missing --eps
+        assert!(parse_args(&argv("")).is_err());
+    }
+
+    #[test]
+    fn parse_get_and_range() {
+        assert_eq!(
+            parse_args(&argv("get f.neats 1 2 30")).unwrap(),
+            Command::Get { input: "f.neats".into(), indices: vec![1, 2, 30] }
+        );
+        assert_eq!(
+            parse_args(&argv("range f.neats 100 50")).unwrap(),
+            Command::Range { input: "f.neats".into(), start: 100, count: 50 }
+        );
+        assert!(parse_args(&argv("range f.neats abc 50")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_compress_query_decompress() {
+        let dir = std::env::temp_dir().join("neats_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let packed = dir.join("out.neats");
+        let restored = dir.join("back.txt");
+        let content: String =
+            (0..500).map(|k| format!("{:.2}\n", (k as f64 / 9.0).sin() * 100.0)).collect();
+        std::fs::write(&input, &content).unwrap();
+
+        let mut log = Vec::new();
+        run(
+            parse_args(&argv(&format!(
+                "compress {} {} --digits 2",
+                input.display(),
+                packed.display()
+            )))
+            .unwrap(),
+            &mut log,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&log).contains("500 values"));
+
+        // info
+        let mut info = Vec::new();
+        run(parse_args(&argv(&format!("info {}", packed.display()))).unwrap(), &mut info).unwrap();
+        assert!(String::from_utf8_lossy(&info).contains("values:        500"));
+
+        // get
+        let mut got = Vec::new();
+        run(
+            parse_args(&argv(&format!("get {} 0 10", packed.display()))).unwrap(),
+            &mut got,
+        )
+        .unwrap();
+        let lines: Vec<i64> = String::from_utf8_lossy(&got)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], 0); // sin(0)·100 scaled
+
+        // sum estimate vs exact
+        let mut sum_est = Vec::new();
+        run(
+            parse_args(&argv(&format!("sum {} 0 500", packed.display()))).unwrap(),
+            &mut sum_est,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&sum_est).contains('±'));
+
+        // decompress and compare to scaled input
+        run(
+            parse_args(&argv(&format!(
+                "decompress {} {}",
+                packed.display(),
+                restored.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let back = std::fs::read_to_string(&restored).unwrap();
+        let expected: Vec<i64> = content
+            .lines()
+            .map(|l| (l.parse::<f64>().unwrap() * 100.0).round() as i64)
+            .collect();
+        let got: Vec<i64> = back.lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn lossy_pipeline_via_cli() {
+        let dir = std::env::temp_dir().join("neats_cli_lossy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let packed = dir.join("out.neatsl");
+        let content: String = (0..300).map(|k| format!("{k}\n")).collect();
+        std::fs::write(&input, &content).unwrap();
+        let mut log = Vec::new();
+        run(
+            parse_args(&argv(&format!(
+                "lossy {} {} --eps 5",
+                input.display(),
+                packed.display()
+            )))
+            .unwrap(),
+            &mut log,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&log);
+        assert!(text.contains("max error"), "{text}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut sink = Vec::new();
+        let e = run(
+            Command::Info { input: "/nonexistent/definitely-missing.neats".into() },
+            &mut sink,
+        )
+        .unwrap_err();
+        assert!(e.0.contains("i/o error") || e.0.contains("missing"), "{e}");
+    }
+}

@@ -1,0 +1,306 @@
+//! Chimp and Chimp128 (Liakos, Papakonstantinopoulou, Kotidis — VLDB 2022).
+//!
+//! Chimp refines Gorilla's XOR scheme with a 2-bit flag and a rounded
+//! leading-zero table:
+//!
+//! * `00` — xor is 0;
+//! * `01` — xor has more than [`TRAILING_THRESHOLD`] trailing zeros: emit a
+//!   3-bit rounded leading-zero code, a 6-bit centre-bit count, and the
+//!   centre bits;
+//! * `10` — leading zeros match the previous value's: emit `64 − lead` bits;
+//! * `11` — emit a new 3-bit leading code and `64 − lead` bits.
+//!
+//! Chimp128 additionally searches the previous [`CHIMP128_WINDOW`] values
+//! for the reference producing the most trailing zeros and emits its index
+//! in the `01` branch, which pays off on noisy-mantissa data.
+
+use crate::stream::{BitReader, BitWriter, StreamCodec};
+
+/// Trailing-zero threshold for the `01` branch.
+const TRAILING_THRESHOLD: u32 = 6;
+
+/// Rounded leading-zero values, indexed by 3-bit code.
+const LEADING_TABLE: [u32; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
+
+/// Maps a leading-zero count to its 3-bit code (round down).
+#[inline]
+fn leading_code(lead: u32) -> u32 {
+    match lead {
+        0..=7 => 0,
+        8..=11 => 1,
+        12..=15 => 2,
+        16..=17 => 3,
+        18..=19 => 4,
+        20..=21 => 5,
+        22..=23 => 6,
+        _ => 7,
+    }
+}
+
+/// The Chimp codec (previous-value reference).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chimp;
+
+impl StreamCodec for Chimp {
+    fn name(&self) -> &'static str {
+        "Chimp"
+    }
+
+    fn wants_float_bits(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, words: &[u64]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut prev = 0u64;
+        let mut prev_lead = u32::MAX;
+        for (i, &word) in words.iter().enumerate() {
+            if i == 0 {
+                w.write(word, 64);
+                prev = word;
+                continue;
+            }
+            let xor = prev ^ word;
+            prev = word;
+            if xor == 0 {
+                w.write(0b00, 2);
+                prev_lead = u32::MAX;
+                continue;
+            }
+            let lead_raw = xor.leading_zeros();
+            let code = leading_code(lead_raw);
+            let lead = LEADING_TABLE[code as usize];
+            let trail = xor.trailing_zeros();
+            if trail > TRAILING_THRESHOLD {
+                w.write(0b01, 2);
+                let center = 64 - lead - trail;
+                w.write(code as u64, 3);
+                w.write(center as u64, 6);
+                w.write(xor >> trail, center as usize);
+                prev_lead = u32::MAX;
+            } else if prev_lead != u32::MAX && lead == prev_lead {
+                w.write(0b10, 2);
+                w.write(xor, (64 - lead) as usize);
+            } else {
+                w.write(0b11, 2);
+                w.write(code as u64, 3);
+                w.write(xor, (64 - lead) as usize);
+                prev_lead = lead;
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(&self, data: &[u8], n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let mut r = BitReader::new(data);
+        let mut prev = r.read(64);
+        out.push(prev);
+        let mut prev_lead = 0u32;
+        for _ in 1..n {
+            let flag = r.read(2);
+            let xor = match flag {
+                0b00 => 0,
+                0b01 => {
+                    let lead = LEADING_TABLE[r.read(3) as usize];
+                    let center = r.read(6) as u32;
+                    let trail = 64 - lead - center;
+                    r.read(center as usize) << trail
+                }
+                0b10 => r.read((64 - prev_lead) as usize),
+                _ => {
+                    prev_lead = LEADING_TABLE[r.read(3) as usize];
+                    r.read((64 - prev_lead) as usize)
+                }
+            };
+            prev ^= xor;
+            out.push(prev);
+        }
+        out
+    }
+}
+
+/// Window size for Chimp128's reference search.
+pub const CHIMP128_WINDOW: usize = 128;
+
+/// The Chimp128 codec (best-of-window reference).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Chimp128;
+
+impl StreamCodec for Chimp128 {
+    fn name(&self) -> &'static str {
+        "Chimp128"
+    }
+
+    fn wants_float_bits(&self) -> bool {
+        true
+    }
+
+    #[allow(clippy::needless_range_loop)] // windowed index search is clearer indexed
+    fn encode(&self, words: &[u64]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut prev_lead = u32::MAX;
+        for (i, &word) in words.iter().enumerate() {
+            if i == 0 {
+                w.write(word, 64);
+                continue;
+            }
+            // Find the window value whose XOR has the most trailing zeros.
+            let lo = i.saturating_sub(CHIMP128_WINDOW);
+            let mut best_j = i - 1;
+            let mut best_trail = (words[i - 1] ^ word).trailing_zeros();
+            for j in lo..i - 1 {
+                let t = (words[j] ^ word).trailing_zeros();
+                if t > best_trail {
+                    best_trail = t;
+                    best_j = j;
+                }
+            }
+            let ref_xor = words[best_j] ^ word;
+            if ref_xor == 0 {
+                // Exact match in the window: flag 00 + index delta.
+                w.write(0b00, 2);
+                w.write((i - 1 - best_j) as u64, 7);
+                prev_lead = u32::MAX;
+                continue;
+            }
+            if best_trail > TRAILING_THRESHOLD {
+                // Windowed reference pays off: flag 01 + index delta.
+                w.write(0b01, 2);
+                w.write((i - 1 - best_j) as u64, 7);
+                let code = leading_code(ref_xor.leading_zeros());
+                let lead = LEADING_TABLE[code as usize];
+                let center = 64 - lead - best_trail;
+                w.write(code as u64, 3);
+                w.write(center as u64, 6);
+                w.write(ref_xor >> best_trail, center as usize);
+                prev_lead = u32::MAX;
+                continue;
+            }
+            // Fall back to previous-value XOR as plain Chimp.
+            let xor = words[i - 1] ^ word;
+            let code = leading_code(xor.leading_zeros());
+            let lead = LEADING_TABLE[code as usize];
+            if prev_lead != u32::MAX && lead == prev_lead {
+                w.write(0b10, 2);
+                w.write(xor, (64 - lead) as usize);
+            } else {
+                w.write(0b11, 2);
+                w.write(code as u64, 3);
+                w.write(xor, (64 - lead) as usize);
+                prev_lead = lead;
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(&self, data: &[u8], n: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let mut r = BitReader::new(data);
+        out.push(r.read(64));
+        let mut prev_lead = 0u32;
+        for i in 1..n {
+            let flag = r.read(2);
+            let value = match flag {
+                0b00 => {
+                    let delta = r.read(7) as usize;
+                    out[i - 1 - delta]
+                }
+                0b01 => {
+                    let delta = r.read(7) as usize;
+                    let reference = out[i - 1 - delta];
+                    let lead = LEADING_TABLE[r.read(3) as usize];
+                    let center = r.read(6) as u32;
+                    let trail = 64 - lead - center;
+                    reference ^ (r.read(center as usize) << trail)
+                }
+                0b10 => out[i - 1] ^ r.read((64 - prev_lead) as usize),
+                _ => {
+                    prev_lead = LEADING_TABLE[r.read(3) as usize];
+                    out[i - 1] ^ r.read((64 - prev_lead) as usize)
+                }
+            };
+            out.push(value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn roundtrip_both(words: &[u64]) {
+        let enc = Chimp.encode(words);
+        assert_eq!(Chimp.decode(&enc, words.len()), words, "Chimp");
+        let enc = Chimp128.encode(words);
+        assert_eq!(Chimp128.decode(&enc, words.len()), words, "Chimp128");
+    }
+
+    #[test]
+    fn empty_single_repeat() {
+        roundtrip_both(&[]);
+        roundtrip_both(&[7.5f64.to_bits()]);
+        roundtrip_both(&vec![1.5f64.to_bits(); 300]);
+    }
+
+    #[test]
+    fn leading_code_table_consistent() {
+        for lead in 0..=64u32 {
+            let code = leading_code(lead);
+            assert!(LEADING_TABLE[code as usize] <= lead, "lead {lead} code {code}");
+        }
+    }
+
+    #[test]
+    fn smooth_float_stream() {
+        let words: Vec<u64> =
+            (0..3000).map(|k| (20.0 + (k as f64 / 100.0).sin()).to_bits()).collect();
+        roundtrip_both(&words);
+        let c = Chimp.encode(&words);
+        assert!(c.len() < 3000 * 8);
+    }
+
+    #[test]
+    fn random_words() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let words: Vec<u64> = (0..1500).map(|_| rng.random()).collect();
+        roundtrip_both(&words);
+    }
+
+    #[test]
+    fn periodic_data_favours_chimp128() {
+        // A noisy periodic pattern: window references should help Chimp128.
+        let mut rng = StdRng::seed_from_u64(4);
+        let base: Vec<f64> = (0..64).map(|k| 100.0 + k as f64).collect();
+        let words: Vec<u64> = (0..4096)
+            .map(|k| (base[k % 64] + 1e-9 * rng.random_range(0..4) as f64).to_bits())
+            .collect();
+        roundtrip_both(&words);
+        let c1 = Chimp.encode(&words).len();
+        let c128 = Chimp128.encode(&words).len();
+        assert!(c128 < c1, "chimp128 {c128} !< chimp {c1}");
+    }
+
+    #[test]
+    fn all_flag_paths_hit() {
+        // Build a sequence forcing 00, 01, 10, 11 branches for Chimp.
+        let words: Vec<u64> = vec![
+            1.0f64.to_bits(),
+            1.0f64.to_bits(),               // 00
+            (1.0f64 + 2.0).to_bits(),       // big change: 11 or 01
+            (1.0f64 + 2.000001).to_bits(),  // small mantissa change
+            (1.0f64 + 2.000002).to_bits(),  // same leading → 10
+            f64::MAX.to_bits(),
+            0u64,
+        ];
+        roundtrip_both(&words);
+    }
+}

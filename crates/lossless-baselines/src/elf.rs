@@ -1,0 +1,248 @@
+//! Elf-style erasing floating-point compression (Li et al., VLDB 2023).
+//!
+//! The paper discusses Elf in §V (excluded from its tables because ALP
+//! dominates it); we include it for a complete baseline family. The idea:
+//! most stored doubles are short decimals, so the low mantissa bits are
+//! *redundant* — erasing them (truncating the mantissa) yields XOR residues
+//! with long trailing-zero runs that a Gorilla-style coder loves, and the
+//! original double is recovered exactly by re-rounding the truncated value
+//! to its decimal precision.
+//!
+//! Per value we emit:
+//! * flag `1` + 5-bit decimal-digit count + the XOR-coded *truncated* bits,
+//!   when a truncation exists that round-trips through the decimal; or
+//! * flag `0` + the XOR-coded raw bits otherwise.
+//!
+//! The XOR stage is Chimp-style (leading-zero table + centre bits).
+
+use crate::stream::{BitReader, BitWriter, StreamCodec};
+
+/// Maximum decimal digit count probed (f64 can hold ~15-17 significant
+/// digits; fixed-precision sensor data uses far fewer).
+const MAX_DIGITS: u32 = 17;
+
+/// The Elf-style codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Elf;
+
+/// Finds the decimal digit count of `x`: the smallest `d` with
+/// `round(x·10^d)/10^d == x`. `None` if `x` is not a short decimal.
+fn decimal_digits(x: f64) -> Option<u32> {
+    if !x.is_finite() {
+        return None;
+    }
+    (0..=MAX_DIGITS).find(|&d| {
+        let p = 10f64.powi(d as i32);
+        let n = (x * p).round();
+        n.abs() < (1u64 << 53) as f64 && n / p == x
+    })
+}
+
+/// Truncates `x`'s mantissa to leave `keep` significant bits.
+#[inline]
+fn truncate_mantissa(x: f64, keep: u32) -> f64 {
+    debug_assert!(keep <= 52);
+    let mask = if keep == 52 { u64::MAX } else { !((1u64 << (52 - keep)) - 1) };
+    f64::from_bits(x.to_bits() & mask)
+}
+
+/// The erased representation of `x` at decimal precision `d`: the shortest
+/// mantissa truncation that still re-rounds to exactly `x`.
+fn erase(x: f64, d: u32) -> f64 {
+    let p = 10f64.powi(d as i32);
+    // Binary search the smallest kept-bit count that round-trips.
+    let ok = |keep: u32| {
+        let t = truncate_mantissa(x, keep);
+        (t * p).round() / p == x
+    };
+    let mut lo = 0u32;
+    let mut hi = 52u32;
+    if ok(lo) {
+        return truncate_mantissa(x, 0);
+    }
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if ok(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    truncate_mantissa(x, hi)
+}
+
+/// Restores the exact double from its erased form and digit count.
+#[inline]
+fn restore(t: f64, d: u32) -> f64 {
+    let p = 10f64.powi(d as i32);
+    (t * p).round() / p
+}
+
+const LEADING_TABLE: [u32; 8] = [0, 8, 12, 16, 18, 20, 22, 24];
+
+#[inline]
+fn leading_code(lead: u32) -> u32 {
+    LEADING_TABLE.iter().rposition(|&l| l <= lead).expect("table starts at 0") as u32
+}
+
+fn write_xor(w: &mut BitWriter, xor: u64) {
+    if xor == 0 {
+        w.write_bit(false);
+        return;
+    }
+    w.write_bit(true);
+    let code = leading_code(xor.leading_zeros());
+    let lead = LEADING_TABLE[code as usize];
+    let trail = xor.trailing_zeros().min(63 - lead.min(63));
+    let center = 64 - lead - trail;
+    w.write(code as u64, 3);
+    w.write(center as u64 % 64, 6); // 64 encoded as 0 (center ≥ 1)
+    w.write(xor >> trail, center as usize);
+}
+
+fn read_xor(r: &mut BitReader<'_>) -> u64 {
+    if !r.read_bit() {
+        return 0;
+    }
+    let lead = LEADING_TABLE[r.read(3) as usize];
+    let mut center = r.read(6) as u32;
+    if center == 0 {
+        center = 64;
+    }
+    let trail = 64 - lead - center;
+    r.read(center as usize) << trail
+}
+
+impl StreamCodec for Elf {
+    fn name(&self) -> &'static str {
+        "Elf"
+    }
+
+    fn wants_float_bits(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, words: &[u64]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut prev = 0u64; // previous *stored* (possibly erased) bits
+        for &word in words {
+            let x = f64::from_bits(word);
+            match decimal_digits(x) {
+                Some(d) => {
+                    let t = erase(x, d);
+                    debug_assert_eq!(restore(t, d).to_bits(), word);
+                    w.write_bit(true);
+                    w.write(d as u64, 5);
+                    write_xor(&mut w, prev ^ t.to_bits());
+                    prev = t.to_bits();
+                }
+                None => {
+                    w.write_bit(false);
+                    write_xor(&mut w, prev ^ word);
+                    prev = word;
+                }
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(&self, data: &[u8], n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut r = BitReader::new(data);
+        let mut prev = 0u64;
+        for _ in 0..n {
+            let erased = r.read_bit();
+            let d = if erased { r.read(5) as u32 } else { 0 };
+            prev ^= read_xor(&mut r);
+            if erased {
+                out.push(restore(f64::from_bits(prev), d).to_bits());
+            } else {
+                out.push(prev);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn roundtrip(words: &[u64]) {
+        let enc = Elf.encode(words);
+        assert_eq!(Elf.decode(&enc, words.len()), words);
+    }
+
+    #[test]
+    fn decimal_digit_detection() {
+        assert_eq!(decimal_digits(3.0), Some(0));
+        assert_eq!(decimal_digits(3.25), Some(2));
+        assert_eq!(decimal_digits(0.1), Some(1));
+        assert_eq!(decimal_digits(-12.345), Some(3));
+        assert_eq!(decimal_digits(f64::NAN), None);
+        // π round-trips only at near-full decimal precision (no erasure win,
+        // but still valid).
+        assert!(decimal_digits(std::f64::consts::PI).is_none_or(|d| d >= 15));
+        // Magnitudes beyond 2⁵³ cannot be decimal-verified at any probe.
+        assert_eq!(decimal_digits(f64::MAX), None);
+    }
+
+    #[test]
+    fn erase_restores_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let d = rng.random_range(0..6u32);
+            let x = (rng.random_range(-1_000_000..1_000_000) as f64) / 10f64.powi(d as i32);
+            let dd = decimal_digits(x).expect("short decimal");
+            let t = erase(x, dd);
+            assert_eq!(restore(t, dd).to_bits(), x.to_bits(), "x={x}");
+            // erasing must not add mantissa bits
+            assert!(t.to_bits().trailing_zeros() >= x.to_bits().trailing_zeros());
+        }
+    }
+
+    #[test]
+    fn erasure_improves_over_no_erasure() {
+        // 2-decimal sensor values: erased mantissas make XORs much sparser.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = 2000i64;
+        let words: Vec<u64> = (0..4000)
+            .map(|_| {
+                v += rng.random_range(-15..16);
+                (v as f64 / 100.0).to_bits()
+            })
+            .collect();
+        roundtrip(&words);
+        let elf = Elf.encode(&words).len();
+        let gorilla = crate::gorilla::Gorilla.encode(&words).len();
+        assert!(elf < gorilla, "Elf {elf} !< Gorilla {gorilla}");
+    }
+
+    #[test]
+    fn mixed_precision_and_specials() {
+        let words: Vec<u64> = vec![
+            0.0f64.to_bits(),
+            (-0.0f64).to_bits(),
+            1.5f64.to_bits(),
+            std::f64::consts::PI.to_bits(),
+            f64::MAX.to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            123.456f64.to_bits(),
+        ];
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn random_bits_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let words: Vec<u64> = (0..1500).map(|_| rng.random()).collect();
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn empty_and_repeats() {
+        roundtrip(&[]);
+        roundtrip(&vec![42.42f64.to_bits(); 500]);
+    }
+}

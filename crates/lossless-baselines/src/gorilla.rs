@@ -1,0 +1,156 @@
+//! Gorilla's XOR floating-point compressor (Pelkonen et al., VLDB 2015).
+//!
+//! Each value is XORed with its predecessor; the result is encoded with a
+//! leading-zeros/meaningful-bits scheme:
+//!
+//! * xor == 0 → single `0` bit;
+//! * `10` → the meaningful bits fit the previous (leading, length) window:
+//!   re-use it and emit only the meaningful bits;
+//! * `11` → emit 5 bits of leading-zero count, 6 bits of meaningful-bit
+//!   length, then the meaningful bits.
+
+use crate::stream::{BitReader, BitWriter, StreamCodec};
+
+/// The Gorilla codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gorilla;
+
+impl StreamCodec for Gorilla {
+    fn name(&self) -> &'static str {
+        "Gorilla"
+    }
+
+    fn wants_float_bits(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, words: &[u64]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        let mut prev = 0u64;
+        let mut prev_lead = u32::MAX; // invalid: forces a fresh window first
+        let mut prev_len = 0u32;
+        for (i, &word) in words.iter().enumerate() {
+            if i == 0 {
+                w.write(word, 64);
+                prev = word;
+                continue;
+            }
+            let xor = prev ^ word;
+            prev = word;
+            if xor == 0 {
+                w.write_bit(false);
+                continue;
+            }
+            w.write_bit(true);
+            let lead = xor.leading_zeros().min(31);
+            let trail = xor.trailing_zeros();
+            let len = 64 - lead - trail;
+            if prev_lead != u32::MAX && lead >= prev_lead && 64 - prev_lead - prev_len <= trail {
+                // Fits the previous window: control '0' after the '1'.
+                w.write_bit(false);
+                w.write(xor >> (64 - prev_lead - prev_len), prev_len as usize);
+            } else {
+                w.write_bit(true);
+                w.write(lead as u64, 5);
+                // 6-bit length; 64 is encoded as 0 (len ≥ 1 always).
+                w.write((len % 64) as u64, 6);
+                w.write(xor >> trail, len as usize);
+                prev_lead = lead;
+                prev_len = len;
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(&self, data: &[u8], n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        if n == 0 {
+            return out;
+        }
+        let mut r = BitReader::new(data);
+        let mut prev = r.read(64);
+        out.push(prev);
+        let mut lead = 0u32;
+        let mut len = 0u32;
+        for _ in 1..n {
+            if !r.read_bit() {
+                out.push(prev);
+                continue;
+            }
+            if r.read_bit() {
+                lead = r.read(5) as u32;
+                len = r.read(6) as u32;
+                if len == 0 {
+                    len = 64;
+                }
+            }
+            let bits = r.read(len as usize);
+            let xor = bits << (64 - lead - len);
+            prev ^= xor;
+            out.push(prev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn roundtrip(words: &[u64]) {
+        let g = Gorilla;
+        let enc = g.encode(words);
+        assert_eq!(g.decode(&enc, words.len()), words);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[0]);
+        roundtrip(&[u64::MAX]);
+        roundtrip(&[42.5f64.to_bits()]);
+    }
+
+    #[test]
+    fn repeated_values_take_one_bit_each() {
+        let words = vec![3.25f64.to_bits(); 1000];
+        let g = Gorilla;
+        let enc = g.encode(&words);
+        assert!(enc.len() <= 8 + 1000 / 8 + 2, "got {} bytes", enc.len());
+        assert_eq!(g.decode(&enc, 1000), words);
+    }
+
+    #[test]
+    fn slowly_varying_floats_compress() {
+        let words: Vec<u64> = (0..5000).map(|k| (1000.0 + k as f64 * 0.01).to_bits()).collect();
+        let g = Gorilla;
+        let enc = g.encode(&words);
+        assert!(enc.len() < 5000 * 8, "no compression at all");
+        assert_eq!(g.decode(&enc, 5000), words);
+    }
+
+    #[test]
+    fn random_words_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let words: Vec<u64> = (0..2000).map(|_| rng.random()).collect();
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn adversarial_leading_patterns() {
+        // Exercise window reuse and reset paths: alternating high/low bits.
+        let mut words = vec![0u64];
+        for i in 1..500u64 {
+            words.push(words[i as usize - 1] ^ (1u64 << (i % 64)));
+        }
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn leading_zeros_capped_at_31() {
+        // xor with ≥ 32 leading zeros must still roundtrip (cap path).
+        let words = vec![0u64, 1, 0, 3, 1];
+        roundtrip(&words);
+    }
+}

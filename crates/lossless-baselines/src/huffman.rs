@@ -1,0 +1,278 @@
+//! Canonical Huffman coding, the entropy stage of [`crate::lz::EntropyLz`].
+//!
+//! Code lengths are produced by the classic two-queue construction and
+//! assigned canonically (shorter codes first, ties by symbol), so the
+//! decoder only needs the length table. Codes are emitted MSB-first, which
+//! lets the decoder consume one bit at a time against the canonical
+//! `first_code` boundaries.
+
+use crate::stream::{BitReader, BitWriter};
+
+/// An encoder table: per-symbol code and length.
+#[derive(Clone, Debug)]
+pub struct HuffmanEncoder {
+    codes: Vec<u32>,
+    lengths: Vec<u8>,
+}
+
+/// A decoder built from canonical code lengths.
+#[derive(Clone, Debug)]
+pub struct HuffmanDecoder {
+    /// `first_code[l]` — canonical code value of the first code of length l.
+    first_code: Vec<u32>,
+    /// `count[l]` — number of codes of length l.
+    count: Vec<u32>,
+    /// Symbols sorted by (length, symbol); `offset[l]` indexes the first of
+    /// length l.
+    symbols: Vec<u16>,
+    offset: Vec<u32>,
+    max_len: usize,
+}
+
+/// Computes canonical code lengths for `freqs` (0 ⇒ symbol unused).
+///
+/// Uses the standard two-queue method on sorted frequencies. With a single
+/// used symbol the code length is 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Node arena: leaves then internals; track parents to derive depths.
+    #[derive(Clone, Copy)]
+    struct Node {
+        freq: u64,
+        parent: usize,
+    }
+    let mut nodes: Vec<Node> = used.iter().map(|&s| Node { freq: freqs[s], parent: usize::MAX }).collect();
+    let mut order: Vec<usize> = (0..nodes.len()).collect();
+    order.sort_by_key(|&i| nodes[i].freq);
+    // Two queues: sorted leaves and FIFO internals.
+    let mut leaf_q = std::collections::VecDeque::from(order);
+    let mut int_q: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let take_min = |nodes: &Vec<Node>,
+                    leaf_q: &mut std::collections::VecDeque<usize>,
+                    int_q: &mut std::collections::VecDeque<usize>| {
+        match (leaf_q.front(), int_q.front()) {
+            (Some(&l), Some(&i)) => {
+                if nodes[l].freq <= nodes[i].freq {
+                    leaf_q.pop_front().expect("front exists")
+                } else {
+                    int_q.pop_front().expect("front exists")
+                }
+            }
+            (Some(_), None) => leaf_q.pop_front().expect("front exists"),
+            (None, Some(_)) => int_q.pop_front().expect("front exists"),
+            (None, None) => unreachable!("queues exhausted early"),
+        }
+    };
+    while leaf_q.len() + int_q.len() > 1 {
+        let a = take_min(&nodes, &mut leaf_q, &mut int_q);
+        let b = take_min(&nodes, &mut leaf_q, &mut int_q);
+        let parent = nodes.len();
+        let freq = nodes[a].freq + nodes[b].freq;
+        nodes[a].parent = parent;
+        nodes[b].parent = parent;
+        nodes.push(Node { freq, parent: usize::MAX });
+        int_q.push_back(parent);
+    }
+    // Depth of each leaf = chain length to the root.
+    for (li, &s) in used.iter().enumerate() {
+        let mut depth = 0u8;
+        let mut i = li;
+        while nodes[i].parent != usize::MAX {
+            i = nodes[i].parent;
+            depth += 1;
+        }
+        lengths[s] = depth;
+    }
+    lengths
+}
+
+impl HuffmanEncoder {
+    /// Builds the canonical encoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut next = vec![0u32; max_len + 2];
+        let mut code = 0u32;
+        for l in 1..=max_len {
+            code = (code + count[l - 1]) << 1;
+            next[l] = code;
+        }
+        let mut codes = vec![0u32; lengths.len()];
+        for (s, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[s] = next[l as usize];
+                next[l as usize] += 1;
+            }
+        }
+        Self { codes, lengths: lengths.to_vec() }
+    }
+
+    /// Writes the code for `sym` MSB-first.
+    #[inline]
+    pub fn write(&self, w: &mut BitWriter, sym: usize) {
+        let len = self.lengths[sym] as usize;
+        debug_assert!(len > 0, "symbol {sym} has no code");
+        let code = self.codes[sym];
+        for i in (0..len).rev() {
+            w.write_bit((code >> i) & 1 == 1);
+        }
+    }
+}
+
+impl HuffmanDecoder {
+    /// Builds the canonical decoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        let mut count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Canonical: first_code[1] = 0, first_code[l] = (first_code[l−1] + count[l−1]) << 1.
+        let mut first_code = vec![0u32; max_len + 1];
+        let mut c = 0u32;
+        for l in 1..=max_len {
+            c = if l == 1 { 0 } else { (c + count[l - 1]) << 1 };
+            first_code[l] = c;
+        }
+        let mut offset = vec![0u32; max_len + 2];
+        for l in 1..=max_len {
+            offset[l + 1] = offset[l] + count[l];
+        }
+        let mut symbols = vec![0u16; offset[max_len + 1] as usize];
+        let mut cursor = offset.clone();
+        for (s, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[cursor[l as usize] as usize] = s as u16;
+                cursor[l as usize] += 1;
+            }
+        }
+        Self { first_code, count, symbols, offset, max_len }
+    }
+
+    /// Decodes one symbol, reading bits MSB-first.
+    #[inline]
+    pub fn read(&self, r: &mut BitReader<'_>) -> u16 {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | r.read_bit() as u32;
+            let c = self.count[l];
+            if c > 0 && code >= self.first_code[l] && code - self.first_code[l] < c {
+                return self.symbols[(self.offset[l] + code - self.first_code[l]) as usize];
+            }
+        }
+        panic!("invalid Huffman stream");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn roundtrip_symbols(freq_seed: u64, alphabet: usize, n: usize) {
+        let mut rng = StdRng::seed_from_u64(freq_seed);
+        // skewed symbol stream
+        let symbols: Vec<usize> = (0..n)
+            .map(|_| {
+                let r: f64 = rng.random();
+                ((r * r * alphabet as f64) as usize).min(alphabet - 1)
+            })
+            .collect();
+        let mut freqs = vec![0u64; alphabet];
+        for &s in &symbols {
+            freqs[s] += 1;
+        }
+        let lengths = code_lengths(&freqs);
+        let enc = HuffmanEncoder::from_lengths(&lengths);
+        let dec = HuffmanDecoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.write(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.read(&mut r) as usize, s);
+        }
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let alphabet = rng.random_range(2..300);
+            let freqs: Vec<u64> =
+                (0..alphabet).map(|_| if rng.random_bool(0.3) { 0 } else { rng.random_range(1..10_000) }).collect();
+            if freqs.iter().all(|&f| f == 0) {
+                continue;
+            }
+            let lengths = code_lengths(&freqs);
+            let kraft: f64 =
+                lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-(l as i32))).sum();
+            assert!(kraft <= 1.0 + 1e-9, "kraft {kraft}");
+            // optimality necessary condition: complete code
+            assert!((kraft - 1.0).abs() < 1e-9 || lengths.iter().filter(|&&l| l > 0).count() == 1);
+        }
+    }
+
+    #[test]
+    fn single_symbol() {
+        let lengths = code_lengths(&[0, 5, 0]);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        let enc = HuffmanEncoder::from_lengths(&lengths);
+        let dec = HuffmanDecoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for _ in 0..10 {
+            enc.write(&mut w, 1);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for _ in 0..10 {
+            assert_eq!(dec.read(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let lengths = code_lengths(&[10, 90]);
+        assert_eq!(lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn skewed_streams_roundtrip() {
+        roundtrip_symbols(1, 2, 500);
+        roundtrip_symbols(2, 17, 2000);
+        roundtrip_symbols(3, 256, 5000);
+        roundtrip_symbols(4, 300, 1000);
+    }
+
+    #[test]
+    fn compression_beats_fixed_width_on_skew() {
+        // Heavily skewed: symbol 0 at 95%.
+        let mut freqs = vec![0u64; 16];
+        freqs[0] = 9500;
+        for (i, f) in freqs.iter_mut().enumerate().skip(1) {
+            *f = 500 / 15 + (i as u64 % 3);
+        }
+        let lengths = code_lengths(&freqs);
+        let total_bits: u64 = freqs.iter().zip(&lengths).map(|(&f, &l)| f * l as u64).sum();
+        let fixed_bits: u64 = freqs.iter().sum::<u64>() * 4;
+        assert!(total_bits < fixed_bits / 2, "{total_bits} vs fixed {fixed_bits}");
+    }
+}

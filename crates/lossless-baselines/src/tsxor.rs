@@ -1,0 +1,154 @@
+//! TSXor (Bruno et al., SPIRE 2021) — a byte-oriented window XOR codec.
+//!
+//! Each value is matched against a window of the previous
+//! [`TSXOR_WINDOW`] values:
+//!
+//! * an exact window match emits a single reference byte;
+//! * otherwise the value is XORed with the window value sharing the most
+//!   bits, and the nonzero "core" of the XOR is emitted byte-aligned with a
+//!   2-byte header (reference + offset/length nibble pair);
+//! * incompressible values fall back to a 1-byte escape plus the raw 8 bytes.
+
+use crate::stream::StreamCodec;
+
+/// Window size (the paper's 128-value window, minus one for the escape tag).
+pub const TSXOR_WINDOW: usize = 127;
+
+const ESCAPE: u8 = 0xFF;
+const XOR_BASE: u8 = 0x80; // control bytes 0x80..=0xFE encode XOR references
+
+/// The TSXor codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TsXor;
+
+impl StreamCodec for TsXor {
+    fn name(&self) -> &'static str {
+        "TSXor"
+    }
+
+    fn wants_float_bits(&self) -> bool {
+        true
+    }
+
+    #[allow(clippy::needless_range_loop)] // windowed index search is clearer indexed
+    fn encode(&self, words: &[u64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(words.len() * 3);
+        for (i, &word) in words.iter().enumerate() {
+            let lo = i.saturating_sub(TSXOR_WINDOW);
+            // Exact match?
+            if let Some(j) = (lo..i).rev().find(|&j| words[j] == word) {
+                out.push((i - 1 - j) as u8); // 0..=126 < 0x80
+                continue;
+            }
+            // Best XOR candidate: fewest meaningful bytes.
+            let mut best: Option<(usize, u64, usize, usize)> = None; // (j, xor, first, len)
+            for j in lo..i {
+                let xor = words[j] ^ word;
+                let lead_bytes = (xor.leading_zeros() / 8) as usize;
+                let trail_bytes = (xor.trailing_zeros() / 8) as usize;
+                let len = 8 - lead_bytes - trail_bytes;
+                if best.is_none_or(|(_, _, _, blen)| len < blen) {
+                    best = Some((j, xor, trail_bytes, len));
+                }
+            }
+            match best {
+                Some((j, xor, first, len)) if len < 7 && i > lo => {
+                    out.push(XOR_BASE + (i - 1 - j) as u8);
+                    out.push(((first as u8) << 4) | len as u8);
+                    let bytes = xor.to_le_bytes();
+                    out.extend_from_slice(&bytes[first..first + len]);
+                }
+                _ => {
+                    out.push(ESCAPE);
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(&self, data: &[u8], n: usize) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::with_capacity(n);
+        let mut p = 0usize;
+        for i in 0..n {
+            let c = data[p];
+            p += 1;
+            if c == ESCAPE {
+                let word = u64::from_le_bytes(data[p..p + 8].try_into().expect("8 bytes"));
+                p += 8;
+                out.push(word);
+            } else if c >= XOR_BASE {
+                let j = i - 1 - (c - XOR_BASE) as usize;
+                let hdr = data[p];
+                p += 1;
+                let first = (hdr >> 4) as usize;
+                let len = (hdr & 0xF) as usize;
+                let mut bytes = [0u8; 8];
+                bytes[first..first + len].copy_from_slice(&data[p..p + len]);
+                p += len;
+                out.push(out[j] ^ u64::from_le_bytes(bytes));
+            } else {
+                let j = i - 1 - c as usize;
+                out.push(out[j]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn roundtrip(words: &[u64]) {
+        let enc = TsXor.encode(words);
+        assert_eq!(TsXor.decode(&enc, words.len()), words);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        roundtrip(&[]);
+        roundtrip(&[123]);
+    }
+
+    #[test]
+    fn repeats_cost_one_byte() {
+        let words = vec![9.75f64.to_bits(); 500];
+        let enc = TsXor.encode(&words);
+        assert!(enc.len() <= 9 + 499, "got {}", enc.len());
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn periodic_window_matches() {
+        let words: Vec<u64> = (0..1000).map(|k| ((k % 50) as f64).to_bits()).collect();
+        let enc = TsXor.encode(&words);
+        // after the first period, everything is an exact window match
+        assert!(enc.len() < 1000 * 3, "got {}", enc.len());
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn random_words_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let words: Vec<u64> = (0..1200).map(|_| rng.random()).collect();
+        roundtrip(&words);
+    }
+
+    #[test]
+    fn smooth_series_uses_xor_case() {
+        let words: Vec<u64> = (0..800).map(|k| (500.0 + k as f64 * 0.125).to_bits()).collect();
+        roundtrip(&words);
+        let enc = TsXor.encode(&words);
+        assert!(enc.len() < 800 * 9, "no savings");
+    }
+
+    #[test]
+    fn escape_path_for_alternating_extremes() {
+        let words: Vec<u64> = (0..100)
+            .map(|k| if k % 2 == 0 { u64::MAX } else { 1u64 << 63 } ^ (k as u64).rotate_left(32))
+            .collect();
+        roundtrip(&words);
+    }
+}

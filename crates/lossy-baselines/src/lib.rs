@@ -1,0 +1,17 @@
+//! # lossy-baselines — the paper's lossy competitors
+//!
+//! * [`pla::Pla`] — optimal Piecewise Linear Approximation (O'Rourke 1981),
+//!   the minimum-segment linear baseline of Table II.
+//! * [`aa::AdaptiveApprox`] — the Adaptive Approximation heuristic
+//!   (Xu et al., EDBT 2012) combining anchored linear, exponential, and
+//!   quadratic functions, also from Table II.
+//!
+//! Both implement the same interface as [`neats_core::NeaTSLossy`]
+//! (compress / approximate / reconstruct / size / max_error / MAPE), so the
+//! Table II harness treats the three uniformly.
+
+pub mod aa;
+pub mod pla;
+
+pub use aa::AdaptiveApprox;
+pub use pla::Pla;

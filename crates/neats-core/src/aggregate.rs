@@ -1,0 +1,421 @@
+//! Aggregate queries over compressed data — the paper's §VI future work:
+//! "exploit the information encoded by the functions to efficiently answer
+//! aggregate queries on the time series data".
+//!
+//! Because every fragment stores a closed-form function and a *bounded*
+//! correction stream, a range SUM can be answered two ways:
+//!
+//! * **exactly**, by scanning (one random access + sequential decode); or
+//! * **approximately in O(fragments)**, by summing the functions in closed
+//!   form and never touching the corrections — with a hard error bound
+//!   derived from each fragment's correction width (`Σ len·(2^{w−1}+1)`).
+//!
+//! Polynomial families (linear, the quadratics, the cubics) and the
+//! exponential family admit O(1) closed-form range sums; the remaining
+//! kinds fall back to evaluating the function per point, which still skips
+//! the correction stream entirely.
+
+use crate::fit::{model_value, Fragment, Kind};
+use crate::layout::NeaTSCompressed;
+use crate::lossy::NeaTSLossy;
+use timeseries::CompressedSeries;
+
+/// An approximate aggregate with a guaranteed absolute error bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// The estimated aggregate value.
+    pub value: f64,
+    /// Guaranteed bound: `|value − exact| ≤ max_error`.
+    pub max_error: f64,
+}
+
+/// Σ u for integer u in `[a, z]`.
+#[inline]
+fn sum_u(a: f64, z: f64) -> f64 {
+    (a + z) * (z - a + 1.0) / 2.0
+}
+
+/// Σ u² for integer u in `[a, z]` (via the prefix formula n(n+1)(2n+1)/6).
+#[inline]
+fn sum_u2(a: f64, z: f64) -> f64 {
+    let p = |n: f64| n * (n + 1.0) * (2.0 * n + 1.0) / 6.0;
+    p(z) - p(a - 1.0)
+}
+
+/// Σ u³ for integer u in `[a, z]` (via (n(n+1)/2)²).
+#[inline]
+fn sum_u3(a: f64, z: f64) -> f64 {
+    let p = |n: f64| {
+        let t = n * (n + 1.0) / 2.0;
+        t * t
+    };
+    p(z) - p(a - 1.0)
+}
+
+/// Closed-form Σ f(u) for u in `[a, z]`, or `None` for kinds without one.
+fn closed_form_sum(frag: &Fragment, a: f64, z: f64) -> Option<f64> {
+    let p = frag.params;
+    let len = z - a + 1.0;
+    let v = match frag.kind {
+        Kind::Linear => p.m * sum_u(a, z) + p.b * len,
+        Kind::Quadratic => p.m * sum_u2(a, z) + p.b * sum_u(a, z) + p.extra * len,
+        Kind::QuadOffset => p.m * sum_u2(a, z) + p.b * len,
+        Kind::QuadLinear => p.m * sum_u2(a, z) + p.b * sum_u(a, z),
+        Kind::CubicLinear => p.m * sum_u3(a, z) + p.b * sum_u(a, z),
+        Kind::CubicQuad => p.m * sum_u3(a, z) + p.b * sum_u2(a, z),
+        Kind::Exponential => {
+            // Σ e^{m·u + b} = e^{m·a + b} · (e^{m·len} − 1)/(e^m − 1)
+            let r = p.m.exp();
+            if !r.is_finite() || (r - 1.0).abs() < 1e-12 {
+                return None; // flat or overflowing: pointwise is safer
+            }
+            let geo = ((p.m * len).exp() - 1.0) / (r - 1.0);
+            (p.m * a + p.b).exp() * geo
+        }
+        Kind::Sqrt | Kind::Logarithmic | Kind::Power | Kind::Gaussian => return None,
+    };
+    v.is_finite().then_some(v)
+}
+
+/// Sums `⌊f(u)⌋ − shift` over `[from, to)` (global indices) for one
+/// fragment, using the closed form when available.
+fn fragment_model_sum(frag: &Fragment, from: usize, to: usize, shift: i64) -> f64 {
+    let a = (from - frag.origin + 1) as f64;
+    let z = (to - frag.origin) as f64;
+    let len = (to - from) as f64;
+    let shift_term =
+        if frag.kind.log_domain() { shift as f64 * len } else { 0.0 };
+    match closed_form_sum(frag, a, z) {
+        // The closed form sums f, not ⌊f⌋: the ⌊·⌋ gap is charged to the
+        // caller's error bound (one unit per point).
+        Some(s) => s - shift_term,
+        None => (from..to).map(|k| model_value(frag, k, shift) as f64).sum(),
+    }
+}
+
+/// Candidate local coordinates where `f` can attain an extreme over
+/// `[a, z]`: the endpoints plus any interior stationary points.
+fn extreme_candidates(frag: &Fragment, a: f64, z: f64) -> [Option<f64>; 4] {
+    let p = frag.params;
+    let mut out = [Some(a), Some(z), None, None];
+    let mut push = |u: f64| {
+        if u > a && u < z {
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    *slot = Some(u);
+                    return;
+                }
+            }
+        }
+    };
+    match frag.kind {
+        // Monotone families: endpoints suffice.
+        Kind::Linear | Kind::Sqrt | Kind::Logarithmic | Kind::Exponential | Kind::Power => {}
+        // Quadratic forms m·u² + b·u (+c): vertex at −b/(2m); the Gaussian's
+        // exponent shares the same stationary point.
+        Kind::Quadratic | Kind::QuadLinear | Kind::Gaussian => {
+            if p.m != 0.0 {
+                push(-p.b / (2.0 * p.m));
+            }
+        }
+        Kind::QuadOffset => {} // m·u² + b is monotone on u ≥ 1 > 0
+        // Cubics m·u³ + b·u^d: f' = 3m·u² + b (d=1) or 3m·u² + 2b·u (d=2).
+        Kind::CubicLinear => {
+            if p.m != 0.0 && -p.b / (3.0 * p.m) > 0.0 {
+                push((-p.b / (3.0 * p.m)).sqrt());
+            }
+        }
+        Kind::CubicQuad => {
+            if p.m != 0.0 {
+                push(-2.0 * p.b / (3.0 * p.m));
+            }
+        }
+    }
+    out
+}
+
+/// `(min, max)` of `⌊f(u)⌋ − shift` over global positions `[from, to)` for
+/// one fragment, from the candidate extremes (integer coordinates: the
+/// continuous stationary point is bracketed by its floor/ceil neighbours).
+fn fragment_model_extremes(frag: &Fragment, from: usize, to: usize, shift: i64) -> (i64, i64) {
+    let a = (from - frag.origin + 1) as f64;
+    let z = (to - frag.origin) as f64;
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    let mut consider = |u: f64| {
+        let u = u.clamp(a, z);
+        let k = frag.origin + u.round() as usize - 1;
+        let k = k.clamp(from, to - 1);
+        let v = model_value(frag, k, shift);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    };
+    for cand in extreme_candidates(frag, a, z).into_iter().flatten() {
+        // Evaluate the integer neighbours of each continuous candidate.
+        consider(cand.floor());
+        consider(cand.ceil());
+    }
+    (lo, hi)
+}
+
+impl NeaTSCompressed {
+    /// Exact range sum (scan-based), as `i128` to avoid overflow.
+    pub fn sum_range_exact(&self, start: usize, count: usize) -> i128 {
+        let mut out = Vec::with_capacity(count);
+        self.scan_range(start, count, &mut out);
+        out.iter().map(|&v| v as i128).sum()
+    }
+
+    /// Approximate range sum from the learned functions only, in
+    /// O(#overlapping fragments) for closed-form kinds. The bound accounts
+    /// for the per-fragment correction magnitude (`2^{w−1}`) plus one unit
+    /// of flooring per point.
+    pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        if count == 0 {
+            return Estimate { value: 0.0, max_error: 0.0 };
+        }
+        debug_assert!(start + count <= self.len());
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut value = 0.0f64;
+        let mut max_error = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            value += fragment_model_sum(&frag, pos, to, self.shift());
+            let w = self.correction_width_of(i);
+            let bias = if w == 0 { 0.0 } else { (1u64 << (w - 1)) as f64 };
+            max_error += (to - pos) as f64 * (bias + 1.0);
+            pos = to;
+            i += 1;
+        }
+        Estimate { value, max_error }
+    }
+
+    /// Approximate range mean with the same guarantee, scaled by `1/count`.
+    pub fn mean_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        let s = self.sum_range_estimate(start, count);
+        let n = count.max(1) as f64;
+        Estimate { value: s.value / n, max_error: s.max_error / n }
+    }
+
+    /// Approximate range minimum and maximum from the learned functions
+    /// only (no correction reads), each with a guaranteed error bound of
+    /// the fragment's correction magnitude.
+    ///
+    /// Extremes of each fragment's model come from endpoint/stationary-point
+    /// analysis: O(1) per overlapping fragment.
+    pub fn min_max_range_estimate(&self, start: usize, count: usize) -> (Estimate, Estimate) {
+        assert!(count > 0, "min/max of an empty range is undefined");
+        debug_assert!(start + count <= self.len());
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut bound = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            let (flo, fhi) = fragment_model_extremes(&frag, pos, to, self.shift());
+            lo = lo.min(flo);
+            hi = hi.max(fhi);
+            let w = self.correction_width_of(i);
+            let bias = if w == 0 { 0.0 } else { (1u64 << (w - 1)) as f64 };
+            bound = bound.max(bias);
+            pos = to;
+            i += 1;
+        }
+        (
+            Estimate { value: lo as f64, max_error: bound },
+            Estimate { value: hi as f64, max_error: bound },
+        )
+    }
+}
+
+impl NeaTSLossy {
+    /// Approximate range sum from the lossy model: error bound
+    /// `count·(ε+1)` by the NeaTS-L guarantee.
+    pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        if count == 0 {
+            return Estimate { value: 0.0, max_error: 0.0 };
+        }
+        debug_assert!(start + count <= self.len());
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut value = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            value += fragment_model_sum(&frag, pos, to, self.shift());
+            pos = to;
+            i += 1;
+        }
+        // ε from the guarantee, +1 for flooring, +1 for the closed form
+        // summing f instead of ⌊f⌋.
+        Estimate { value, max_error: count as f64 * (self.eps() as f64 + 2.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kind, NeaTS};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use timeseries::TimeSeries;
+
+    fn mixed_series(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = 10_000i64;
+        TimeSeries::from_values(
+            (0..n)
+                .map(|k| {
+                    v += rng.random_range(-8..9) + ((k as f64 / 300.0).sin() * 4.0) as i64;
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn closed_forms_match_pointwise() {
+        // For every closed-form kind, the formula must equal the naive sum.
+        let p = crate::Params { m: 0.37, b: -4.2, extra: 11.0 };
+        for kind in [
+            Kind::Linear,
+            Kind::Quadratic,
+            Kind::QuadOffset,
+            Kind::QuadLinear,
+            Kind::CubicLinear,
+            Kind::CubicQuad,
+        ] {
+            let frag = Fragment { kind, params: p, start: 0, end: 50, origin: 0 };
+            let naive: f64 = (1..=50).map(|u| kind.eval(p, u as f64)).sum();
+            let cf = closed_form_sum(&frag, 1.0, 50.0).expect("closed form exists");
+            assert!(
+                (naive - cf).abs() < 1e-6 * naive.abs().max(1.0),
+                "{kind:?}: naive {naive} vs closed {cf}"
+            );
+        }
+        // Exponential too.
+        let p = crate::Params { m: 0.05, b: 2.0, extra: 0.0 };
+        let frag = Fragment { kind: Kind::Exponential, params: p, start: 0, end: 40, origin: 0 };
+        let naive: f64 = (1..=40).map(|u| Kind::Exponential.eval(p, u as f64)).sum();
+        let cf = closed_form_sum(&frag, 1.0, 40.0).unwrap();
+        assert!((naive - cf).abs() < 1e-6 * naive, "exp: {naive} vs {cf}");
+    }
+
+    #[test]
+    fn estimate_within_bound_of_exact() {
+        let ts = mixed_series(10_000, 1);
+        let c = NeaTS::compress(&ts);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let start = rng.random_range(0..ts.len() - 1);
+            let count = rng.random_range(1..(ts.len() - start).min(2000));
+            let exact = c.sum_range_exact(start, count) as f64;
+            let est = c.sum_range_estimate(start, count);
+            assert!(
+                (est.value - exact).abs() <= est.max_error,
+                "range ({start},{count}): est {} exact {exact} bound {}",
+                est.value,
+                est.max_error
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sum_matches_values() {
+        let ts = mixed_series(3000, 3);
+        let c = NeaTS::compress(&ts);
+        let expected: i128 = ts.values()[100..700].iter().map(|&v| v as i128).sum();
+        assert_eq!(c.sum_range_exact(100, 600), expected);
+    }
+
+    #[test]
+    fn mean_estimate_scales() {
+        let ts = mixed_series(5000, 4);
+        let c = NeaTS::compress(&ts);
+        let s = c.sum_range_estimate(1000, 500);
+        let m = c.mean_range_estimate(1000, 500);
+        assert!((m.value - s.value / 500.0).abs() < 1e-9);
+        assert!((m.max_error - s.max_error / 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lossy_estimate_within_bound() {
+        let ts = mixed_series(8000, 5);
+        let eps = 64u64;
+        let l = NeaTS::builder().build_lossy(&ts, eps);
+        let exact: f64 = ts.values()[2000..3000].iter().map(|&v| v as f64).sum();
+        let est = l.sum_range_estimate(2000, 1000);
+        assert!(
+            (est.value - exact).abs() <= est.max_error,
+            "est {} exact {exact} bound {}",
+            est.value,
+            est.max_error
+        );
+    }
+
+    #[test]
+    fn min_max_estimate_within_bound() {
+        let ts = mixed_series(8000, 7);
+        let c = NeaTS::compress(&ts);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..40 {
+            let start = rng.random_range(0..ts.len() - 1);
+            let count = rng.random_range(1..(ts.len() - start).min(1500));
+            let slice = &ts.values()[start..start + count];
+            let true_min = *slice.iter().min().unwrap() as f64;
+            let true_max = *slice.iter().max().unwrap() as f64;
+            let (lo, hi) = c.min_max_range_estimate(start, count);
+            assert!(
+                (lo.value - true_min).abs() <= lo.max_error,
+                "min est {} true {true_min} bound {}",
+                lo.value,
+                lo.max_error
+            );
+            assert!(
+                (hi.value - true_max).abs() <= hi.max_error,
+                "max est {} true {true_max} bound {}",
+                hi.value,
+                hi.max_error
+            );
+        }
+    }
+
+    #[test]
+    fn min_max_on_parabola_finds_the_vertex() {
+        // A downward parabola whose peak is strictly inside the range: the
+        // stationary-point analysis must find it, not just the endpoints.
+        let values: Vec<i64> = (0..2001i64).map(|k| -(k - 1000) * (k - 1000) + 999).collect();
+        let ts = TimeSeries::from_values(values.clone());
+        let c = NeaTS::compress(&ts);
+        let (_, hi) = c.min_max_range_estimate(0, 2001);
+        let true_max = *values.iter().max().unwrap() as f64;
+        assert!((hi.value - true_max).abs() <= hi.max_error, "{} vs {true_max}", hi.value);
+    }
+
+    #[test]
+    fn empty_range() {
+        let ts = mixed_series(100, 6);
+        let c = NeaTS::compress(&ts);
+        assert_eq!(c.sum_range_estimate(50, 0), Estimate { value: 0.0, max_error: 0.0 });
+        assert_eq!(c.sum_range_exact(50, 0), 0);
+    }
+
+    #[test]
+    fn estimate_is_fragment_bounded_work() {
+        // On a long exact line, the whole-range estimate is one closed-form
+        // evaluation and its error bound is just the flooring term.
+        let ts = TimeSeries::from_values((0..100_000).map(|k| 7 * k + 3).collect());
+        let c = NeaTS::compress(&ts);
+        assert_eq!(c.fragment_count(), 1);
+        let est = c.sum_range_estimate(0, 100_000);
+        let exact = c.sum_range_exact(0, 100_000) as f64;
+        assert!((est.value - exact).abs() <= est.max_error);
+        assert!(est.max_error <= 100_000.0 * 2.0);
+    }
+}

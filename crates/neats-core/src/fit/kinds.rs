@@ -1,0 +1,345 @@
+//! The nonlinear function families of Table I (plus the 3-parameter anchored
+//! families of §III-A) and their reductions to the stabbing-line problem.
+//!
+//! Each kind defines:
+//! * a **transform** mapping a data point `(u, y)` and error bound ε to a
+//!   vertical segment `(t, α, ω)` in the space where the function is linear
+//!   (`α ≤ m·t + b ≤ ω`, Theorem 1);
+//! * an **evaluation** mapping fitted `(m, b[, extra])` parameters and a
+//!   local coordinate `u` back to the approximated value.
+//!
+//! Coordinates are *local to the fragment*: `u = 1, 2, …` from the fit
+//! origin (the paper's footnote-4 horizontal shift), which keeps the
+//! transforms well-defined (`ln u`, divisions by `u − 1`) and numerically
+//! tame. Log-domain kinds (exponential, power, Gaussian) operate on values
+//! shifted by a global per-series constant that makes `y − ε` positive
+//! (paper footnote 2).
+
+/// One of the function families NeaTS can fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Kind {
+    /// `θ1·u + θ2` — the classic linear family.
+    Linear = 0,
+    /// `θ1·u² + θ2·u + θ3`, anchored through the fragment's first point.
+    Quadratic = 1,
+    /// `θ2·e^(θ1·u)` (log-domain).
+    Exponential = 2,
+    /// `θ1·√u + θ2` — the paper's "radical" family.
+    Sqrt = 3,
+    /// `θ1·ln u + b` (the paper's `ln(θ2·x^θ1)`).
+    Logarithmic = 4,
+    /// `θ2·u^θ1` (log-domain power family).
+    Power = 5,
+    /// `θ1·u² + θ2` (quadratic with no linear term).
+    QuadOffset = 6,
+    /// `θ1·u² + θ2·u`.
+    QuadLinear = 7,
+    /// `θ1·u³ + θ2·u`.
+    CubicLinear = 8,
+    /// `θ1·u³ + θ2·u²`.
+    CubicQuad = 9,
+    /// `e^(θ1·u² + θ2·u + θ3)`, anchored Gaussian-like family (log-domain).
+    Gaussian = 10,
+}
+
+/// Fitted parameters in the transformed space: the stabbing line `(m, b)`
+/// plus an `extra` third parameter for anchored kinds (`θ3` in the paper).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// Transformed slope `m = φ(θ1)`.
+    pub m: f64,
+    /// Transformed intercept `b = ψ(θ2)`.
+    pub b: f64,
+    /// Third parameter for anchored kinds; 0 otherwise.
+    pub extra: f64,
+}
+
+impl Params {
+    /// Parameters of the constant function `y = c`.
+    pub fn constant(c: f64) -> Self {
+        Self { m: 0.0, b: c, extra: 0.0 }
+    }
+}
+
+impl Kind {
+    /// The paper's default NeaTS function set: "We use four types of
+    /// functions — namely, linear, exponential, quadratic, and radical"
+    /// (§IV-A).
+    pub const NEATS_DEFAULT: [Kind; 4] = [Kind::Linear, Kind::Exponential, Kind::Quadratic, Kind::Sqrt];
+
+    /// Every implemented kind.
+    pub const ALL: [Kind; 11] = [
+        Kind::Linear,
+        Kind::Quadratic,
+        Kind::Exponential,
+        Kind::Sqrt,
+        Kind::Logarithmic,
+        Kind::Power,
+        Kind::QuadOffset,
+        Kind::QuadLinear,
+        Kind::CubicLinear,
+        Kind::CubicQuad,
+        Kind::Gaussian,
+    ];
+
+    /// Decodes a kind from its `repr(u8)` tag.
+    pub fn from_tag(tag: u8) -> Option<Kind> {
+        Kind::ALL.iter().copied().find(|k| *k as u8 == tag)
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Linear => "linear",
+            Kind::Quadratic => "quadratic",
+            Kind::Exponential => "exponential",
+            Kind::Sqrt => "sqrt",
+            Kind::Logarithmic => "logarithmic",
+            Kind::Power => "power",
+            Kind::QuadOffset => "quad-offset",
+            Kind::QuadLinear => "quad-linear",
+            Kind::CubicLinear => "cubic-linear",
+            Kind::CubicQuad => "cubic-quad",
+            Kind::Gaussian => "gaussian",
+        }
+    }
+
+    /// Whether fitting happens on log-transformed values, requiring the
+    /// global positivity shift (paper footnote 2).
+    pub fn log_domain(self) -> bool {
+        matches!(self, Kind::Exponential | Kind::Power | Kind::Gaussian)
+    }
+
+    /// Whether the family has a third parameter anchored through the
+    /// fragment's first data point (§III-A, three-parameter functions).
+    pub fn anchored(self) -> bool {
+        matches!(self, Kind::Quadratic | Kind::Gaussian)
+    }
+
+    /// Number of stored parameters (the paper's contribution to κ_f).
+    pub fn param_count(self) -> usize {
+        if self.anchored() {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// Transforms the constraint `|f(u) − y| ≤ ε` into the stabbing segment
+    /// `(t, α, ω)`, for non-anchored kinds.
+    ///
+    /// `u ≥ 1` is the local coordinate; `y` is the (already shifted, for
+    /// log-domain kinds) value as f64. Returns `None` when the transform is
+    /// undefined (e.g. `y − ε ≤ 0` in a log domain).
+    #[inline]
+    pub fn transform(self, u: f64, y: f64, eps: f64) -> Option<(f64, f64, f64)> {
+        debug_assert!(!self.anchored());
+        let (lo, hi) = (y - eps, y + eps);
+        match self {
+            Kind::Linear => Some((u, lo, hi)),
+            Kind::Sqrt => Some((u.sqrt(), lo, hi)),
+            Kind::Logarithmic => Some((u.ln(), lo, hi)),
+            Kind::QuadOffset => Some((u * u, lo, hi)),
+            Kind::QuadLinear => Some((u, lo / u, hi / u)),
+            Kind::CubicLinear => Some((u * u, lo / u, hi / u)),
+            Kind::CubicQuad => Some((u, lo / (u * u), hi / (u * u))),
+            Kind::Exponential => {
+                if lo <= 0.0 {
+                    return None;
+                }
+                Some((u, lo.ln(), hi.ln()))
+            }
+            Kind::Power => {
+                if lo <= 0.0 {
+                    return None;
+                }
+                Some((u.ln(), lo.ln(), hi.ln()))
+            }
+            Kind::Quadratic | Kind::Gaussian => unreachable!("anchored kinds use transform_anchored"),
+        }
+    }
+
+    /// Transforms the constraint for anchored three-parameter kinds, given
+    /// the anchor value `y0` at local coordinate 1. Only valid for `u > 1`.
+    #[inline]
+    pub fn transform_anchored(self, u: f64, y: f64, y0: f64, eps: f64) -> Option<(f64, f64, f64)> {
+        debug_assert!(self.anchored());
+        debug_assert!(u > 1.0);
+        let du = u - 1.0;
+        match self {
+            // f(u) = m·u² + b·u + extra with f(1) = y0:
+            //   (y − y0 − ε)/(u − 1) ≤ (u + 1)·m + b ≤ (y − y0 + ε)/(u − 1)
+            Kind::Quadratic => Some(((u + 1.0), (y - y0 - eps) / du, (y - y0 + eps) / du)),
+            // ln f(u) = m·u² + b·u + extra with f(1) = y0 (log space anchor):
+            Kind::Gaussian => {
+                if y - eps <= 0.0 || y0 <= 0.0 {
+                    return None;
+                }
+                let ly0 = y0.ln();
+                Some(((u + 1.0), ((y - eps).ln() - ly0) / du, ((y + eps).ln() - ly0) / du))
+            }
+            _ => unreachable!("transform_anchored on non-anchored kind"),
+        }
+    }
+
+    /// Completes the parameters for anchored kinds from the fitted stabbing
+    /// line and the anchor value `y0` (identity for other kinds).
+    #[inline]
+    pub fn finish_params(self, m: f64, b: f64, y0: f64) -> Params {
+        let extra = match self {
+            Kind::Quadratic => y0 - m - b,
+            Kind::Gaussian => y0.ln() - m - b,
+            _ => 0.0,
+        };
+        Params { m, b, extra }
+    }
+
+    /// Evaluates the fitted function at local coordinate `u ≥ 1`.
+    ///
+    /// For log-domain kinds the result approximates the *shifted* value; the
+    /// caller subtracts the shift.
+    #[inline]
+    pub fn eval(self, p: Params, u: f64) -> f64 {
+        match self {
+            Kind::Linear => p.m * u + p.b,
+            Kind::Quadratic => (p.m * u + p.b) * u + p.extra,
+            Kind::Exponential => (p.m * u + p.b).exp(),
+            Kind::Sqrt => p.m * u.sqrt() + p.b,
+            Kind::Logarithmic => p.m * u.ln() + p.b,
+            Kind::Power => (p.m * u.ln() + p.b).exp(),
+            Kind::QuadOffset => p.m * u * u + p.b,
+            Kind::QuadLinear => (p.m * u + p.b) * u,
+            Kind::CubicLinear => (p.m * u * u + p.b) * u,
+            Kind::CubicQuad => (p.m * u + p.b) * u * u,
+            Kind::Gaussian => ((p.m * u + p.b) * u + p.extra).exp(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// For every non-anchored kind: if a segment (t, α, ω) produced by the
+    /// transform is stabbed by a line (m, b), then |eval − y| ≤ ε.
+    #[test]
+    fn transform_eval_consistency() {
+        let kinds = [
+            Kind::Linear,
+            Kind::Sqrt,
+            Kind::Logarithmic,
+            Kind::QuadOffset,
+            Kind::QuadLinear,
+            Kind::CubicLinear,
+            Kind::CubicQuad,
+            Kind::Exponential,
+            Kind::Power,
+        ];
+        for kind in kinds {
+            // Pick a ground-truth parameter pair and evaluate it exactly.
+            let p = Params { m: 0.75, b: 2.5, extra: 0.0 };
+            for u in 1..=50 {
+                let u = u as f64;
+                let y = kind.eval(p, u);
+                let eps = 1.0;
+                let Some((t, lo, hi)) = kind.transform(u, y, eps) else {
+                    panic!("{kind:?}: transform undefined at u={u}, y={y}");
+                };
+                // The true parameters must satisfy the transformed constraint.
+                let v = p.m * t + p.b;
+                assert!(
+                    v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "{kind:?} at u={u}: m·t+b={v} outside [{lo}, {hi}]"
+                );
+                // And a line touching the bounds maps back within ε.
+                for &vv in &[lo, hi] {
+                    // construct params with m unchanged, b adjusted to hit vv at t
+                    let p2 = Params { m: p.m, b: p.b + (vv - v), extra: 0.0 };
+                    let y2 = kind.eval(p2, u);
+                    let tol = eps + 1e-9 * y.abs().max(1.0); // relative f64 slack
+                    assert!(
+                        (y2 - y).abs() <= tol,
+                        "{kind:?} at u={u}: bound point maps to error {}",
+                        (y2 - y).abs()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_quadratic_transform_consistency() {
+        let truth = Params { m: 0.3, b: -1.2, extra: 10.0 };
+        let y0 = Kind::Quadratic.eval(truth, 1.0);
+        assert!((y0 - (0.3 - 1.2 + 10.0)).abs() < 1e-12);
+        for u in 2..=30 {
+            let u = u as f64;
+            let y = Kind::Quadratic.eval(truth, u);
+            let (t, lo, hi) = Kind::Quadratic.transform_anchored(u, y, y0, 0.5).unwrap();
+            let v = truth.m * t + truth.b;
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "u={u}: {v} not in [{lo}, {hi}]");
+        }
+        // finish_params reconstructs extra from the anchor
+        let p = Kind::Quadratic.finish_params(truth.m, truth.b, y0);
+        assert!((p.extra - truth.extra).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchored_gaussian_transform_consistency() {
+        let truth = Params { m: -0.002, b: 0.08, extra: 3.0 };
+        let y0 = Kind::Gaussian.eval(truth, 1.0);
+        for u in 2..=30 {
+            let u = u as f64;
+            let y = Kind::Gaussian.eval(truth, u);
+            let (t, lo, hi) = Kind::Gaussian.transform_anchored(u, y, y0, 0.5).unwrap();
+            let v = truth.m * t + truth.b;
+            assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "u={u}: {v} not in [{lo}, {hi}]");
+        }
+        let p = Kind::Gaussian.finish_params(truth.m, truth.b, y0);
+        assert!((p.extra - truth.extra).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_domain_rejects_non_positive() {
+        assert!(Kind::Exponential.transform(1.0, 0.5, 1.0).is_none());
+        assert!(Kind::Power.transform(2.0, -3.0, 1.0).is_none());
+        assert!(Kind::Exponential.transform(1.0, 2.0, 1.0).is_some());
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for k in Kind::ALL {
+            assert_eq!(Kind::from_tag(k as u8), Some(k));
+        }
+        assert_eq!(Kind::from_tag(200), None);
+    }
+
+    #[test]
+    fn transform_t_is_increasing_in_u() {
+        for kind in Kind::ALL.iter().filter(|k| !k.anchored()) {
+            let mut prev = f64::NEG_INFINITY;
+            for u in 1..=100 {
+                let (t, _, _) = kind.transform(u as f64, 100.0, 1.0).unwrap();
+                assert!(t > prev, "{kind:?}: t not increasing at u={u}");
+                prev = t;
+            }
+        }
+        for kind in [Kind::Quadratic, Kind::Gaussian] {
+            let mut prev = f64::NEG_INFINITY;
+            for u in 2..=100 {
+                let (t, _, _) = kind.transform_anchored(u as f64, 100.0, 90.0, 1.0).unwrap();
+                assert!(t > prev, "{kind:?}: t not increasing at u={u}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(Kind::Linear.param_count(), 2);
+        assert_eq!(Kind::Quadratic.param_count(), 3);
+        assert_eq!(Kind::Gaussian.param_count(), 3);
+        assert!(Kind::NEATS_DEFAULT.contains(&Kind::Quadratic));
+    }
+}

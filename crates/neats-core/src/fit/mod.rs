@@ -1,0 +1,382 @@
+//! Fragment fitting: the paper's `MakeApproximation` (Theorem 1).
+//!
+//! [`longest_fragment`] finds, for a given function kind and error bound ε,
+//! the longest fragment starting at a given index that admits an
+//! ε-approximation — in optimal O(fragment length) time via the
+//! [`stab::StabbingLine`] reduction.
+
+pub mod kinds;
+pub mod stab;
+
+pub use kinds::{Kind, Params};
+pub use stab::{Line, StabbingLine};
+
+/// A fitted fragment: the function of `kind` with `params` ε-approximates
+/// `values[start..end]` when evaluated at local coordinates
+/// `u = index − origin + 1`.
+///
+/// `origin == start` for fragments produced directly by the fitter; the
+/// partitioner's *suffix edges* (paper §III-B) produce fragments whose
+/// function was fitted from an earlier origin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fragment {
+    /// The function family.
+    pub kind: Kind,
+    /// Fitted parameters (transformed space, plus anchor extra).
+    pub params: Params,
+    /// First covered index (inclusive, 0-based).
+    pub start: usize,
+    /// One past the last covered index.
+    pub end: usize,
+    /// Index the local coordinate system is anchored at (`u = 1` there).
+    pub origin: usize,
+}
+
+impl Fragment {
+    /// Number of data points covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the fragment covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Applies the global positivity shift to a raw value for log-domain kinds.
+#[inline]
+fn shifted(kind: Kind, y: i64, shift: i64) -> f64 {
+    if kind.log_domain() {
+        (y + shift) as f64
+    } else {
+        y as f64
+    }
+}
+
+/// The model's integer prediction for index `k` (0-based), i.e.
+/// `⌊f(u)⌋ − shift` for log-domain kinds and `⌊f(u)⌋` otherwise.
+///
+/// This function is shared between compression (residual computation) and
+/// decompression (value reconstruction), which is what makes the scheme
+/// lossless regardless of floating-point rounding.
+#[inline]
+pub fn model_value(frag: &Fragment, k: usize, shift: i64) -> i64 {
+    let u = (k - frag.origin + 1) as f64;
+    let f = frag.kind.eval(frag.params, u);
+    let clamped = floor_to_i64(f);
+    if frag.kind.log_domain() {
+        clamped.wrapping_sub(shift)
+    } else {
+        clamped
+    }
+}
+
+/// Floors a model output to i64 — the one canonical float→integer step
+/// shared by encoding and every decode path. Rust's saturating `as` cast
+/// makes this total (NaN → 0, ±∞ → MIN/MAX) and branchless, which lets the
+/// decompression loop vectorise.
+#[inline]
+pub fn floor_to_i64(f: f64) -> i64 {
+    f.floor() as i64
+}
+
+/// Maximum absolute residual of `frag` over `values` (its true L∞ error).
+pub fn max_abs_residual(values: &[i64], frag: &Fragment, shift: i64) -> u64 {
+    (frag.start..frag.end)
+        .map(|k| values[k].abs_diff(model_value(frag, k, shift)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Finds the longest fragment `values[start..j]` that admits an
+/// ε-approximation by a function of `kind`, and returns it with fitted
+/// parameters (the paper's `MakeApproximation(T, k, f, ε)`).
+///
+/// `shift` is the global positivity shift used by log-domain kinds.
+/// Returns `None` only if the kind's transform is undefined at the very
+/// first point (impossible when `shift` is chosen as in
+/// [`crate::positivity_shift`]).
+pub fn longest_fragment(
+    values: &[i64],
+    start: usize,
+    kind: Kind,
+    eps: u64,
+    shift: i64,
+) -> Option<Fragment> {
+    debug_assert!(start < values.len());
+    let epsf = eps as f64;
+    let mut line = StabbingLine::new();
+    let mut end = start;
+
+    if kind.anchored() {
+        let y0 = shifted(kind, values[start], shift);
+        if kind.log_domain() && y0 <= 0.0 {
+            return None;
+        }
+        end = start + 1; // the anchor itself is always represented exactly
+        while end < values.len() {
+            let u = (end - start + 1) as f64;
+            let y = shifted(kind, values[end], shift);
+            let Some((t, lo, hi)) = kind.transform_anchored(u, y, y0, epsf) else { break };
+            if !line.try_add(t, lo, hi) {
+                break;
+            }
+            end += 1;
+        }
+        let (m, b) = match line.solution() {
+            Some(l) => (l.slope, l.intercept),
+            None => (0.0, 0.0), // single-point fragment: constant anchor
+        };
+        let params = kind.finish_params(m, b, y0);
+        return Some(Fragment { kind, params, start, end, origin: start });
+    }
+
+    while end < values.len() {
+        let u = (end - start + 1) as f64;
+        let y = shifted(kind, values[end], shift);
+        let Some((t, lo, hi)) = kind.transform(u, y, epsf) else { break };
+        if !line.try_add(t, lo, hi) {
+            break;
+        }
+        end += 1;
+    }
+    if end == start {
+        return None; // transform undefined at the first point
+    }
+    let l = line.solution().expect("at least one segment accepted");
+    let params = Params { m: l.slope, b: l.intercept, extra: 0.0 };
+    Some(Fragment { kind, params, start, end, origin: start })
+}
+
+/// Greedy piecewise approximation (Corollary 1): repeatedly take the longest
+/// fragment of a single kind. Returns the minimal-count partition for that
+/// kind.
+pub fn greedy_partition(values: &[i64], kind: Kind, eps: u64, shift: i64) -> Vec<Fragment> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < values.len() {
+        let frag = longest_fragment(values, start, kind, eps, shift)
+            .expect("transform undefined: wrong shift for log-domain kind");
+        debug_assert!(frag.end > start);
+        start = frag.end;
+        out.push(frag);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn check_eps_bound(values: &[i64], frag: &Fragment, eps: u64, shift: i64) {
+        // Allow +1 slack for floor-induced rounding at fragment boundaries:
+        // the mathematical bound is ε, floor keeps it within ε (see paper
+        // §II), but f64 evaluation of transcendental kinds can add one ulp.
+        let r = max_abs_residual(values, frag, shift);
+        assert!(r <= eps + 1, "residual {r} exceeds eps {eps} for {:?}", frag.kind);
+    }
+
+    #[test]
+    fn linear_fragment_exact_line() {
+        let values: Vec<i64> = (0..100).map(|k| 3 * k + 7).collect();
+        let frag = longest_fragment(&values, 0, Kind::Linear, 0, 0).unwrap();
+        assert_eq!(frag.end, 100, "an exact line must be covered entirely");
+        assert_eq!(max_abs_residual(&values, &frag, 0), 0);
+    }
+
+    #[test]
+    fn linear_fragment_breaks_at_discontinuity() {
+        let mut values: Vec<i64> = (0..50).map(|k| 2 * k).collect();
+        values.extend((0..50).map(|k| 1000 - 10 * k));
+        let frag = longest_fragment(&values, 0, Kind::Linear, 1, 0).unwrap();
+        assert!(frag.end <= 51, "fragment crossed the discontinuity: end={}", frag.end);
+        check_eps_bound(&values, &frag, 1, 0);
+    }
+
+    #[test]
+    fn longest_fragment_is_maximal_vs_bruteforce() {
+        // Brute force: a fragment [s, e) is feasible iff some line stabs all
+        // transformed segments; compare fragment end against extending by one
+        // and checking residual feasibility via dense parameter search.
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<i64> =
+            (0..200).map(|k| (10.0 * ((k as f64) / 7.0).sin()) as i64 + rng.random_range(-2..3)).collect();
+        for eps in [0u64, 1, 3, 8] {
+            let mut start = 0;
+            while start < values.len() {
+                let frag = longest_fragment(&values, start, Kind::Linear, eps, 0).unwrap();
+                check_eps_bound(&values, &frag, eps, 0);
+                // Maximality: brute-force check that extending is infeasible.
+                if frag.end < values.len() {
+                    let ext = &values[start..=frag.end];
+                    assert!(
+                        !linear_feasible_brute(ext, eps),
+                        "fragment [{start}, {}) not maximal for eps={eps}",
+                        frag.end
+                    );
+                }
+                start = frag.end;
+            }
+        }
+    }
+
+    /// LP-free brute feasibility for |m·u + b − y| ≤ eps over u = 1..n.
+    fn linear_feasible_brute(values: &[i64], eps: u64) -> bool {
+        let n = values.len();
+        let e = eps as f64;
+        // candidate slopes from all endpoint pairs
+        let mut slopes = vec![0.0];
+        for i in 0..n {
+            for j in i + 1..n {
+                let dt = (j - i) as f64;
+                for (si, sj) in [(e, -e), (-e, e), (e, e), (-e, -e)] {
+                    slopes.push(((values[j] as f64 + sj) - (values[i] as f64 + si)) / dt);
+                }
+            }
+        }
+        slopes.iter().any(|&m| {
+            let mut blo = f64::NEG_INFINITY;
+            let mut bhi = f64::INFINITY;
+            for (k, &y) in values.iter().enumerate() {
+                let u = (k + 1) as f64;
+                blo = blo.max(y as f64 - e - m * u);
+                bhi = bhi.min(y as f64 + e - m * u);
+            }
+            blo <= bhi + 1e-9
+        })
+    }
+
+    #[test]
+    fn exponential_fits_exponential_data() {
+        // y = 5 e^{0.05 u}
+        let values: Vec<i64> = (1..=150).map(|u| (5.0 * (0.05 * u as f64).exp()).round() as i64).collect();
+        let frag = longest_fragment(&values, 0, Kind::Exponential, 2, 0).unwrap();
+        assert!(frag.len() >= 100, "exponential fit too short: {}", frag.len());
+        check_eps_bound(&values, &frag, 2, 0);
+        // Linear cannot follow an exponential that long with the same eps.
+        let lin = longest_fragment(&values, 0, Kind::Linear, 2, 0).unwrap();
+        assert!(lin.len() < frag.len(), "linear {} >= exponential {}", lin.len(), frag.len());
+    }
+
+    #[test]
+    fn quadratic_fits_parabola_exactly() {
+        // y = 2u² − 3u + 11 (anchored family can represent it exactly)
+        let values: Vec<i64> = (1..=100).map(|u| 2 * u * u - 3 * u + 11).collect();
+        let frag = longest_fragment(&values, 0, Kind::Quadratic, 1, 0).unwrap();
+        assert_eq!(frag.end, 100, "parabola should be one fragment");
+        check_eps_bound(&values, &frag, 1, 0);
+    }
+
+    #[test]
+    fn sqrt_fits_radical_data() {
+        let values: Vec<i64> = (1..=200).map(|u| (40.0 * (u as f64).sqrt() + 7.0) as i64).collect();
+        let frag = longest_fragment(&values, 0, Kind::Sqrt, 1, 0).unwrap();
+        assert!(frag.len() >= 150, "sqrt fit too short: {}", frag.len());
+        check_eps_bound(&values, &frag, 1, 0);
+    }
+
+    #[test]
+    fn all_kinds_respect_eps_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let values: Vec<i64> = {
+            let mut v = 500i64;
+            (0..300)
+                .map(|_| {
+                    v += rng.random_range(-5..6);
+                    v = v.max(200); // keep positive for log kinds with shift 0
+                    v
+                })
+                .collect()
+        };
+        for kind in Kind::ALL {
+            for eps in [0u64, 2, 10] {
+                let mut start = 0;
+                while start < values.len() {
+                    let frag = longest_fragment(&values, start, kind, eps, 0)
+                        .unwrap_or_else(|| panic!("{kind:?} failed at {start}"));
+                    assert!(frag.end > start);
+                    check_eps_bound(&values, &frag, eps, 0);
+                    start = frag.end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_domain_needs_shift_for_small_values() {
+        let values = vec![0i64, 1, 2];
+        // Without shift the exponential transform is undefined at y=0, ε=1.
+        assert!(longest_fragment(&values, 0, Kind::Exponential, 1, 0).is_none());
+        // With a shift making y+s−ε ≥ 1 it works.
+        let frag = longest_fragment(&values, 0, Kind::Exponential, 1, 2).unwrap();
+        assert!(!frag.is_empty());
+        check_eps_bound(&values, &frag, 1, 2);
+    }
+
+    #[test]
+    fn greedy_partition_tiles_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<i64> = (0..500).map(|_| rng.random_range(-100..100)).collect();
+        for kind in [Kind::Linear, Kind::Quadratic, Kind::Sqrt] {
+            let frags = greedy_partition(&values, kind, 5, 0);
+            assert_eq!(frags[0].start, 0);
+            assert_eq!(frags.last().unwrap().end, values.len());
+            for w in frags.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap/overlap in partition");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_partition_is_minimal_for_linear() {
+        // Optimality of the greedy longest-fragment strategy (Corollary 1):
+        // compare against brute-force minimal partition count via DP.
+        let mut rng = StdRng::seed_from_u64(21);
+        let values: Vec<i64> = (0..60).map(|k| (k * k / 7) as i64 + rng.random_range(-1..2)).collect();
+        let eps = 1u64;
+        let greedy = greedy_partition(&values, Kind::Linear, eps, 0).len();
+        // DP over all split points with brute feasibility.
+        let n = values.len();
+        let mut best = vec![usize::MAX; n + 1];
+        best[0] = 0;
+        for i in 0..n {
+            if best[i] == usize::MAX {
+                continue;
+            }
+            for j in i + 1..=n {
+                if linear_feasible_brute(&values[i..j], eps) {
+                    best[j] = best[j].min(best[i] + 1);
+                } else {
+                    break;
+                }
+            }
+        }
+        assert_eq!(greedy, best[n], "greedy not minimal");
+    }
+
+    #[test]
+    fn single_point_fragments() {
+        let values = vec![42i64];
+        for kind in Kind::ALL {
+            let frag = longest_fragment(&values, 0, kind, 0, 0).unwrap();
+            assert_eq!(frag.len(), 1);
+            // Log-domain kinds evaluate exp(ln 42), which may land one ulp
+            // below 42 and floor to 41; the corrections absorb this.
+            let slack = if kind.log_domain() { 1 } else { 0 };
+            assert!(
+                (model_value(&frag, 0, 0) - 42).unsigned_abs() <= slack,
+                "{kind:?}: model {}",
+                model_value(&frag, 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_len_and_empty() {
+        let f = Fragment { kind: Kind::Linear, params: Params::constant(0.0), start: 3, end: 7, origin: 3 };
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+    }
+}

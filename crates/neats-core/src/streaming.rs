@@ -1,0 +1,229 @@
+//! Streaming ingestion: compress an unbounded value stream with bounded
+//! memory by building NeaTS chunks incrementally.
+//!
+//! Algorithm 1 is an offline optimisation over the whole series (its DP
+//! state is O(n)). For the ingestion scenario the paper discusses in
+//! §IV-C1 — "using a lightweight compressor when the time series is first
+//! ingested, and running NeaTS later on (or in the background)" — this
+//! module offers the direct alternative: a [`NeaTSWriter`] that buffers a
+//! fixed-size chunk, compresses it with the full pipeline, and appends it
+//! to a [`ChunkedNeaTS`] whose query operations delegate to the right chunk
+//! in O(1). Compression memory is O(chunk), and each chunk is
+//! size-optimal for its own data; the price versus offline NeaTS is only
+//! the fragments cut at chunk boundaries.
+
+use crate::layout::NeaTSCompressed;
+use crate::NeaTSBuilder;
+use timeseries::{CompressedSeries, TimeSeries};
+
+/// Default chunk length (points) for streaming ingestion.
+pub const DEFAULT_CHUNK: usize = 1 << 16;
+
+/// An incremental NeaTS compressor with bounded memory.
+///
+/// ```
+/// use neats_core::{NeaTS, NeaTSWriter};
+/// use timeseries::CompressedSeries;
+///
+/// let mut writer = NeaTSWriter::new(NeaTS::builder(), 256);
+/// writer.extend((0..1000).map(|k| k * 3));
+/// let store = writer.finish();
+/// assert_eq!(store.chunk_count(), 4);
+/// assert_eq!(store.get(999), 2997);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NeaTSWriter {
+    builder: NeaTSBuilder,
+    chunk_size: usize,
+    buffer: Vec<i64>,
+    chunks: Vec<NeaTSCompressed>,
+}
+
+impl NeaTSWriter {
+    /// Creates a writer compressing `chunk_size`-point chunks with
+    /// `builder`'s configuration.
+    pub fn new(builder: NeaTSBuilder, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0);
+        Self { builder, chunk_size, buffer: Vec::with_capacity(chunk_size), chunks: Vec::new() }
+    }
+
+    /// Creates a writer with the default configuration and chunk size.
+    pub fn with_defaults() -> Self {
+        Self::new(crate::NeaTS::builder(), DEFAULT_CHUNK)
+    }
+
+    /// Number of values ingested so far.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum::<usize>() + self.buffer.len()
+    }
+
+    /// Whether nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ingests one value, compressing a chunk when the buffer fills.
+    pub fn push(&mut self, value: i64) {
+        self.buffer.push(value);
+        if self.buffer.len() == self.chunk_size {
+            self.flush_chunk();
+        }
+    }
+
+    /// Ingests many values.
+    pub fn extend<I: IntoIterator<Item = i64>>(&mut self, values: I) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        let ts = TimeSeries::from_values(std::mem::take(&mut self.buffer));
+        self.chunks.push(self.builder.build(&ts));
+        self.buffer = Vec::with_capacity(self.chunk_size);
+    }
+
+    /// Compresses any buffered tail and returns the queryable result.
+    pub fn finish(mut self) -> ChunkedNeaTS {
+        if !self.buffer.is_empty() {
+            self.flush_chunk();
+        }
+        let n = self.chunks.iter().map(|c| c.len()).sum();
+        ChunkedNeaTS { chunks: self.chunks, chunk_size: self.chunk_size, n }
+    }
+}
+
+/// A sequence of independently-compressed NeaTS chunks behaving as one
+/// compressed series.
+#[derive(Clone, Debug)]
+pub struct ChunkedNeaTS {
+    chunks: Vec<NeaTSCompressed>,
+    chunk_size: usize,
+    n: usize,
+}
+
+impl ChunkedNeaTS {
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Access to an individual chunk (e.g. for re-compaction policies).
+    pub fn chunk(&self, i: usize) -> &NeaTSCompressed {
+        &self.chunks[i]
+    }
+}
+
+impl CompressedSeries for ChunkedNeaTS {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn size_in_bytes(&self) -> usize {
+        16 + self.chunks.iter().map(|c| c.size_in_bytes() + 8).sum::<usize>()
+    }
+
+    fn get(&self, k: usize) -> i64 {
+        debug_assert!(k < self.n);
+        self.chunks[k / self.chunk_size].get(k % self.chunk_size)
+    }
+
+    fn decompress(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.n);
+        for c in &self.chunks {
+            out.extend(c.decompress());
+        }
+        out
+    }
+
+    fn scan_range(&self, start: usize, count: usize, out: &mut Vec<i64>) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut k = start;
+        while k < end {
+            let ci = k / self.chunk_size;
+            let base = ci * self.chunk_size;
+            let to = (base + self.chunks[ci].len()).min(end);
+            self.chunks[ci].scan_range(k - base, to - k, out);
+            k = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NeaTS;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn stream(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = 0i64;
+        (0..n).map(|_| { v += rng.random_range(-10..11); v }).collect()
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundaries() {
+        let values = stream(10_000, 1);
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 1024);
+        w.extend(values.iter().copied());
+        let c = w.finish();
+        assert_eq!(c.chunk_count(), 10); // 9 full + tail
+        assert_eq!(c.len(), values.len());
+        assert_eq!(c.decompress(), values);
+        for k in [0usize, 1023, 1024, 5000, 9999] {
+            assert_eq!(c.get(k), values[k], "get({k})");
+        }
+    }
+
+    #[test]
+    fn scan_spanning_chunks() {
+        let values = stream(5000, 2);
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 512);
+        w.extend(values.iter().copied());
+        let c = w.finish();
+        let mut out = Vec::new();
+        c.scan_range(400, 1500, &mut out);
+        assert_eq!(out, &values[400..1900]);
+    }
+
+    #[test]
+    fn empty_and_partial() {
+        let c = NeaTSWriter::with_defaults().finish();
+        assert!(c.is_empty());
+        assert_eq!(c.decompress(), Vec::<i64>::new());
+
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 1000);
+        w.extend([1, 2, 3]);
+        assert_eq!(w.len(), 3);
+        let c = w.finish();
+        assert_eq!(c.decompress(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn chunked_size_is_close_to_offline() {
+        // Boundary-cut fragments cost a little; it must stay small.
+        let values = stream(32_768, 3);
+        let ts = TimeSeries::from_values(values.clone());
+        let offline = NeaTS::compress(&ts).size_in_bytes();
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 4096);
+        w.extend(values);
+        let chunked = w.finish().size_in_bytes();
+        assert!(
+            (chunked as f64) < 1.25 * offline as f64,
+            "chunked {chunked} vs offline {offline}"
+        );
+    }
+
+    #[test]
+    fn writer_len_tracks_buffer_and_chunks() {
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 10);
+        assert!(w.is_empty());
+        w.extend(0..25);
+        assert_eq!(w.len(), 25);
+        assert_eq!(w.finish().len(), 25);
+    }
+}

@@ -1,0 +1,102 @@
+//! The LeaTS and SNeaTS variants (paper §IV-C1).
+//!
+//! * **LeaTS** restricts Algorithm 1 to linear functions only — ~5× faster
+//!   compression for a slightly worse ratio.
+//! * **SNeaTS** runs a model-selection pass on a prefix sample of the data,
+//!   keeps only the top-k most-used `(f, ε)` pairs, and partitions the full
+//!   series with that reduced set — ~13× faster for a modestly worse ratio.
+
+use crate::fit::Kind;
+use crate::partition::{partition, Pair, PartitionConfig};
+
+/// Model-selection policy for SNeaTS.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelSelection {
+    /// Fraction of the series (prefix) used as the selection sample.
+    pub sample_fraction: f64,
+    /// Number of `(f, ε)` pairs retained.
+    pub top_k: usize,
+}
+
+impl Default for ModelSelection {
+    /// The paper's setting: "picks the top-5 most-used pairs in the first
+    /// 10% of the dataset".
+    fn default() -> Self {
+        Self { sample_fraction: 0.10, top_k: 5 }
+    }
+}
+
+/// Runs the selection pass: partitions a prefix sample with the full pair
+/// set and returns the `top_k` pairs ranked by the number of data points
+/// they cover in the sample's optimal partition.
+pub fn select_pairs(
+    values: &[i64],
+    kinds: &[Kind],
+    epsilons: &[u64],
+    shift: i64,
+    policy: ModelSelection,
+) -> Vec<Pair> {
+    let all = PartitionConfig::lossless(kinds, epsilons, shift);
+    let sample_len = ((values.len() as f64 * policy.sample_fraction) as usize)
+        .clamp(1.min(values.len()), values.len());
+    if sample_len == 0 {
+        return all.pairs;
+    }
+    let part = partition(&values[..sample_len], &all);
+    let mut usage: Vec<(Pair, usize)> = Vec::new();
+    for (frag, &eps) in part.fragments.iter().zip(&part.epsilons) {
+        let pair = Pair { kind: frag.kind, eps };
+        match usage.iter_mut().find(|(p, _)| *p == pair) {
+            Some((_, count)) => *count += frag.len(),
+            None => usage.push((pair, frag.len())),
+        }
+    }
+    usage.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    usage.truncate(policy.top_k.max(1));
+    usage.into_iter().map(|(p, _)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::default_epsilons;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn series(n: usize) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut v = 1000i64;
+        (0..n).map(|_| { v += rng.random_range(-4..5); v }).collect()
+    }
+
+    #[test]
+    fn selects_at_most_top_k_pairs() {
+        let values = series(5000);
+        let eps = default_epsilons(200);
+        let pairs = select_pairs(&values, &Kind::NEATS_DEFAULT, &eps, 0, ModelSelection::default());
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() <= 5, "got {} pairs", pairs.len());
+    }
+
+    #[test]
+    fn selected_pairs_come_from_the_pool() {
+        let values = series(3000);
+        let eps = [0u64, 2, 8, 32];
+        let pairs = select_pairs(
+            &values,
+            &[Kind::Linear, Kind::Quadratic],
+            &eps,
+            0,
+            ModelSelection { sample_fraction: 0.2, top_k: 3 },
+        );
+        for p in &pairs {
+            assert!([Kind::Linear, Kind::Quadratic].contains(&p.kind));
+            assert!(eps.contains(&p.eps));
+        }
+    }
+
+    #[test]
+    fn tiny_series_does_not_panic() {
+        let pairs = select_pairs(&[5], &[Kind::Linear], &[0, 2], 0, ModelSelection::default());
+        assert!(!pairs.is_empty());
+    }
+}

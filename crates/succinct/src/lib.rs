@@ -1,0 +1,30 @@
+//! # succinct — compact data structures for the NeaTS layout
+//!
+//! This crate provides the succinct-data-structure substrate that the paper
+//! takes from the `sdsl` and `sux` C++ libraries (§IV-A), re-implemented from
+//! scratch in safe Rust:
+//!
+//! * [`bits::BitBuf`] — append-only, randomly-readable bit buffer (the
+//!   corrections stream `C`).
+//! * [`bitvec::BitVector`] — plain bitvector with constant-time `rank` and
+//!   sampled `select` (rank9-style directory).
+//! * [`elias_fano::EliasFano`] — monotone sequences with O(1) `get` and fast
+//!   `rank_leq` (the arrays `S` and `O`).
+//! * [`packed::PackedVec`] / [`packed::PackedIVec`] — fixed-width packed
+//!   integer vectors (the array `B`, parameter arrays).
+//! * [`wavelet::WaveletMatrix`] — `access`/`rank_c` over small alphabets
+//!   (the function-kind string `K`).
+
+pub mod bits;
+pub mod bitvec;
+pub mod elias_fano;
+pub mod packed;
+pub mod wavelet;
+pub mod wire;
+
+pub use bits::{bits_for, bits_for_residual_bound, BitBuf};
+pub use bitvec::BitVector;
+pub use elias_fano::EliasFano;
+pub use packed::{zigzag_decode, zigzag_encode, PackedIVec, PackedVec};
+pub use wavelet::WaveletMatrix;
+pub use wire::{Wire, WireError, WireReader, WireWriter};

@@ -1,0 +1,399 @@
+//! A minimal, dependency-free wire format for persisting the succinct
+//! structures (and the compressed layouts built on them) to disk.
+//!
+//! Encoding conventions: little-endian fixed-width integers, `u64` lengths,
+//! no padding. Deserialisation is *validating*: truncated or corrupt input
+//! yields [`WireError`], never a panic or an out-of-bounds read.
+
+use crate::bits::BitBuf;
+use crate::bitvec::BitVector;
+use crate::elias_fano::EliasFano;
+use crate::packed::PackedVec;
+use crate::wavelet::WaveletMatrix;
+
+/// Error decoding a wire buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the declared payload.
+    Truncated,
+    /// A declared length or invariant is inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A sequential reader over a wire buffer.
+pub struct WireReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos.checked_add(8).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let v = u64::from_le_bytes(self.data[self.pos..end].try_into().expect("8 bytes"));
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Reads a `u64` and checks it fits a `usize`.
+    pub fn read_len(&mut self) -> Result<usize, WireError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| WireError::Corrupt("length exceeds usize"))
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        if self.pos >= self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let v = self.data[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a length-prefixed `Vec<u64>`.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.read_len()?;
+        // Guard against absurd declared lengths before allocating.
+        if n.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(WireError::Truncated);
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed byte vector.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.read_len()?;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let v = self.data[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(v)
+    }
+
+    /// Whether everything was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// Append-only writer matching [`WireReader`].
+#[derive(Default)]
+pub struct WireWriter {
+    out: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    /// Writes an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.out.extend_from_slice(v);
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.out
+    }
+}
+
+/// Types that can be persisted with the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `w`.
+    fn write(&self, w: &mut WireWriter);
+
+    /// Decodes an instance, consuming from `r`.
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: encodes to a fresh byte vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: decodes from a byte slice, requiring full consumption.
+    fn from_wire_bytes(data: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(data);
+        let v = Self::read(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+impl Wire for BitBuf {
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(self.len() as u64);
+        w.u64_slice(self.words());
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        let words = r.u64_vec()?;
+        if len > words.len() * 64 || (len > 0 && words.len() > len.div_ceil(64)) {
+            return Err(WireError::Corrupt("BitBuf length"));
+        }
+        Ok(BitBuf::from_words(words, len))
+    }
+}
+
+impl Wire for BitVector {
+    fn write(&self, w: &mut WireWriter) {
+        // Persist the payload only; directories are rebuilt on load, which
+        // keeps the format stable across directory-layout changes.
+        w.u64(self.len() as u64);
+        w.u64_slice(self.words());
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        let words = r.u64_vec()?;
+        if len > words.len() * 64 {
+            return Err(WireError::Corrupt("BitVector length"));
+        }
+        Ok(BitVector::from_words(words, len))
+    }
+}
+
+impl Wire for EliasFano {
+    fn write(&self, w: &mut WireWriter) {
+        // Re-encoding from values would be wasteful; persist components.
+        let (high, low, low_bits, len, universe) = self.raw_parts();
+        w.u64(len as u64);
+        w.u64(universe);
+        w.u64(low_bits as u64);
+        high.write(w);
+        low.write(w);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        let universe = r.u64()?;
+        let low_bits = r.read_len()?;
+        if low_bits > 64 {
+            return Err(WireError::Corrupt("EliasFano low_bits"));
+        }
+        let high = BitVector::read(r)?;
+        let low = BitBuf::read(r)?;
+        EliasFano::from_raw_parts(high, low, low_bits, len, universe)
+            .ok_or(WireError::Corrupt("EliasFano parts"))
+    }
+}
+
+impl Wire for PackedVec {
+    fn write(&self, w: &mut WireWriter) {
+        w.u64(self.len() as u64);
+        w.u64(self.width() as u64);
+        self.raw_buf().write(w);
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        let width = r.read_len()?;
+        if width > 64 {
+            return Err(WireError::Corrupt("PackedVec width"));
+        }
+        let buf = BitBuf::read(r)?;
+        if buf.len() != len * width {
+            return Err(WireError::Corrupt("PackedVec payload size"));
+        }
+        Ok(PackedVec::from_raw_parts(buf, width, len))
+    }
+}
+
+impl Wire for WaveletMatrix {
+    fn write(&self, w: &mut WireWriter) {
+        let (levels, zeros, len, bits) = self.raw_parts();
+        w.u64(len as u64);
+        w.u64(bits as u64);
+        w.u64_slice(&zeros.iter().map(|&z| z as u64).collect::<Vec<_>>());
+        w.u64(levels.len() as u64);
+        for l in levels {
+            l.write(w);
+        }
+    }
+
+    fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = r.read_len()?;
+        let bits = r.read_len()?;
+        let zeros: Vec<usize> = r.u64_vec()?.into_iter().map(|z| z as usize).collect();
+        let n_levels = r.read_len()?;
+        if n_levels != bits || zeros.len() != bits || bits > 8 {
+            return Err(WireError::Corrupt("WaveletMatrix level count"));
+        }
+        let mut levels = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            let l = BitVector::read(r)?;
+            if l.len() != len {
+                return Err(WireError::Corrupt("WaveletMatrix level length"));
+            }
+            levels.push(l);
+        }
+        WaveletMatrix::from_raw_parts(levels, zeros, len, bits)
+            .ok_or(WireError::Corrupt("WaveletMatrix parts"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn corrupt_check<T: Wire + std::fmt::Debug>(bytes: &[u8]) {
+        // Every truncation must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            assert!(T::from_wire_bytes(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Trailing garbage must be rejected.
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(T::from_wire_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn bitbuf_roundtrip_and_corruption() {
+        let mut b = BitBuf::new();
+        for i in 0..100u64 {
+            b.push_bits(i % 32, 5);
+        }
+        let bytes = b.to_wire_bytes();
+        let back = BitBuf::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(b, back);
+        corrupt_check::<BitBuf>(&bytes);
+    }
+
+    #[test]
+    fn bitvector_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits: Vec<bool> = (0..3000).map(|_| rng.random_bool(0.4)).collect();
+        let bv = BitVector::from_bools(&bits);
+        let back = BitVector::from_wire_bytes(&bv.to_wire_bytes()).unwrap();
+        assert_eq!(back.len(), bv.len());
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(back.get(i), b);
+            assert_eq!(back.rank1(i), bv.rank1(i));
+        }
+        corrupt_check::<BitVector>(&bv.to_wire_bytes());
+    }
+
+    #[test]
+    fn elias_fano_roundtrip() {
+        let values: Vec<u64> = (0..500u64).map(|i| i * 37 + i % 5).collect();
+        let ef = EliasFano::new(&values);
+        let back = EliasFano::from_wire_bytes(&ef.to_wire_bytes()).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(back.get(i), v);
+        }
+        assert_eq!(back.rank_leq(1000), ef.rank_leq(1000));
+        corrupt_check::<EliasFano>(&ef.to_wire_bytes());
+    }
+
+    #[test]
+    fn packed_roundtrip() {
+        let values: Vec<u64> = (0..300).map(|i| i * 7 % 1000).collect();
+        let p = PackedVec::new(&values);
+        let back = PackedVec::from_wire_bytes(&p.to_wire_bytes()).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(back.get(i), v);
+        }
+        corrupt_check::<PackedVec>(&p.to_wire_bytes());
+    }
+
+    #[test]
+    fn wavelet_roundtrip() {
+        let symbols: Vec<u8> = (0..400).map(|i| (i % 7) as u8).collect();
+        let wm = WaveletMatrix::new(&symbols);
+        let back = WaveletMatrix::from_wire_bytes(&wm.to_wire_bytes()).unwrap();
+        for (i, &s) in symbols.iter().enumerate() {
+            assert_eq!(back.access(i), s);
+            assert_eq!(back.rank(s, i), wm.rank(s, i));
+        }
+        corrupt_check::<WaveletMatrix>(&wm.to_wire_bytes());
+    }
+
+    #[test]
+    fn empty_structures_roundtrip() {
+        assert_eq!(BitBuf::from_wire_bytes(&BitBuf::new().to_wire_bytes()).unwrap(), BitBuf::new());
+        let ef = EliasFano::new(&[]);
+        assert_eq!(EliasFano::from_wire_bytes(&ef.to_wire_bytes()).unwrap().len(), 0);
+        let wm = WaveletMatrix::new(&[]);
+        assert_eq!(WaveletMatrix::from_wire_bytes(&wm.to_wire_bytes()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn reader_primitives() {
+        let mut w = WireWriter::new();
+        w.u64(42);
+        w.u8(7);
+        w.i64(-5);
+        w.bytes(b"hello");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.i64().unwrap(), -5);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert!(r.is_exhausted());
+        assert_eq!(r.u64(), Err(WireError::Truncated));
+    }
+}

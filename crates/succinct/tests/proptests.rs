@@ -1,0 +1,106 @@
+//! Property-based tests for the succinct substrate.
+
+use proptest::prelude::*;
+use succinct::{BitBuf, BitVector, EliasFano, PackedIVec, PackedVec, WaveletMatrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitbuf_roundtrip(items in prop::collection::vec((0u64..u64::MAX, 1usize..=64), 0..200)) {
+        let mut buf = BitBuf::new();
+        let mut recorded = Vec::new();
+        let mut pos = 0;
+        for (v, w) in items {
+            let v = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            buf.push_bits(v, w);
+            recorded.push((pos, w, v));
+            pos += w;
+        }
+        prop_assert_eq!(buf.len(), pos);
+        for (p, w, v) in recorded {
+            prop_assert_eq!(buf.get_bits(p, w), v);
+        }
+    }
+
+    #[test]
+    fn bitvec_rank_select_consistent(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+        let bv = BitVector::from_bools(&bits);
+        prop_assert_eq!(bv.count_ones() + bv.count_zeros(), bits.len());
+        // rank at every position matches a running counter
+        let mut ones = 0;
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(bv.rank1(i), ones);
+            if b { ones += 1; }
+        }
+        prop_assert_eq!(bv.rank1(bits.len()), ones);
+        // select1 is the inverse of rank1 on one-positions
+        for k in 0..bv.count_ones() {
+            let p = bv.select1(k).unwrap();
+            prop_assert!(bv.get(p));
+            prop_assert_eq!(bv.rank1(p), k);
+        }
+        for k in 0..bv.count_zeros() {
+            let p = bv.select0(k).unwrap();
+            prop_assert!(!bv.get(p));
+            prop_assert_eq!(bv.rank0(p), k);
+        }
+    }
+
+    #[test]
+    fn elias_fano_access_and_rank(deltas in prop::collection::vec(0u64..1000, 1..300)) {
+        let mut acc = 0u64;
+        let values: Vec<u64> = deltas.iter().map(|&d| { acc += d; acc }).collect();
+        let ef = EliasFano::new(&values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(ef.get(i), v);
+        }
+        // rank_leq at a few probe points
+        let max = *values.last().unwrap();
+        for probe in [0, max / 3, max / 2, max, max + 1] {
+            let expected = values.iter().filter(|&&v| v <= probe).count();
+            prop_assert_eq!(ef.rank_leq(probe), expected);
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip(values in prop::collection::vec(any::<u64>(), 0..300)) {
+        let p = PackedVec::new(&values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(p.get(i), v);
+        }
+    }
+
+    #[test]
+    fn packed_signed_roundtrip(values in prop::collection::vec(any::<i64>(), 0..300)) {
+        let p = PackedIVec::new(&values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(p.get(i), v);
+        }
+    }
+
+    #[test]
+    fn wavelet_access_rank(symbols in prop::collection::vec(0u8..12, 0..400)) {
+        let wm = WaveletMatrix::new(&symbols);
+        for (i, &s) in symbols.iter().enumerate() {
+            prop_assert_eq!(wm.access(i), s);
+        }
+        let mut counts = [0usize; 12];
+        for (i, &s) in symbols.iter().enumerate() {
+            prop_assert_eq!(wm.rank(s, i), counts[s as usize]);
+            counts[s as usize] += 1;
+        }
+        for s in 0..12u8 {
+            prop_assert_eq!(wm.rank(s, symbols.len()), counts[s as usize]);
+        }
+    }
+
+    #[test]
+    fn elias_fano_predecessor(deltas in prop::collection::vec(1u64..100, 1..100), probe in 0u64..12_000) {
+        let mut acc = 0u64;
+        let values: Vec<u64> = deltas.iter().map(|&d| { acc += d; acc }).collect();
+        let ef = EliasFano::new(&values);
+        let expected = values.iter().rposition(|&v| v <= probe);
+        prop_assert_eq!(ef.predecessor_index(probe), expected);
+    }
+}

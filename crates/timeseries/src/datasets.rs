@@ -1,0 +1,445 @@
+//! Synthetic stand-ins for the paper's 16 real-world evaluation datasets.
+//!
+//! The originals (NEON sensor feeds, INFORE stock ticks, a 12-lead ECG
+//! arrhythmia database, Geolife GPS trajectories, Meteoblue Basel weather,
+//! InfluxDB sample data) are multi-gigabyte downloads we cannot ship, so each
+//! generator reproduces the *compression-relevant* character of its dataset —
+//! trend shape, local smoothness, value range, burstiness, and the number of
+//! fractional digits the paper scales by (§IV-A1). All generators are
+//! deterministic given `(n, seed)`.
+
+use crate::gen::{seasonal, Ar1, Signal};
+use crate::types::TimeSeries;
+
+/// The 16 datasets of the paper's evaluation (Table III order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// IR-bio-temp: infrared biological temperature, 2 fractional digits.
+    IrBioTemp,
+    /// Stocks-USA, 2 fractional digits.
+    StocksUsa,
+    /// Electrocardiogram signals, 3 fractional digits.
+    Ecg,
+    /// Wind direction in degrees, 2 fractional digits.
+    WindDirection,
+    /// Barometric air pressure, 5 fractional digits.
+    AirPressure,
+    /// Stocks-UK, 1 fractional digit.
+    StocksUk,
+    /// Stocks-DE (Germany), 3 fractional digits.
+    StocksDe,
+    /// Geolife latitude, 4 fractional digits.
+    GeolifeLat,
+    /// Geolife longitude, 4 fractional digits.
+    GeolifeLon,
+    /// Dew-point temperature, 3 fractional digits.
+    DewpointTemp,
+    /// City temperature (many cities concatenated), 1 fractional digit.
+    CityTemp,
+    /// PM10 dust measurements, 3 fractional digits.
+    Pm10Dust,
+    /// Basel temperature, 9 fractional digits.
+    BaselTemp,
+    /// Basel wind speed, 7 fractional digits.
+    BaselWind,
+    /// Bird-migration positions, 5 fractional digits.
+    BirdMigration,
+    /// Bitcoin price, 4 fractional digits.
+    BitcoinPrice,
+}
+
+impl Dataset {
+    /// All 16 datasets in the paper's Table III order (decreasing size).
+    pub const ALL: [Dataset; 16] = [
+        Dataset::IrBioTemp,
+        Dataset::StocksUsa,
+        Dataset::Ecg,
+        Dataset::WindDirection,
+        Dataset::AirPressure,
+        Dataset::StocksUk,
+        Dataset::StocksDe,
+        Dataset::GeolifeLat,
+        Dataset::GeolifeLon,
+        Dataset::DewpointTemp,
+        Dataset::CityTemp,
+        Dataset::Pm10Dust,
+        Dataset::BaselTemp,
+        Dataset::BaselWind,
+        Dataset::BirdMigration,
+        Dataset::BitcoinPrice,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Dataset::IrBioTemp => "IT",
+            Dataset::StocksUsa => "US",
+            Dataset::Ecg => "ECG",
+            Dataset::WindDirection => "WD",
+            Dataset::AirPressure => "AP",
+            Dataset::StocksUk => "UK",
+            Dataset::StocksDe => "GE",
+            Dataset::GeolifeLat => "LAT",
+            Dataset::GeolifeLon => "LON",
+            Dataset::DewpointTemp => "DP",
+            Dataset::CityTemp => "CT",
+            Dataset::Pm10Dust => "DU",
+            Dataset::BaselTemp => "BT",
+            Dataset::BaselWind => "BW",
+            Dataset::BirdMigration => "BM",
+            Dataset::BitcoinPrice => "BP",
+        }
+    }
+
+    /// Human-readable dataset name.
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Dataset::IrBioTemp => "IR-bio-temp",
+            Dataset::StocksUsa => "Stocks-USA",
+            Dataset::Ecg => "Electrocardiogram",
+            Dataset::WindDirection => "Wind-direction",
+            Dataset::AirPressure => "Air-pressure",
+            Dataset::StocksUk => "Stocks-UK",
+            Dataset::StocksDe => "Stocks-DE",
+            Dataset::GeolifeLat => "Geolife-latitude",
+            Dataset::GeolifeLon => "Geolife-longitude",
+            Dataset::DewpointTemp => "Dewpoint-temp",
+            Dataset::CityTemp => "City-temp",
+            Dataset::Pm10Dust => "PM10-dust",
+            Dataset::BaselTemp => "Basel-temp",
+            Dataset::BaselWind => "Basel-wind",
+            Dataset::BirdMigration => "Bird-migration",
+            Dataset::BitcoinPrice => "Bitcoin-price",
+        }
+    }
+
+    /// Fractional digits the paper multiplies by before integer coding.
+    pub fn fractional_digits(self) -> u8 {
+        match self {
+            Dataset::IrBioTemp => 2,
+            Dataset::StocksUsa => 2,
+            Dataset::Ecg => 3,
+            Dataset::WindDirection => 2,
+            Dataset::AirPressure => 5,
+            Dataset::StocksUk => 1,
+            Dataset::StocksDe => 3,
+            Dataset::GeolifeLat => 4,
+            Dataset::GeolifeLon => 4,
+            Dataset::DewpointTemp => 3,
+            Dataset::CityTemp => 1,
+            Dataset::Pm10Dust => 3,
+            Dataset::BaselTemp => 9,
+            Dataset::BaselWind => 7,
+            Dataset::BirdMigration => 5,
+            Dataset::BitcoinPrice => 4,
+        }
+    }
+
+    /// Generates `n` points with a per-dataset default seed.
+    pub fn generate(self, n: usize) -> TimeSeries {
+        self.generate_seeded(n, 0xC0FFEE ^ self as u64)
+    }
+
+    /// Generates `n` points from an explicit seed.
+    pub fn generate_seeded(self, n: usize, seed: u64) -> TimeSeries {
+        let mut sig = Signal::new(seed);
+        let raw = match self {
+            Dataset::IrBioTemp => ir_bio_temp(n, &mut sig),
+            Dataset::StocksUsa => stocks(n, &mut sig, 150.0, 0.0006, 0.0002),
+            Dataset::Ecg => ecg(n, &mut sig),
+            Dataset::WindDirection => wind_direction(n, &mut sig),
+            Dataset::AirPressure => air_pressure(n, &mut sig),
+            Dataset::StocksUk => stocks(n, &mut sig, 72.0, 0.0008, 0.0003),
+            Dataset::StocksDe => stocks(n, &mut sig, 95.0, 0.0007, 0.00025),
+            Dataset::GeolifeLat => geolife(n, &mut sig, 39.9),
+            Dataset::GeolifeLon => geolife(n, &mut sig, 116.3),
+            Dataset::DewpointTemp => dewpoint(n, &mut sig),
+            Dataset::CityTemp => city_temp(n, &mut sig),
+            Dataset::Pm10Dust => pm10(n, &mut sig),
+            Dataset::BaselTemp => basel_temp(n, &mut sig),
+            Dataset::BaselWind => basel_wind(n, &mut sig),
+            Dataset::BirdMigration => bird_migration(n, &mut sig),
+            Dataset::BitcoinPrice => bitcoin(n, &mut sig),
+        };
+        TimeSeries::from_f64(&raw, self.fractional_digits())
+    }
+}
+
+/// Slow seasonal + diurnal cycle + AR(1) sensor noise, ~[-5, 40] °C.
+fn ir_bio_temp(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut noise = Ar1::new(0.95, 0.08);
+    (0..n)
+        .map(|t| {
+            15.0 + seasonal(t, &[(minutes_per_year(), 12.0, 0.3), (1440.0, 6.0, 1.1)]) + noise.step(sig)
+        })
+        .collect()
+}
+
+const fn minutes_per_year() -> f64 {
+    525_600.0 // minutes per year; slow seasonal trend at 1-minute cadence
+}
+
+/// Geometric random walk with drift, volatility clustering, rare jumps.
+fn stocks(n: usize, sig: &mut Signal, start: f64, vol: f64, drift: f64) -> Vec<f64> {
+    let mut price = start;
+    let mut vol_state = Ar1::new(0.995, 0.05);
+    (0..n)
+        .map(|_| {
+            let local_vol = vol * (1.0 + vol_state.step(sig)).clamp(0.2, 5.0);
+            let jump = if sig.bernoulli(2e-5) { sig.gauss_with(0.0, 0.02) } else { 0.0 };
+            price *= (drift * 1e-3 + local_vol * sig.gauss() + jump).exp();
+            price = price.max(0.01);
+            price
+        })
+        .collect()
+}
+
+/// PQRST-like periodic waveform with RR variability and baseline wander, mV.
+fn ecg(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut baseline = Ar1::new(0.999, 0.002);
+    let mut t_in_beat = 0usize;
+    let mut beat_len = 300usize;
+    while out.len() < n {
+        if t_in_beat >= beat_len {
+            t_in_beat = 0;
+            beat_len = (280.0 + 40.0 * sig.gauss()).clamp(200.0, 400.0) as usize;
+        }
+        let phase = t_in_beat as f64 / beat_len as f64;
+        // Gaussians at P, Q, R, S, T positions of the beat.
+        let pqrst = [
+            (0.15, 0.12, 0.03),  // P
+            (0.28, -0.10, 0.012), // Q
+            (0.31, 1.10, 0.014), // R
+            (0.34, -0.22, 0.012), // S
+            (0.55, 0.25, 0.05),  // T
+        ];
+        let wave: f64 = pqrst
+            .iter()
+            .map(|&(c, a, w)| a * (-((phase - c) * (phase - c)) / (2.0 * w * w)).exp())
+            .sum();
+        out.push(wave + baseline.step(sig) + 0.004 * sig.gauss());
+        t_in_beat += 1;
+    }
+    out
+}
+
+/// Circular random walk on [0, 360) with gusty variance.
+fn wind_direction(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut dir = 180.0f64;
+    let mut gust = Ar1::new(0.98, 0.3);
+    (0..n)
+        .map(|_| {
+            let sigma = 1.5 * (1.0 + gust.step(sig).abs());
+            dir = (dir + sigma * sig.gauss()).rem_euclid(360.0);
+            dir
+        })
+        .collect()
+}
+
+/// Very smooth barometric pressure around 1013 hPa.
+fn air_pressure(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut p = 1013.25;
+    let mut trend = Ar1::new(0.9995, 0.0004);
+    (0..n)
+        .map(|t| {
+            p += trend.step(sig) * 0.01;
+            p + seasonal(t, &[(1440.0, 0.4, 0.0), (720.0, 0.15, 0.8)]) + 0.0005 * sig.gauss()
+        })
+        .collect()
+}
+
+/// GPS trajectories: movement segments with gentle turning (curved roads),
+/// speed drift, and stationary stops, plus receiver jitter.
+fn geolife(n: usize, sig: &mut Signal, origin: f64) -> Vec<f64> {
+    let mut pos = origin;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let seg = sig.uniform_usize(50, 2000).min(n - out.len());
+        let moving = sig.bernoulli(0.6);
+        let mut vel = if moving { sig.gauss_with(0.0, 2e-5) } else { 0.0 };
+        // Roads curve: the velocity itself drifts within a segment.
+        let turn = if moving { sig.gauss_with(0.0, 3e-8) } else { 0.0 };
+        for _ in 0..seg {
+            vel += turn + if moving { 2e-9 * sig.gauss() } else { 0.0 };
+            pos += vel + 2e-6 * sig.gauss(); // GPS jitter
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// Dew-point: seasonal + daily cycle + weather-front AR noise.
+fn dewpoint(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut front = Ar1::new(0.998, 0.03);
+    (0..n)
+        .map(|t| {
+            8.0 + seasonal(t, &[(minutes_per_year() / 12.0, 7.0, 0.0), (1440.0, 2.5, 0.4)])
+                + front.step(sig)
+                + 0.02 * sig.gauss()
+        })
+        .collect()
+}
+
+/// Daily temperatures of ~50 cities concatenated (discontinuous joins).
+fn city_temp(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let cities = 50usize;
+    let per_city = (n / cities).max(1);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let mean = sig.uniform_in(-5.0, 30.0);
+        let amp = sig.uniform_in(5.0, 18.0);
+        let phase = sig.uniform_in(0.0, std::f64::consts::TAU);
+        let mut noise = Ar1::new(0.8, 1.4);
+        let m = per_city.min(n - out.len());
+        for t in 0..m {
+            out.push(mean + amp * (std::f64::consts::TAU * t as f64 / 365.0 + phase).sin() + noise.step(sig));
+        }
+    }
+    out
+}
+
+/// PM10: heavy-tailed bursts on a smooth log-scale background.
+fn pm10(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut log_level = Ar1::new(0.995, 0.04);
+    (0..n)
+        .map(|_| {
+            let base = (2.8 + log_level.step(sig)).exp();
+            let spike = if sig.bernoulli(0.002) { sig.log_normal(3.0, 0.8) } else { 0.0 };
+            (base + spike).min(5000.0)
+        })
+        .collect()
+}
+
+/// Basel temperature: seasonal signal with 9 digits of instrument noise.
+fn basel_temp(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut w = Ar1::new(0.99, 0.2);
+    (0..n)
+        .map(|t| {
+            10.0 + seasonal(t, &[(8760.0, 9.0, 0.0), (24.0, 4.0, 0.7)])
+                + w.step(sig)
+                + 1e-7 * sig.gauss() // sub-precision noise makes low bits incompressible
+        })
+        .collect()
+}
+
+/// Basel wind speed: non-negative, gusty, 7 digits of precision.
+fn basel_wind(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut g = Ar1::new(0.97, 0.6);
+    (0..n)
+        .map(|t| {
+            let base = 3.5 + seasonal(t, &[(8760.0, 1.0, 0.2), (24.0, 0.8, 1.3)]) + g.step(sig);
+            base.max(0.0) + 1e-5 * sig.gauss().abs()
+        })
+        .collect()
+}
+
+/// Bird migration: long smooth great-circle-like arcs with rest periods.
+fn bird_migration(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut lat = 45.0;
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let seg = sig.uniform_usize(20, 300).min(n - out.len());
+        let migrating = sig.bernoulli(0.4);
+        let v = if migrating { sig.gauss_with(-0.01, 0.02) } else { 0.0 };
+        let curve = sig.gauss_with(0.0, 1e-4);
+        for s in 0..seg {
+            lat += v + curve * s as f64 + 5e-4 * sig.gauss();
+            out.push(lat.clamp(-60.0, 75.0));
+        }
+    }
+    out
+}
+
+/// Bitcoin: high-volatility geometric walk with regime shifts.
+fn bitcoin(n: usize, sig: &mut Signal) -> Vec<f64> {
+    let mut price = 30_000.0f64;
+    let mut regime = Ar1::new(0.999, 0.1);
+    (0..n)
+        .map(|_| {
+            let vol = 0.004 * (1.0 + regime.step(sig).abs());
+            price *= (vol * sig.gauss()).exp();
+            price = price.clamp(100.0, 500_000.0);
+            price
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_generate_requested_length() {
+        for ds in Dataset::ALL {
+            let ts = ds.generate(1000);
+            assert_eq!(ts.len(), 1000, "{}", ds.abbrev());
+            assert_eq!(ts.fractional_digits(), ds.fractional_digits());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for ds in Dataset::ALL {
+            let a = ds.generate(500);
+            let b = ds.generate(500);
+            assert_eq!(a, b, "{}", ds.abbrev());
+        }
+    }
+
+    #[test]
+    fn seeds_change_output() {
+        let a = Dataset::StocksUsa.generate_seeded(500, 1);
+        let b = Dataset::StocksUsa.generate_seeded(500, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for ds in Dataset::ALL {
+            assert!(seen.insert(ds.abbrev()));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn value_ranges_are_sane() {
+        // Wind direction stays in [0, 360) degrees (scaled by 100).
+        let wd = Dataset::WindDirection.generate(5000);
+        let (lo, hi) = wd.min_max().unwrap();
+        assert!(lo >= 0 && hi < 36_000, "wind range [{lo}, {hi}]");
+
+        // PM10 is non-negative.
+        let du = Dataset::Pm10Dust.generate(5000);
+        assert!(du.min_max().unwrap().0 >= 0);
+
+        // Stock prices stay positive.
+        for ds in [Dataset::StocksUsa, Dataset::StocksUk, Dataset::StocksDe, Dataset::BitcoinPrice] {
+            assert!(ds.generate(5000).min_max().unwrap().0 > 0, "{}", ds.abbrev());
+        }
+    }
+
+    #[test]
+    fn smooth_datasets_have_small_consecutive_deltas() {
+        // Air pressure must be far smoother than Bitcoin relative to its range.
+        fn mean_abs_delta_over_range(ts: &TimeSeries) -> f64 {
+            let v = ts.values();
+            let d: f64 = v.windows(2).map(|w| (w[1] - w[0]).abs() as f64).sum::<f64>()
+                / (v.len() - 1) as f64;
+            d / ts.delta() as f64
+        }
+        let ap = mean_abs_delta_over_range(&Dataset::AirPressure.generate(20_000));
+        let bp = mean_abs_delta_over_range(&Dataset::BitcoinPrice.generate(20_000));
+        assert!(ap < bp, "air pressure {ap} vs bitcoin {bp}");
+    }
+
+    #[test]
+    fn ecg_is_periodic_with_tall_r_peaks() {
+        let ecg = Dataset::Ecg.generate(10_000);
+        let (lo, hi) = ecg.min_max().unwrap();
+        // R peak ~1.1 mV, S dip ~-0.25 mV (scaled by 1000)
+        assert!(hi > 800, "R peak too small: {hi}");
+        assert!(lo < -100, "S dip missing: {lo}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Random-signal building blocks used by the dataset generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distribution helpers the generators need.
+pub struct Signal {
+    rng: StdRng,
+    gauss_spare: Option<f64>,
+}
+
+impl Signal {
+    /// Creates a deterministic source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), gauss_spare: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.random_range(lo..hi)
+    }
+
+    /// Standard normal via Box–Muller (rand_distr is not on the allowlist).
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(v) = self.gauss_spare.take() {
+            return v;
+        }
+        let (u1, u2) = (self.uniform().max(1e-12), self.uniform());
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (s, c) = (std::f64::consts::TAU * u2).sin_cos();
+        self.gauss_spare = Some(r * s);
+        r * c
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn gauss_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.gauss()
+    }
+
+    /// Log-normal with the given location and scale of the underlying normal.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gauss()).exp()
+    }
+
+    /// True with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+}
+
+/// First-order autoregressive process: `x_{t+1} = φ·x_t + σ·ε`, started at 0.
+pub struct Ar1 {
+    phi: f64,
+    sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Creates the process with persistence `phi` and innovation scale `sigma`.
+    pub fn new(phi: f64, sigma: f64) -> Self {
+        Self { phi, sigma, state: 0.0 }
+    }
+
+    /// Advances one step and returns the new state.
+    pub fn step(&mut self, sig: &mut Signal) -> f64 {
+        self.state = self.phi * self.state + self.sigma * sig.gauss();
+        self.state
+    }
+}
+
+/// A seasonal component: sum of sinusoids with the given periods, amplitudes
+/// and phases, evaluated at integer time `t`.
+pub fn seasonal(t: usize, components: &[(f64, f64, f64)]) -> f64 {
+    components
+        .iter()
+        .map(|&(period, amplitude, phase)| {
+            amplitude * (std::f64::consts::TAU * t as f64 / period + phase).sin()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Signal::new(7);
+        let mut b = Signal::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+            assert_eq!(a.gauss().to_bits(), b.gauss().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Signal::new(1);
+        let mut b = Signal::new(2);
+        let same = (0..20).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn gauss_moments_roughly_standard() {
+        let mut s = Signal::new(42);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.gauss()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn ar1_is_stationary_for_phi_below_one() {
+        let mut s = Signal::new(9);
+        let mut ar = Ar1::new(0.9, 1.0);
+        let xs: Vec<f64> = (0..20_000).map(|_| ar.step(&mut s)).collect();
+        let max = xs.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        // stationary std ≈ 1/sqrt(1-0.81) ≈ 2.29; excursions beyond ~6σ are absurd
+        assert!(max < 15.0, "max {max}");
+    }
+
+    #[test]
+    fn seasonal_period() {
+        let comps = [(100.0, 2.0, 0.0)];
+        let a = seasonal(10, &comps);
+        let b = seasonal(110, &comps);
+        assert!((a - b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Loading real-world series from text files (one decimal value per line).
+//!
+//! The paper's datasets ship as textual fixed-precision values; this loader
+//! applies the same `× 10^digits` integer transform so real data can be
+//! dropped in next to the synthetic generators.
+
+use crate::types::TimeSeries;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Errors from [`load_fixed_precision`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line that could not be parsed as a decimal number.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?} as a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Loads a one-value-per-line text file, scaling by `10^fractional_digits`.
+/// Empty lines are skipped.
+pub fn load_fixed_precision(path: &Path, fractional_digits: u8) -> Result<TimeSeries, LoadError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    parse_lines(reader, fractional_digits)
+}
+
+/// Parses decimal values from any reader (one per line).
+pub fn parse_lines<R: BufRead>(reader: R, fractional_digits: u8) -> Result<TimeSeries, LoadError> {
+    let scale = 10f64.powi(fractional_digits as i32);
+    let mut values = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let v: f64 = trimmed
+            .parse()
+            .map_err(|_| LoadError::Parse { line: i + 1, content: trimmed.to_string() })?;
+        values.push((v * scale).round() as i64);
+    }
+    Ok(TimeSeries::from_scaled(values, fractional_digits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_with_scaling() {
+        let input = "1.25\n-3.5\n\n  42 \n";
+        let ts = parse_lines(std::io::Cursor::new(input), 2).unwrap();
+        assert_eq!(ts.values(), &[125, -350, 4200]);
+    }
+
+    #[test]
+    fn reports_bad_lines() {
+        let input = "1.0\nnot-a-number\n";
+        let err = parse_lines(std::io::Cursor::new(input), 0).unwrap_err();
+        match err {
+            LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn load_from_file() {
+        let dir = std::env::temp_dir().join("neats_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.txt");
+        std::fs::write(&path, "10.5\n11.5\n").unwrap();
+        let ts = load_fixed_precision(&path, 1).unwrap();
+        assert_eq!(ts.values(), &[105, 115]);
+    }
+}

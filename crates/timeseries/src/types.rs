@@ -1,0 +1,219 @@
+//! Core time-series types and the compressor interfaces shared by every
+//! crate in the workspace.
+
+/// A time series of integer values with implicit timestamps `1..=n`
+/// (paper §III-C: "we focus on the storage of the values y₁, …, yₙ and assume
+/// the timestamps are 1, …, n").
+///
+/// Real-world decimal values are stored as integers scaled by
+/// `10^fractional_digits`, following the paper's Definition 1 discussion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimeSeries {
+    values: Vec<i64>,
+    fractional_digits: u8,
+}
+
+impl TimeSeries {
+    /// Wraps raw integer values (no decimal scaling).
+    pub fn from_values(values: Vec<i64>) -> Self {
+        Self { values, fractional_digits: 0 }
+    }
+
+    /// Wraps integer values that represent decimals scaled by
+    /// `10^fractional_digits`.
+    pub fn from_scaled(values: Vec<i64>, fractional_digits: u8) -> Self {
+        Self { values, fractional_digits }
+    }
+
+    /// Converts floating-point values with a fixed number of fractional
+    /// digits into the scaled-integer representation.
+    pub fn from_f64(values: &[f64], fractional_digits: u8) -> Self {
+        let scale = 10f64.powi(fractional_digits as i32);
+        let values = values.iter().map(|&v| (v * scale).round() as i64).collect();
+        Self { values, fractional_digits }
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The integer values.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The declared number of fractional digits of the original data.
+    pub fn fractional_digits(&self) -> u8 {
+        self.fractional_digits
+    }
+
+    /// The original floating-point values (`value / 10^digits`).
+    pub fn to_f64(&self) -> Vec<f64> {
+        let scale = 10f64.powi(self.fractional_digits as i32);
+        self.values.iter().map(|&v| v as f64 / scale).collect()
+    }
+
+    /// Uncompressed size in bytes (64-bit integers, as in the paper's
+    /// compression-ratio denominator).
+    pub fn uncompressed_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+
+    /// Minimum and maximum value; `None` on an empty series.
+    pub fn min_max(&self) -> Option<(i64, i64)> {
+        let mut it = self.values.iter();
+        let first = *it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for &v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// The paper's Δ: one plus the difference between the maximum and
+    /// minimum value (§III-B complexity analysis). Zero for an empty series.
+    pub fn delta(&self) -> u64 {
+        self.min_max().map_or(0, |(lo, hi)| hi.abs_diff(lo) + 1)
+    }
+}
+
+/// A compressed, randomly-accessible representation of a time series.
+pub trait CompressedSeries {
+    /// Number of data points in the original series.
+    fn len(&self) -> usize;
+
+    /// Whether the original series was empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total compressed size in bytes, including all access structures.
+    fn size_in_bytes(&self) -> usize;
+
+    /// Decompresses the whole series.
+    fn decompress(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.scan_range(0, self.len(), &mut out);
+        out
+    }
+
+    /// Random access to the `i`-th value (0-based).
+    fn get(&self, i: usize) -> i64;
+
+    /// Appends the values in `[start, start + count)` to `out`
+    /// (a range query: one random access plus a scan, paper §IV-C4).
+    fn scan_range(&self, start: usize, count: usize, out: &mut Vec<i64>) {
+        for i in start..start + count {
+            out.push(self.get(i));
+        }
+    }
+}
+
+/// A lossless compressor that can be benchmarked uniformly.
+pub trait Compressor {
+    /// The compressed representation type.
+    type Output: CompressedSeries;
+
+    /// Display name used in tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// Compresses a time series.
+    fn compress(&self, ts: &TimeSeries) -> Self::Output;
+}
+
+/// An object-safe view of a [`Compressor`], letting benchmarks hold a
+/// heterogeneous collection of compressors uniformly.
+pub trait AnyCompressor {
+    /// Display name used in tables and figures.
+    fn name(&self) -> &'static str;
+
+    /// Compresses into a boxed, dynamically-typed compressed series.
+    fn compress_boxed(&self, ts: &TimeSeries) -> Box<dyn CompressedSeries>;
+}
+
+impl<T> AnyCompressor for T
+where
+    T: Compressor,
+    T::Output: 'static,
+{
+    fn name(&self) -> &'static str {
+        Compressor::name(self)
+    }
+
+    fn compress_boxed(&self, ts: &TimeSeries) -> Box<dyn CompressedSeries> {
+        Box::new(self.compress(ts))
+    }
+}
+
+/// Compression ratio as a percentage of the raw 64-bit representation
+/// (paper §IV-B: "the size of the compressed output divided by the size of
+/// the original data").
+pub fn compression_ratio_pct(compressed_bytes: usize, original: &TimeSeries) -> f64 {
+    100.0 * compressed_bytes as f64 / original.uncompressed_bytes() as f64
+}
+
+/// Mean Absolute Percentage Error between `original` and a reconstruction,
+/// in percent (paper §IV-B).
+///
+/// Points whose original magnitude is below one *original unit*
+/// (`10^fractional_digits` in the scaled-integer domain) are skipped:
+/// relative error is ill-defined near zero and a handful of zero-crossing
+/// points would otherwise dominate the mean.
+pub fn mape_pct(original: &TimeSeries, reconstruction: &[i64]) -> f64 {
+    assert_eq!(original.len(), reconstruction.len());
+    let floor = 10i64.pow(original.fractional_digits() as u32);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (&v, &r) in original.values().iter().zip(reconstruction) {
+        if v.abs() >= floor {
+            sum += (v - r).abs() as f64 / v.abs() as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        100.0 * sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_f64_scales() {
+        let ts = TimeSeries::from_f64(&[1.25, -3.5, 0.0], 2);
+        assert_eq!(ts.values(), &[125, -350, 0]);
+        assert_eq!(ts.fractional_digits(), 2);
+        assert_eq!(ts.to_f64(), vec![1.25, -3.5, 0.0]);
+    }
+
+    #[test]
+    fn min_max_and_delta() {
+        let ts = TimeSeries::from_values(vec![3, -2, 10, 7]);
+        assert_eq!(ts.min_max(), Some((-2, 10)));
+        assert_eq!(ts.delta(), 13);
+        assert_eq!(TimeSeries::from_values(vec![]).delta(), 0);
+        assert_eq!(TimeSeries::from_values(vec![5]).delta(), 1);
+    }
+
+    #[test]
+    fn uncompressed_bytes_is_8n() {
+        let ts = TimeSeries::from_values(vec![0; 100]);
+        assert_eq!(ts.uncompressed_bytes(), 800);
+    }
+
+    #[test]
+    fn ratio_pct() {
+        let ts = TimeSeries::from_values(vec![0; 100]);
+        assert!((compression_ratio_pct(80, &ts) - 10.0).abs() < 1e-12);
+    }
+}

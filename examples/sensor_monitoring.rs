@@ -1,0 +1,55 @@
+//! Sensor monitoring on a constrained device: lossy NeaTS-L with an error
+//! guarantee, compared against keeping the data lossless.
+//!
+//! The paper's intro motivates exactly this scenario: IoT/edge deployments
+//! that "sacrifice precious historical data to make room for new data".
+//! With NeaTS-L an operator keeps months of sensor history at a guaranteed
+//! maximum error instead of deleting it.
+//!
+//! Run with: `cargo run --release --example sensor_monitoring`
+
+use neats::core::{NeaTS, NeaTSLossy};
+use neats::timeseries::{CompressedSeries, Dataset};
+
+fn main() {
+    // A day-scale infrared biological temperature feed (2 decimal digits).
+    let ts = Dataset::IrBioTemp.generate(100_000);
+    let range = ts.delta();
+    println!("sensor feed: {} readings, value range Δ = {range}", ts.len());
+
+    // Lossless baseline for reference.
+    let lossless = NeaTS::compress(&ts);
+    println!(
+        "\nlossless NeaTS:  {:8} bytes ({:.2}%)",
+        lossless.size_in_bytes(),
+        100.0 * lossless.size_in_bytes() as f64 / ts.uncompressed_bytes() as f64
+    );
+
+    // Lossy tiers: tighten or loosen the guarantee, watch the space move.
+    println!("\nlossy NeaTS-L tiers (ε as % of range):");
+    println!("{:>12} {:>12} {:>10} {:>12} {:>10}", "ε", "ε (% range)", "bytes", "ratio (%)", "MAPE (%)");
+    for pct in [0.01f64, 0.1, 1.0] {
+        let eps = ((range as f64) * pct / 100.0).round().max(1.0) as u64;
+        let lossy = NeaTS::builder().build_lossy(&ts, eps);
+        let measured = lossy.max_error(&ts);
+        assert!(measured <= eps + 1, "guarantee violated: {measured} > {eps}");
+        println!(
+            "{:>12} {:>12.3} {:>10} {:>12.3} {:>10.3}",
+            eps,
+            pct,
+            lossy.size_in_bytes(),
+            100.0 * lossy.size_in_bytes() as f64 / ts.uncompressed_bytes() as f64,
+            lossy.mape(&ts),
+        );
+    }
+
+    // Alerting demo: reconstruct a suspicious window from the 0.1% tier and
+    // check a threshold, using random access only (no full decompression).
+    let eps = ((range as f64) * 0.001).round().max(1.0) as u64;
+    let lossy = NeaTSLossy::compress(&ts, &neats::core::Kind::NEATS_DEFAULT, eps);
+    let window = 41_000..41_100;
+    let peak = window.clone().map(|k| lossy.approximate(k)).max().expect("non-empty window");
+    let true_peak = ts.values()[window].iter().copied().max().expect("non-empty window");
+    println!("\nwindow peak: approx {peak} vs true {true_peak} (|err| ≤ {eps} guaranteed)");
+    assert!(peak.abs_diff(true_peak) <= eps + 1);
+}

@@ -1,0 +1,109 @@
+//! Integration tests for the extension features: persistence, aggregate
+//! queries, explicit timestamps, and streaming ingestion — exercised
+//! together, the way a storage engine would compose them.
+
+use neats::core::{NeaTS, NeaTSCompressed, NeaTSWriter, TimestampedNeaTS};
+use neats::timeseries::{CompressedSeries, Dataset, TimeSeries};
+
+#[test]
+fn persist_and_reload_a_dataset() {
+    let ts = Dataset::DewpointTemp.generate(20_000);
+    let c = NeaTS::compress(&ts);
+    let bytes = c.to_bytes();
+    // "Write to disk, read back, query" — via a real temp file.
+    let dir = std::env::temp_dir().join("neats_persist_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dp.neats");
+    std::fs::write(&path, &bytes).unwrap();
+    let loaded = NeaTSCompressed::from_bytes(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(loaded.decompress(), ts.values());
+    assert_eq!(loaded.get(12_345), ts.values()[12_345]);
+    // On-disk size is the compressed size, not the raw size.
+    assert!(bytes.len() < ts.uncompressed_bytes() / 3);
+}
+
+#[test]
+fn aggregates_accelerate_dashboards() {
+    let ts = Dataset::AirPressure.generate(50_000);
+    let c = NeaTS::compress(&ts);
+    // Hourly means over a day, estimated from functions only.
+    for hour in 0..24 {
+        let start = hour * 2000;
+        let est = c.mean_range_estimate(start, 2000);
+        let exact: f64 =
+            ts.values()[start..start + 2000].iter().map(|&v| v as f64).sum::<f64>() / 2000.0;
+        assert!(
+            (est.value - exact).abs() <= est.max_error,
+            "hour {hour}: {} vs {exact} (bound {})",
+            est.value,
+            est.max_error
+        );
+    }
+}
+
+#[test]
+fn timestamped_pipeline_end_to_end() {
+    // Irregular sensor timestamps (gaps, bursts) + NeaTS values.
+    let n = 10_000;
+    let timestamps: Vec<u64> =
+        (0..n as u64).map(|i| 1_700_000_000 + i * 30 + (i % 7) * 2).collect();
+    let ts = Dataset::IrBioTemp.generate(n);
+    let c = TimestampedNeaTS::compress(&timestamps, &ts, &NeaTS::builder()).unwrap();
+
+    // Point lookup.
+    assert_eq!(c.get_at(timestamps[500]), Some(ts.values()[500]));
+    // A one-hour window.
+    let mut window = Vec::new();
+    c.range_by_time(timestamps[100], timestamps[100] + 3600, &mut window);
+    assert!(!window.is_empty());
+    for (t, v) in &window {
+        let i = timestamps.binary_search(t).unwrap();
+        assert_eq!(*v, ts.values()[i]);
+    }
+    // Compressed including the timestamp index.
+    assert!(c.size_in_bytes() < ts.uncompressed_bytes());
+}
+
+#[test]
+fn streaming_ingestion_then_queries() {
+    let ts = Dataset::StocksUk.generate(40_000);
+    let mut writer = NeaTSWriter::new(NeaTS::builder(), 8192);
+    writer.extend(ts.values().iter().copied());
+    let chunked = writer.finish();
+    assert_eq!(chunked.chunk_count(), 5);
+    assert_eq!(chunked.decompress(), ts.values());
+    let mut out = Vec::new();
+    chunked.scan_range(8000, 500, &mut out); // spans a chunk boundary
+    assert_eq!(out, &ts.values()[8000..8500]);
+}
+
+#[test]
+fn serialized_lossy_tier_archive() {
+    // The sensor_monitoring story as a test: archive lossy tiers, reload,
+    // verify guarantees still hold.
+    let ts = Dataset::CityTemp.generate(10_000);
+    for eps in [8u64, 64, 512] {
+        let lossy = NeaTS::builder().build_lossy(&ts, eps);
+        let reloaded = neats::core::NeaTSLossy::from_bytes(&lossy.to_bytes()).unwrap();
+        assert!(reloaded.max_error(&ts) <= eps + 1, "eps {eps}");
+        assert_eq!(reloaded.reconstruct(), lossy.reconstruct());
+    }
+}
+
+#[test]
+fn mixed_feature_composition() {
+    // Streaming chunks, each serialized and reloaded, then aggregated.
+    let values: Vec<i64> = (0..30_000).map(|k| 1000 + k / 3 + (k % 10)).collect();
+    let _ts = TimeSeries::from_values(values.clone());
+    let mut w = NeaTSWriter::new(NeaTS::builder(), 10_000);
+    w.extend(values.iter().copied());
+    let chunked = w.finish();
+    let mut total = 0i128;
+    for i in 0..chunked.chunk_count() {
+        let bytes = chunked.chunk(i).to_bytes();
+        let reloaded = NeaTSCompressed::from_bytes(&bytes).unwrap();
+        total += reloaded.sum_range_exact(0, reloaded.len());
+    }
+    let expected: i128 = values.iter().map(|&v| v as i128).sum();
+    assert_eq!(total, expected);
+}
