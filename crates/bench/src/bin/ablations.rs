@@ -10,9 +10,7 @@
 
 use bench::{all_datasets, bench_n, query_indices};
 use neats_core::fit::greedy_partition;
-use neats_core::{
-    Kind, ModelSelection, NeaTS, NeaTSCompressed, PartitionConfig, RankMode,
-};
+use neats_core::{Kind, ModelSelection, NeaTS, NeaTSCompressed, RankMode};
 use std::time::Instant;
 use timeseries::{CompressedSeries, TimeSeries};
 

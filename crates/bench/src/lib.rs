@@ -17,6 +17,7 @@
 //! * `NEATS_BENCH_N` — points per dataset (default 131072);
 //! * `NEATS_BENCH_QUERIES` — random-access queries (default 20000).
 
+#![warn(missing_docs)]
 use lossless_baselines::paper_competitors;
 use neats_core::NeaTSCompressor;
 use std::time::Instant;
@@ -81,7 +82,7 @@ pub fn query_indices(n: usize, queries: usize) -> Vec<usize> {
 const SPEED_REPS: usize = 3;
 
 /// Measures one compressor on one series (compress once, then timed
-/// decompression and random access, best of [`SPEED_REPS`] repetitions).
+/// decompression and random access, best of `SPEED_REPS` repetitions).
 pub fn measure(comp: &dyn AnyCompressor, ts: &TimeSeries, queries: usize) -> Measurement {
     let raw = ts.uncompressed_bytes() as f64;
     let t0 = Instant::now();

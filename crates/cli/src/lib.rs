@@ -15,6 +15,7 @@
 //! Input text files contain one decimal value per line (the format the
 //! paper's datasets ship in); `--digits` sets the fixed-precision scaling.
 
+#![warn(missing_docs)]
 use neats_core::{Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
 use std::path::Path;
 use timeseries::{io::load_fixed_precision, CompressedSeries};

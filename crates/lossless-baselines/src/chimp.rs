@@ -4,7 +4,7 @@
 //! leading-zero table:
 //!
 //! * `00` — xor is 0;
-//! * `01` — xor has more than [`TRAILING_THRESHOLD`] trailing zeros: emit a
+//! * `01` — xor has more than `TRAILING_THRESHOLD` trailing zeros: emit a
 //!   3-bit rounded leading-zero code, a 6-bit centre-bit count, and the
 //!   centre bits;
 //! * `10` — leading zeros match the previous value's: emit `64 − lead` bits;

@@ -27,6 +27,7 @@
 //! assert_eq!(compressed.get(123), ts.values()[123]);
 //! ```
 
+#![warn(missing_docs)]
 pub mod aggregate;
 pub mod fit;
 pub mod layout;

@@ -41,9 +41,17 @@ pub struct TimestampedNeaTS {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TimestampError {
     /// Timestamps must strictly increase (paper Definition 1).
-    NotStrictlyIncreasing { index: usize },
+    NotStrictlyIncreasing {
+        /// Position of the first out-of-order timestamp.
+        index: usize,
+    },
     /// Timestamp and value columns differ in length.
-    LengthMismatch { timestamps: usize, values: usize },
+    LengthMismatch {
+        /// Length of the timestamp column.
+        timestamps: usize,
+        /// Length of the value column.
+        values: usize,
+    },
 }
 
 impl std::fmt::Display for TimestampError {

@@ -15,6 +15,7 @@
 //! * [`wavelet::WaveletMatrix`] — `access`/`rank_c` over small alphabets
 //!   (the function-kind string `K`).
 
+#![warn(missing_docs)]
 pub mod bits;
 pub mod bitvec;
 pub mod elias_fano;

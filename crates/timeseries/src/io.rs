@@ -14,7 +14,12 @@ pub enum LoadError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// A line that could not be parsed as a decimal number.
-    Parse { line: usize, content: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The line's text, for the error message.
+        content: String,
+    },
 }
 
 impl std::fmt::Display for LoadError {

@@ -12,6 +12,7 @@
 //! * [`io`] — loading real fixed-precision text data with the paper's
 //!   `× 10^digits` transform.
 
+#![warn(missing_docs)]
 pub mod datasets;
 pub mod gen;
 pub mod io;

@@ -38,6 +38,7 @@
 //! assert_eq!(compressed.decompress(), values);
 //! ```
 
+#![warn(missing_docs)]
 pub use lossless_baselines as lossless;
 pub use lossy_baselines as lossy;
 pub use neats_core as core;

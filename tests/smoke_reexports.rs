@@ -1,0 +1,61 @@
+//! Smoke test for the umbrella crate's re-export surface: every facade the
+//! README promises (`neats::core`, `neats::succinct`, `neats::timeseries`,
+//! `neats::lossless`, `neats::lossy`) must be reachable under exactly these
+//! paths and usable end-to-end on a 1k-point series.
+
+use neats::core::NeaTS;
+use neats::lossless::paper_competitors;
+use neats::lossy::Pla;
+use neats::succinct::{BitVector, EliasFano};
+use neats::timeseries::{CompressedSeries, TimeSeries};
+
+/// A 1000-point nonlinear series (trend + seasonality), the README's
+/// running example shape.
+fn series_1k() -> (Vec<i64>, TimeSeries) {
+    let values: Vec<i64> = (1..=1000)
+        .map(|x| {
+            let x = x as f64;
+            (40.0 * (x / 90.0).sin() + x.sqrt() * 3.0) as i64
+        })
+        .collect();
+    let ts = TimeSeries::from_values(values.clone());
+    (values, ts)
+}
+
+#[test]
+fn umbrella_surface_compresses_and_randomly_accesses() {
+    let (values, ts) = series_1k();
+
+    // neats::core — the NeaTS compressor itself.
+    let compressed = NeaTS::builder().build(&ts);
+    assert_eq!(compressed.len(), 1000);
+    assert_eq!(compressed.get(0), values[0]);
+    assert_eq!(compressed.get(499), values[499]);
+    assert_eq!(compressed.get(999), values[999]);
+    assert_eq!(compressed.decompress(), values);
+
+    // neats::timeseries — shared types round-trip through the trait surface.
+    assert_eq!(ts.len(), 1000);
+    assert_eq!(ts.values(), &values[..]);
+
+    // neats::lossless — every paper competitor handles the same series.
+    for comp in paper_competitors() {
+        let c = comp.compress_boxed(&ts);
+        assert_eq!(c.get(777), values[777], "{} random access", comp.name());
+        assert_eq!(c.decompress(), values, "{} round-trip", comp.name());
+    }
+
+    // neats::lossy — PLA under a bound stays within it.
+    let eps = 8;
+    let pla = Pla::compress(&ts, eps);
+    assert_eq!(pla.len(), 1000);
+    assert!(pla.max_error(&ts) <= eps + 1, "PLA bound violated: {}", pla.max_error(&ts));
+
+    // neats::succinct — the substrate types are directly usable.
+    let bools: Vec<bool> = values.iter().map(|v| v % 2 == 0).collect();
+    let bv = BitVector::from_bools(&bools);
+    assert_eq!(bv.count_ones() + bv.count_zeros(), 1000);
+    let monotone: Vec<u64> = (0..1000u64).map(|k| k * 3 + 1).collect();
+    let ef = EliasFano::new(&monotone);
+    assert_eq!(ef.get(500), 1501);
+}

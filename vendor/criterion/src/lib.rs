@@ -1,0 +1,247 @@
+//! Offline stand-in for the parts of `criterion` 0.5 this workspace uses.
+//!
+//! A minimal wall-clock benchmark harness: each `Bencher::iter` call is
+//! timed over a few batches and the best per-iteration time is printed as
+//! `group/id ... <time>`. No statistics, plots or HTML reports — just enough
+//! to keep `cargo bench` (and `cargo test`, which type-checks benches)
+//! working without registry access. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (recorded, shown per line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id` plus an optional parameter string.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    best: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best mean-per-iteration over a few
+    /// batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it runs ≥ ~2ms, capped.
+        let mut n = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 20 {
+                self.record(elapsed, n);
+                break;
+            }
+            n *= 2;
+        }
+        // Measure: a few fixed batches at the calibrated size.
+        for _ in 0..4 {
+            let t = Instant::now();
+            for _ in 0..n {
+                hint::black_box(routine());
+            }
+            self.record(t.elapsed(), n);
+        }
+    }
+
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        let per_iter = elapsed / iters.max(1) as u32;
+        if per_iter < self.best {
+            self.best = per_iter;
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as the benchmark `id` within this group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { best: Duration::MAX };
+        f(&mut b);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Runs `f` with a borrowed input as the benchmark `id`.
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let mut b = Bencher { best: Duration::MAX };
+        f(&mut b, input);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mut line = format!("{}/{:<28} {:>12}", self.name, id, format_duration(b.best));
+        if let Some(Throughput::Bytes(bytes)) = self.throughput {
+            let secs = b.best.as_secs_f64();
+            if secs > 0.0 {
+                line.push_str(&format!("  {:>10.1} MB/s", bytes as f64 / secs / 1e6));
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (printing is per-benchmark in the shim).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` / `--bench` flags are accepted and
+            // ignored by the shim.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function(BenchmarkId::from_parameter("noop"), |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline stand-in for the parts of `proptest` 1.x this workspace uses.
+//!
+//! Supports the [`proptest!`] macro with an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header, the
+//! [`Strategy`] trait with [`Strategy::prop_map`], [`any`], ranges and
+//! tuples as strategies, `prop::collection::vec`, `prop::bool::weighted`,
+//! and the [`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Semantics vs the real crate: cases are generated from a deterministic
+//! per-test seed, failures report the generated inputs and the failing
+//! assertion, but **no shrinking** is performed. See `vendor/README.md`.
+
+#![warn(missing_docs)]
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// A failed test case (the `Err` side of a property body).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+    inputs: Option<String>,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        Self { message: message.into(), inputs: None }
+    }
+
+    /// Attaches a rendering of the generated inputs (used by [`proptest!`]).
+    pub fn with_inputs(mut self, inputs: &str) -> Self {
+        self.inputs = Some(inputs.to_string());
+        self
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(inputs) = &self.inputs {
+            write!(f, "\ninputs: {inputs}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runner configuration; only the case count is honoured by the shim.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a whole-domain default strategy (the shim's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random()
+    }
+}
+
+/// The [`any`] strategy (generates from the type's [`Arbitrary`] impl).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Sources of a collection length.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// The [`vec()`] strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, L> {
+        elem: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Generates a `Vec` whose length is drawn from `len` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod bool {
+    //! Strategies for booleans.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// The [`weighted`] strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted {
+        p: f64,
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(self.p)
+        }
+    }
+
+    /// Generates `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted { p }
+    }
+}
+
+/// Drives one property: `cases` deterministic seeds derived from the test
+/// name, panicking (with inputs and reproduction seed) on the first failure.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name keeps seeds stable across runs and
+    // independent of declaration order.
+    let mut name_seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        name_seed ^= b as u64;
+        name_seed = name_seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    for i in 0..config.cases {
+        let seed = name_seed.wrapping_add(i as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest '{test_name}' failed at case {i} (seed {seed:#x}):\n{e}");
+        }
+    }
+}
+
+/// Everything a property-based test file needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection`, `prop::bool`).
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Declares property-based tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                    let __inputs = ($($crate::Strategy::generate(&($strat), __rng),)+);
+                    let __rendered = format!("{:?}", __inputs);
+                    let ($($arg,)+) = __inputs;
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __outcome.map_err(|e| e.with_inputs(&__rendered))
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the surrounding property if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the surrounding property if the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            )));
+        }
+    }};
+}
+
+/// Fails the surrounding property if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: {:?}",
+                __l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in -50i64..50, (a, b) in (0u64..10, 0.0f64..1.0)) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b), "b = {}", b);
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0u8..4, 0..20).prop_map(|v| v.len())) {
+            prop_assert!(v < 20);
+        }
+
+        #[test]
+        fn weighted_bools(flags in prop::collection::vec(prop::bool::weighted(1.0), 1..10)) {
+            for f in flags {
+                prop_assert_eq!(f, true);
+            }
+        }
+
+        #[test]
+        fn early_ok_return(n in 0usize..10) {
+            if n > 100 { return Ok(()); }
+            prop_assert_ne!(n, 1000);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_reports_case() {
+        crate::run_proptest(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+}
