@@ -1,0 +1,155 @@
+//! Perf baseline harness: machine-readable compression / decompression /
+//! random-access throughput for NeaTS over the paper datasets, across
+//! partitioner thread counts, written to `BENCH_partition.json`.
+//!
+//! Two compression numbers anchor the perf trajectory:
+//!
+//! * `compress_ref_mbs` — **point 0**: the original inline one-pass sweep
+//!   ([`neats_core::partition::partition_reference`]);
+//! * `compress_mbs[t]` — **point 1**: the two-stage partitioner at each
+//!   thread count `t` (`NEATS_BENCH_THREADS`, default `1,2,4`).
+//!
+//! Run with `cargo run --release -p bench --bin perf_baseline`; scale with
+//! `NEATS_BENCH_N` / `NEATS_BENCH_QUERIES` / `NEATS_BENCH_DATASETS`, and
+//! redirect the artifact with `NEATS_BENCH_OUT`.
+
+use bench::json::Json;
+use bench::{bench_dataset_filter, bench_n, bench_queries, bench_threads, query_indices};
+use neats_core::partition::{partition_reference, positivity_shift, PartitionConfig};
+use neats_core::{default_epsilons, Kind, NeaTS, NeaTSCompressed, RankMode};
+use std::time::Instant;
+use timeseries::{CompressedSeries, TimeSeries};
+
+/// One dataset's measurements.
+struct Row {
+    abbrev: &'static str,
+    ratio_pct: f64,
+    compress_ref_mbs: f64,
+    /// Parallel to the thread-count list.
+    compress_mbs: Vec<f64>,
+    decompress_mbs: f64,
+    random_access_mbs: f64,
+}
+
+fn main() {
+    let n = bench_n();
+    let queries = bench_queries();
+    let threads = bench_threads();
+    let datasets = bench_dataset_filter();
+    let out_path =
+        std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_partition.json".into());
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!(
+        "perf_baseline — n = {n}, {queries} RA queries, threads {threads:?}, {} datasets, {cores} core(s)",
+        datasets.len()
+    );
+
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        eprintln!("measuring {} …", ds.abbrev());
+        let ts = ds.generate(n);
+        rows.push(measure_dataset(ds.abbrev(), &ts, &threads, queries));
+    }
+
+    print_rows(&threads, &rows);
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::Str("partition".into())),
+        ("schema", Json::Int(1)),
+        ("n", Json::Int(n as i64)),
+        ("queries", Json::Int(queries as i64)),
+        ("host_cores", Json::Int(cores as i64)),
+        ("threads", Json::Arr(threads.iter().map(|&t| Json::Int(t as i64)).collect())),
+        (
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("dataset", Json::Str(r.abbrev.into())),
+                            ("ratio_pct", Json::Num(r.ratio_pct)),
+                            ("compress_ref_mbs", Json::Num(r.compress_ref_mbs)),
+                            (
+                                "compress_mbs",
+                                Json::Obj(
+                                    threads
+                                        .iter()
+                                        .zip(&r.compress_mbs)
+                                        .map(|(&t, &mbs)| (t.to_string(), Json::Num(mbs)))
+                                        .collect(),
+                                ),
+                            ),
+                            ("decompress_mbs", Json::Num(r.decompress_mbs)),
+                            ("random_access_mbs", Json::Num(r.random_access_mbs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, artifact.render()).expect("write perf artifact");
+    println!("\nwrote {out_path}");
+}
+
+fn measure_dataset(abbrev: &'static str, ts: &TimeSeries, threads: &[usize], queries: usize) -> Row {
+    let raw = ts.uncompressed_bytes() as f64;
+    let values = ts.values();
+
+    // Point 0: the reference inline sweep, through the same encode path the
+    // default builder uses.
+    let epsilons = default_epsilons(ts.delta());
+    let shift = positivity_shift(values, epsilons.iter().copied().max().unwrap_or(0));
+    let cfg = PartitionConfig::lossless(&Kind::NEATS_DEFAULT, &epsilons, shift);
+    let t0 = Instant::now();
+    let part = partition_reference(values, &cfg);
+    let reference = NeaTSCompressed::encode(values, &part, shift, RankMode::default());
+    let compress_ref_mbs = raw / t0.elapsed().as_secs_f64() / 1e6;
+
+    // Point 1: the two-stage partitioner at each thread count.
+    let reference_bytes = reference.to_bytes();
+    let mut compress_mbs = Vec::with_capacity(threads.len());
+    let mut archive = None;
+    for &t in threads {
+        let t0 = Instant::now();
+        let c = NeaTS::builder().threads(t).build(ts);
+        compress_mbs.push(raw / t0.elapsed().as_secs_f64() / 1e6);
+        assert!(
+            c.to_bytes() == reference_bytes,
+            "{abbrev}: two-stage archive diverges byte-wise from reference at {t} threads"
+        );
+        archive = Some(c);
+    }
+    let archive = archive.expect("at least one thread count");
+    let ratio_pct = 100.0 * archive.size_in_bytes() as f64 / raw;
+
+    let t0 = Instant::now();
+    let dec = archive.decompress();
+    let decompress_mbs = raw / t0.elapsed().as_secs_f64() / 1e6;
+    assert_eq!(dec, values, "{abbrev}: lossless roundtrip failed");
+
+    let idx = query_indices(ts.len().max(1), queries);
+    let t0 = Instant::now();
+    let mut acc = 0i64;
+    for &k in &idx {
+        acc = acc.wrapping_add(archive.get(k));
+    }
+    std::hint::black_box(acc);
+    let random_access_mbs = (queries * 8) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    Row { abbrev, ratio_pct, compress_ref_mbs, compress_mbs, decompress_mbs, random_access_mbs }
+}
+
+fn print_rows(threads: &[usize], rows: &[Row]) {
+    print!("\n{:<6} {:>9} {:>9}", "data", "ratio%", "ref MB/s");
+    for t in threads {
+        print!(" {:>8}", format!("t={t}"));
+    }
+    println!(" {:>9} {:>9}", "dec MB/s", "ra MB/s");
+    for r in rows {
+        print!("{:<6} {:>9.2} {:>9.2}", r.abbrev, r.ratio_pct, r.compress_ref_mbs);
+        for mbs in &r.compress_mbs {
+            print!(" {mbs:>8.2}");
+        }
+        println!(" {:>9.0} {:>9.2}", r.decompress_mbs, r.random_access_mbs);
+    }
+}

@@ -12,12 +12,23 @@
 //!   (paper Fig. 3);
 //! * `fig4` — range-query throughput across range sizes (paper Fig. 4).
 //!
+//! * `perf_baseline` — compress/decompress/random-access throughput across
+//!   partitioner thread counts, written machine-readable to
+//!   `BENCH_partition.json` (the repo's perf trajectory).
+//!
 //! Scale knobs (environment variables):
 //!
 //! * `NEATS_BENCH_N` — points per dataset (default 131072);
-//! * `NEATS_BENCH_QUERIES` — random-access queries (default 20000).
+//! * `NEATS_BENCH_QUERIES` — random-access queries (default 20000);
+//! * `NEATS_BENCH_THREADS` — comma-separated thread counts for
+//!   `perf_baseline` (default `1,2,4`);
+//! * `NEATS_BENCH_DATASETS` — comma-separated dataset abbreviations to
+//!   restrict `perf_baseline` to (default: all 16);
+//! * `NEATS_BENCH_OUT` — output path for `perf_baseline`
+//!   (default `BENCH_partition.json`).
 
 #![warn(missing_docs)]
+pub mod json;
 use lossless_baselines::paper_competitors;
 use neats_core::NeaTSCompressor;
 use std::time::Instant;
@@ -31,6 +42,43 @@ pub fn bench_n() -> usize {
 /// Random-access query count (env `NEATS_BENCH_QUERIES`).
 pub fn bench_queries() -> usize {
     std::env::var("NEATS_BENCH_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+}
+
+/// Partitioner thread counts for the perf baseline (env
+/// `NEATS_BENCH_THREADS`, comma-separated; default `1,2,4`).
+pub fn bench_threads() -> Vec<usize> {
+    std::env::var("NEATS_BENCH_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&t| t > 0).collect::<Vec<usize>>())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// The datasets the perf baseline runs on: all 16, or the subset named by
+/// the comma-separated `NEATS_BENCH_DATASETS` abbreviations (e.g. `IT,ECG`).
+///
+/// # Panics
+/// Panics on an abbreviation that matches no dataset (a typo'd filter must
+/// not silently degrade into the full multi-minute sweep).
+pub fn bench_dataset_filter() -> Vec<Dataset> {
+    let all = Dataset::ALL.to_vec();
+    match std::env::var("NEATS_BENCH_DATASETS") {
+        Ok(list) => {
+            let picked: Vec<Dataset> = list
+                .split(',')
+                .map(|s| s.trim().to_ascii_uppercase())
+                .filter(|w| !w.is_empty())
+                .map(|w| {
+                    all.iter().copied().find(|d| d.abbrev() == w).unwrap_or_else(|| {
+                        let known: Vec<&str> = all.iter().map(|d| d.abbrev()).collect();
+                        panic!("NEATS_BENCH_DATASETS: unknown dataset {w:?} (known: {known:?})")
+                    })
+                })
+                .collect();
+            if picked.is_empty() { all } else { picked }
+        }
+        Err(_) => all,
+    }
 }
 
 /// Generates all 16 paper datasets at `n` points.

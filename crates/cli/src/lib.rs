@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! neats compress   <in.txt> <out.neats> [--digits D] [--kinds default|linear|all] [--sneats]
-//! neats lossy      <in.txt> <out.neatsl> --eps E [--digits D]
+//!                  [--threads T]
+//! neats lossy      <in.txt> <out.neatsl> --eps E [--digits D] [--threads T]
 //! neats decompress <in.neats> <out.txt>
 //! neats info       <in.neats>
 //! neats get        <in.neats> <index>...
@@ -57,6 +58,8 @@ pub enum Command {
         kinds: KindPool,
         /// Use SNeaTS model selection.
         sneats: bool,
+        /// Partitioner worker threads (0 = auto).
+        threads: usize,
     },
     /// Lossy compression under an error bound.
     Lossy {
@@ -68,6 +71,8 @@ pub enum Command {
         digits: u8,
         /// Error bound in scaled-integer units.
         eps: u64,
+        /// Partitioner worker threads (0 = auto).
+        threads: usize,
     },
     /// Full decompression back to text.
     Decompress {
@@ -134,7 +139,8 @@ impl KindPool {
 /// Usage text.
 pub const USAGE: &str = "usage:
   neats compress   <in.txt> <out.neats> [--digits D] [--kinds default|linear|all] [--sneats]
-  neats lossy      <in.txt> <out.neatsl> --eps E [--digits D]
+                   [--threads T]
+  neats lossy      <in.txt> <out.neatsl> --eps E [--digits D] [--threads T]
   neats decompress <in.neats> <out.txt>
   neats info       <in.neats>
   neats get        <in.neats> <index>...
@@ -149,6 +155,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut kinds = KindPool::Default;
     let mut sneats = false;
     let mut exact = false;
+    let mut threads = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -176,6 +183,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return err(format!("unknown kind pool {other:?}")),
                 };
             }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError("--threads needs a non-negative integer (0 = auto)".into()))?;
+            }
             "--sneats" => sneats = true,
             "--exact" => exact = true,
             flag if flag.starts_with("--") => return err(format!("unknown flag {flag}")),
@@ -196,12 +210,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             digits,
             kinds,
             sneats,
+            threads,
         }),
         Some("lossy") => Ok(Command::Lossy {
             input: get_pos(1, "input")?,
             output: get_pos(2, "output")?,
             digits,
             eps: eps.ok_or(CliError("lossy requires --eps".into()))?,
+            threads,
         }),
         Some("decompress") => {
             Ok(Command::Decompress { input: get_pos(1, "input")?, output: get_pos(2, "output")? })
@@ -242,10 +258,10 @@ fn load_compressed(path: &str) -> Result<NeaTSCompressed, CliError> {
 /// Executes a command, writing human-readable output to `out`.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     match cmd {
-        Command::Compress { input, output, digits, kinds, sneats } => {
+        Command::Compress { input, output, digits, kinds, sneats, threads } => {
             let ts = load_fixed_precision(Path::new(&input), digits)
                 .map_err(|e| CliError(format!("{input}: {e}")))?;
-            let mut builder: NeaTSBuilder = NeaTS::builder().kinds(&kinds.kinds());
+            let mut builder: NeaTSBuilder = NeaTS::builder().kinds(&kinds.kinds()).threads(threads);
             if sneats {
                 builder = builder.model_selection(Default::default());
             }
@@ -262,10 +278,10 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             )?;
             Ok(())
         }
-        Command::Lossy { input, output, digits, eps } => {
+        Command::Lossy { input, output, digits, eps, threads } => {
             let ts = load_fixed_precision(Path::new(&input), digits)
                 .map_err(|e| CliError(format!("{input}: {e}")))?;
-            let l = NeaTS::builder().build_lossy(&ts, eps);
+            let l = NeaTS::builder().threads(threads).build_lossy(&ts, eps);
             let bytes = l.to_bytes();
             std::fs::write(&output, &bytes)?;
             writeln!(
@@ -356,8 +372,10 @@ mod tests {
 
     #[test]
     fn parse_compress_with_flags() {
-        let cmd = parse_args(&argv("compress in.txt out.neats --digits 3 --kinds all --sneats"))
-            .unwrap();
+        let cmd = parse_args(&argv(
+            "compress in.txt out.neats --digits 3 --kinds all --sneats --threads 2",
+        ))
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Compress {
@@ -366,6 +384,7 @@ mod tests {
                 digits: 3,
                 kinds: KindPool::All,
                 sneats: true,
+                threads: 2,
             }
         );
     }
@@ -375,6 +394,7 @@ mod tests {
         assert!(parse_args(&argv("frobnicate x")).is_err());
         assert!(parse_args(&argv("compress in.txt out --bogus")).is_err());
         assert!(parse_args(&argv("lossy in.txt out")).is_err()); // missing --eps
+        assert!(parse_args(&argv("compress in.txt out --threads")).is_err()); // missing value
         assert!(parse_args(&argv("")).is_err());
     }
 

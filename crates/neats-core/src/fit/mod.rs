@@ -54,6 +54,69 @@ fn shifted(kind: Kind, y: i64, shift: i64) -> f64 {
     }
 }
 
+/// Precomputed `f64` views of a whole series, shared across every `(f, ε)`
+/// pair of one partitioning run.
+///
+/// [`longest_fragment`] converts each value it touches from `i64` on the
+/// fly (`shifted`), which is fine for a single greedy pass but wasteful when
+/// Algorithm 1 re-reads every point once per pair: the same `as f64` cast
+/// (and `+ shift` for log-domain kinds) is then repeated `|F|·|E|` times.
+/// A `FitView` hoists both conversions out of the inner fit loops — `plain`
+/// holds `values[k] as f64`, `shifted` holds `(values[k] + shift) as f64` —
+/// producing bit-identical inputs to the transforms.
+pub struct FitView<'a> {
+    values: &'a [i64],
+    plain: Vec<f64>,
+    /// Log-domain view; empty when no log-domain kind is in play.
+    shifted: Vec<f64>,
+    shift: i64,
+}
+
+impl<'a> FitView<'a> {
+    /// Builds the view. `with_log_domain` controls whether the shifted view
+    /// is materialised (pass `true` iff some kind in use is log-domain).
+    pub fn new(values: &'a [i64], shift: i64, with_log_domain: bool) -> Self {
+        let plain = values.iter().map(|&y| y as f64).collect();
+        let shifted = if with_log_domain {
+            values.iter().map(|&y| (y + shift) as f64).collect()
+        } else {
+            Vec::new()
+        };
+        Self { values, plain, shifted, shift }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying raw values.
+    pub fn values(&self) -> &'a [i64] {
+        self.values
+    }
+
+    /// The positivity shift the view was built with.
+    pub fn shift(&self) -> i64 {
+        self.shift
+    }
+
+    /// The (possibly shifted) value `kind`'s transform reads at index `k`.
+    #[inline]
+    fn y(&self, kind: Kind, k: usize) -> f64 {
+        if kind.log_domain() {
+            debug_assert!(!self.shifted.is_empty(), "view built without the log-domain plane");
+            self.shifted[k]
+        } else {
+            self.plain[k]
+        }
+    }
+}
+
 /// The model's integer prediction for index `k` (0-based), i.e.
 /// `⌊f(u)⌋ − shift` for log-domain kinds and `⌊f(u)⌋` otherwise.
 ///
@@ -104,20 +167,45 @@ pub fn longest_fragment(
     eps: u64,
     shift: i64,
 ) -> Option<Fragment> {
-    debug_assert!(start < values.len());
+    longest_fragment_impl(values.len(), |k| shifted(kind, values[k], shift), start, kind, eps)
+}
+
+/// [`longest_fragment`] reading from a shared [`FitView`] instead of
+/// converting values on the fly — the form the two-stage partitioner uses so
+/// the `i64 → f64` (and shift) work is done once per series, not once per
+/// `(f, ε)` pair. Bit-identical results to [`longest_fragment`].
+pub fn longest_fragment_in(
+    view: &FitView<'_>,
+    start: usize,
+    kind: Kind,
+    eps: u64,
+) -> Option<Fragment> {
+    longest_fragment_impl(view.len(), |k| view.y(kind, k), start, kind, eps)
+}
+
+/// Shared core of the two entry points above; `y_at(k)` yields the
+/// (possibly shifted) f64 value at index `k`.
+fn longest_fragment_impl(
+    len: usize,
+    y_at: impl Fn(usize) -> f64,
+    start: usize,
+    kind: Kind,
+    eps: u64,
+) -> Option<Fragment> {
+    debug_assert!(start < len);
     let epsf = eps as f64;
     let mut line = StabbingLine::new();
     let mut end = start;
 
     if kind.anchored() {
-        let y0 = shifted(kind, values[start], shift);
+        let y0 = y_at(start);
         if kind.log_domain() && y0 <= 0.0 {
             return None;
         }
         end = start + 1; // the anchor itself is always represented exactly
-        while end < values.len() {
+        while end < len {
             let u = (end - start + 1) as f64;
-            let y = shifted(kind, values[end], shift);
+            let y = y_at(end);
             let Some((t, lo, hi)) = kind.transform_anchored(u, y, y0, epsf) else { break };
             if !line.try_add(t, lo, hi) {
                 break;
@@ -132,9 +220,9 @@ pub fn longest_fragment(
         return Some(Fragment { kind, params, start, end, origin: start });
     }
 
-    while end < values.len() {
+    while end < len {
         let u = (end - start + 1) as f64;
-        let y = shifted(kind, values[end], shift);
+        let y = y_at(end);
         let Some((t, lo, hi)) = kind.transform(u, y, epsf) else { break };
         if !line.try_add(t, lo, hi) {
             break;
@@ -370,6 +458,28 @@ mod tests {
                 "{kind:?}: model {}",
                 model_value(&frag, 0, 0)
             );
+        }
+    }
+
+    #[test]
+    fn view_fit_is_bit_identical_to_inline_fit() {
+        let mut rng = StdRng::seed_from_u64(55);
+        let values: Vec<i64> = {
+            let mut v = -20i64;
+            (0..400).map(|_| { v += rng.random_range(-6..7); v }).collect()
+        };
+        let shift = crate::partition::positivity_shift(&values, 8);
+        let view = FitView::new(&values, shift, true);
+        for kind in Kind::ALL {
+            for eps in [0u64, 2, 8] {
+                let mut start = 0;
+                while start < values.len() {
+                    let a = longest_fragment(&values, start, kind, eps, shift);
+                    let b = longest_fragment_in(&view, start, kind, eps);
+                    assert_eq!(a, b, "{kind:?} eps={eps} start={start}");
+                    start = a.map_or(start + 1, |f| f.end);
+                }
+            }
         }
     }
 

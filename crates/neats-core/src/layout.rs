@@ -81,10 +81,37 @@ impl StartIndex {
         }
     }
 
+    /// Streaming iterator over all fragment starts in order (one forward
+    /// scan, no per-element select).
+    fn iter(&self) -> StartIter<'_> {
+        match self {
+            StartIndex::Ef(ef) => StartIter::Ef(ef.iter()),
+            StartIndex::Bv(bv) => StartIter::Bv(bv.iter_ones()),
+        }
+    }
+
     fn size_in_bytes(&self) -> usize {
         match self {
             StartIndex::Ef(ef) => ef.size_in_bytes(),
             StartIndex::Bv(bv) => bv.size_in_bytes(),
+        }
+    }
+}
+
+/// Streaming fragment-start walk over either `S` representation.
+enum StartIter<'a> {
+    Ef(succinct::EliasFanoIter<'a>),
+    Bv(succinct::OnesIter<'a>),
+}
+
+impl Iterator for StartIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            StartIter::Ef(it) => it.next().map(|v| v as usize),
+            StartIter::Bv(it) => it.next(),
         }
     }
 }
@@ -499,9 +526,10 @@ impl CompressedSeries for NeaTSCompressed {
         let mut out = Vec::with_capacity(self.n);
         let mut ranks = vec![0usize; self.kind_table.len()];
         let mut o = 0usize;
-        let mut start = if m > 0 { self.starts.start_of(0) } else { 0 };
+        let mut starts = self.starts.iter();
+        let mut start = starts.next().unwrap_or(0);
         for i in 0..m {
-            let end = if i + 1 < m { self.starts.start_of(i + 1) } else { self.n };
+            let end = starts.next().unwrap_or(self.n);
             let sym = self.kinds.access(i);
             let kind = self.kind_table[sym as usize];
             let params = self.params_of(sym, ranks[sym as usize]);

@@ -32,6 +32,7 @@ pub mod aggregate;
 pub mod fit;
 pub mod layout;
 pub mod lossy;
+pub mod parallel;
 pub mod partition;
 pub mod serial;
 pub mod streaming;
@@ -42,7 +43,7 @@ pub use aggregate::Estimate;
 pub use fit::{Fragment, Kind, Params};
 pub use layout::{NeaTSCompressed, RankMode};
 pub use lossy::NeaTSLossy;
-pub use partition::{default_epsilons, positivity_shift, Pair, PartitionConfig};
+pub use partition::{default_epsilons, positivity_shift, Pair, Partition, PartitionConfig};
 pub use streaming::{ChunkedNeaTS, NeaTSWriter};
 pub use timestamped::{TimestampError, TimestampedNeaTS};
 pub use variants::ModelSelection;
@@ -84,6 +85,7 @@ pub struct NeaTSBuilder {
     epsilons: Option<Vec<u64>>,
     rank_mode: RankMode,
     model_selection: Option<ModelSelection>,
+    threads: usize,
 }
 
 impl Default for NeaTSBuilder {
@@ -93,6 +95,7 @@ impl Default for NeaTSBuilder {
             epsilons: None,
             rank_mode: RankMode::default(),
             model_selection: None,
+            threads: 0,
         }
     }
 }
@@ -125,6 +128,14 @@ impl NeaTSBuilder {
         self
     }
 
+    /// Sets the worker-thread count for the partitioner's parallel stage
+    /// (`0` = automatic: `NEATS_THREADS`, else all available cores). The
+    /// compressed output is bit-identical for every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     fn epsilon_set(&self, ts: &TimeSeries) -> Vec<u64> {
         self.epsilons.clone().unwrap_or_else(|| default_epsilons(ts.delta()))
     }
@@ -138,18 +149,26 @@ impl NeaTSBuilder {
         let shift = positivity_shift(values, max_eps);
         let cfg = match self.model_selection {
             Some(policy) if !values.is_empty() => {
-                let pairs = variants::select_pairs(values, &self.kinds, &epsilons, shift, policy);
+                let pairs = variants::select_pairs(
+                    values,
+                    &self.kinds,
+                    &epsilons,
+                    shift,
+                    policy,
+                    self.threads,
+                );
                 PartitionConfig { pairs, ..PartitionConfig::lossless(&self.kinds, &epsilons, shift) }
             }
             _ => PartitionConfig::lossless(&self.kinds, &epsilons, shift),
-        };
+        }
+        .with_threads(self.threads);
         let part = partition::partition(values, &cfg);
         NeaTSCompressed::encode(values, &part, shift, self.rank_mode)
     }
 
     /// Runs the lossy pipeline (NeaTS-L) under the error bound `eps`.
     pub fn build_lossy(&self, ts: &TimeSeries, eps: u64) -> NeaTSLossy {
-        NeaTSLossy::compress(ts, &self.kinds, eps)
+        NeaTSLossy::compress_with_threads(ts, &self.kinds, eps, self.threads)
     }
 }
 

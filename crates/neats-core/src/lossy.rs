@@ -38,9 +38,21 @@ impl NeaTSLossy {
     /// Compresses `ts` under the error bound `eps` using the given function
     /// families.
     pub fn compress(ts: &TimeSeries, kinds: &[Kind], eps: u64) -> Self {
+        Self::compress_with_threads(ts, kinds, eps, 0)
+    }
+
+    /// [`Self::compress`] with an explicit partitioner thread count
+    /// (`0` = automatic; see [`crate::parallel::effective_threads`]). The
+    /// output is bit-identical for every thread count.
+    pub fn compress_with_threads(
+        ts: &TimeSeries,
+        kinds: &[Kind],
+        eps: u64,
+        threads: usize,
+    ) -> Self {
         let values = ts.values();
         let shift = positivity_shift(values, eps);
-        let cfg = PartitionConfig::lossy(kinds, eps, shift);
+        let cfg = PartitionConfig::lossy(kinds, eps, shift).with_threads(threads);
         let part = partition(values, &cfg);
         Self::encode(&part, values.len(), shift, eps)
     }
@@ -124,16 +136,22 @@ impl NeaTSLossy {
         };
         let sym = self.kinds.access(i);
         let kind = self.kind_table[sym as usize];
-        let pc = kind.param_count();
-        let base = self.kinds.rank(sym, i) * pc;
+        let params = self.params_of(sym, self.kinds.rank(sym, i));
+        let origin = start - self.origin_deltas.get(i) as usize;
+        Fragment { kind, params, start, end, origin }
+    }
+
+    /// Parameters of the `rank`-th fragment of kind symbol `sym`.
+    #[inline]
+    fn params_of(&self, sym: u8, rank: usize) -> Params {
+        let pc = self.kind_table[sym as usize].param_count();
+        let base = rank * pc;
         let arr = &self.params[sym as usize];
-        let params = Params {
+        Params {
             m: f64::from_bits(arr[base]),
             b: f64::from_bits(arr[base + 1]),
             extra: if pc == 3 { f64::from_bits(arr[base + 2]) } else { 0.0 },
-        };
-        let origin = start - self.origin_deltas.get(i) as usize;
-        Fragment { kind, params, start, end, origin }
+        }
     }
 
     /// The approximated value at position `k` (random access).
@@ -145,13 +163,28 @@ impl NeaTSLossy {
     }
 
     /// Materialises the whole approximated series.
+    ///
+    /// Sequential walk: fragment starts stream out of the Elias-Fano
+    /// iterator and per-kind parameter ranks are incremental counters, so no
+    /// per-fragment select/rank machinery runs.
     pub fn reconstruct(&self) -> Vec<i64> {
+        let m = self.fragment_count();
         let mut out = Vec::with_capacity(self.n);
-        for i in 0..self.fragment_count() {
-            let frag = self.fragment(i);
-            for k in frag.start..frag.end {
+        let mut ranks = vec![0usize; self.kind_table.len()];
+        let mut starts = self.starts.iter();
+        let mut start = starts.next().map(|v| v as usize).unwrap_or(0);
+        for i in 0..m {
+            let end = starts.next().map(|v| v as usize).unwrap_or(self.n);
+            let sym = self.kinds.access(i);
+            let kind = self.kind_table[sym as usize];
+            let params = self.params_of(sym, ranks[sym as usize]);
+            ranks[sym as usize] += 1;
+            let origin = start - self.origin_deltas.get(i) as usize;
+            let frag = Fragment { kind, params, start, end, origin };
+            for k in start..end {
                 out.push(model_value(&frag, k, self.shift));
             }
+            start = end;
         }
         out
     }

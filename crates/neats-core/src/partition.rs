@@ -9,8 +9,27 @@
 //! graph, the algorithm sweeps nodes left to right keeping, per pair, only
 //! the fragment overlapping the current node, splitting it into prefix and
 //! suffix edges on the fly. Total time O(|F|·|E|·n).
+//!
+//! ## Two-stage parallel execution
+//!
+//! The dominant cost — running `MakeApproximation` for every pair at every
+//! tiling position — depends only on `values`, never on the DP state: the
+//! sweep fits a new fragment for pair `(f, ε)` at node `k` precisely when
+//! the pair's previous fragment ends at or before `k`, so the fragments a
+//! pair contributes are exactly its greedy tiling of the series.
+//! [`partition`] exploits this by splitting Algorithm 1 into
+//!
+//! 1. **stage 1** — compute each pair's greedy fragment list, with the pairs
+//!    fanned out across threads ([`crate::parallel`]) over a shared
+//!    [`FitView`] (the hoisted f64 view of the values), and
+//! 2. **stage 2** — a cheap sequential sweep that replays the prefix/suffix
+//!    edge relaxations from the precomputed lists.
+//!
+//! The result is bit-identical to the original one-pass sweep, which is kept
+//! as [`partition_reference`] and asserted equivalent in the test suite.
 
-use crate::fit::{longest_fragment, Fragment, Kind, Params};
+use crate::fit::{longest_fragment, longest_fragment_in, FitView, Fragment, Kind};
+use crate::parallel::{effective_threads, parallel_map_indexed};
 use succinct::bits_for_residual_bound;
 
 /// A `(kind, ε)` pair considered by the partitioner.
@@ -38,6 +57,11 @@ pub struct PartitionConfig {
     /// Per-fragment metadata bits beyond the raw parameters (the paper's
     /// "small metadata": kind tag, start, offsets). Charged into κ_f.
     pub overhead_bits: u64,
+    /// Worker threads for stage 1 of [`partition`]. `0` means automatic:
+    /// the `NEATS_THREADS` environment variable if set, otherwise all
+    /// available cores. The choice never affects the output — the
+    /// partitioner is bit-deterministic across thread counts.
+    pub threads: usize,
 }
 
 impl PartitionConfig {
@@ -47,14 +71,20 @@ impl PartitionConfig {
             .iter()
             .flat_map(|&kind| epsilons.iter().map(move |&eps| Pair { kind, eps }))
             .collect();
-        Self { pairs, shift, lossless: true, overhead_bits: DEFAULT_OVERHEAD_BITS }
+        Self { pairs, shift, lossless: true, overhead_bits: DEFAULT_OVERHEAD_BITS, threads: 0 }
     }
 
     /// Lossy configuration with a single ε (paper §III-B, "Partitioning for
     /// lossy compression").
     pub fn lossy(kinds: &[Kind], eps: u64, shift: i64) -> Self {
         let pairs = kinds.iter().map(|&kind| Pair { kind, eps }).collect();
-        Self { pairs, shift, lossless: false, overhead_bits: DEFAULT_OVERHEAD_BITS }
+        Self { pairs, shift, lossless: false, overhead_bits: DEFAULT_OVERHEAD_BITS, threads: 0 }
+    }
+
+    /// Sets the stage-1 worker thread count (see [`Self::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// κ_f for a pair: parameter storage plus fixed metadata.
@@ -98,13 +128,17 @@ pub fn default_epsilons(delta: u64) -> Vec<u64> {
 }
 
 /// An incoming shortest-path edge recorded for reconstruction.
+///
+/// Deliberately tiny (12 bytes): the fitted parameters are *not* stored per
+/// node — fitting is deterministic, so the backtrack refits the `m ≪ n`
+/// winning fragments from their origins instead, keeping the O(n) `prev`
+/// array compact.
 #[derive(Clone, Copy, Debug)]
 struct PrevEdge {
     from: u32,
     origin: u32,
-    kind: Kind,
-    eps: u64,
-    params: Params,
+    /// Index into `config.pairs`.
+    pair: u32,
 }
 
 /// Result of [`partition`]: the chosen fragments plus their ε bounds.
@@ -118,12 +152,116 @@ pub struct Partition {
     pub cost_bits: u64,
 }
 
+/// Stage 1: the greedy tiling pair `(f, ε)` contributes to the sweep — the
+/// exact sequence of fragment spans the reference sweep fits for that pair.
+///
+/// A fragment is fit at node `k` precisely when the previous one ends at or
+/// before `k`; when the transform is undefined at `k` (fit returns `None`)
+/// the sweep retries at `k + 1`. Both behaviours are reproduced here, so
+/// each span's `start` records where the successful fit happened and gaps
+/// encode the `None` stretches.
+///
+/// Only `(start, end)` spans are kept — 8 bytes per fragment. The DP never
+/// needs the fitted parameters (edge weights depend on span length alone),
+/// and noisy configurations produce millions of plan fragments, so storing
+/// whole [`Fragment`]s here would cost hundreds of MB of allocation
+/// traffic. The backtrack refits the few winners instead.
+fn pair_plan(view: &FitView<'_>, pair: Pair) -> Vec<(u32, u32)> {
+    let n = view.len();
+    let mut plan = Vec::new();
+    let mut k = 0usize;
+    while k < n {
+        match longest_fragment_in(view, k, pair.kind, pair.eps) {
+            Some(f) => {
+                debug_assert!(f.end > k && f.origin == k);
+                plan.push((k as u32, f.end as u32));
+                k = f.end;
+            }
+            None => k += 1,
+        }
+    }
+    plan
+}
+
 /// Runs Algorithm 1 and returns the space-minimising partition.
+///
+/// This is the two-stage execution (see the module docs): per-pair greedy
+/// fragment lists are computed in parallel over `config.threads` workers,
+/// then a sequential DP sweep replays the edge relaxations. Output is
+/// bit-identical to [`partition_reference`] for every thread count.
 ///
 /// # Panics
 /// Panics if `config.pairs` is empty, or if no pair can fit some position
 /// (which cannot happen when `config.shift` comes from [`positivity_shift`]).
 pub fn partition(values: &[i64], config: &PartitionConfig) -> Partition {
+    assert!(!config.pairs.is_empty(), "need at least one (kind, eps) pair");
+    let n = values.len();
+    if n == 0 {
+        return Partition { fragments: Vec::new(), epsilons: Vec::new(), cost_bits: 0 };
+    }
+    assert!(n < u32::MAX as usize, "series too long for u32 node ids");
+
+    // Stage 1: per-pair greedy tilings, fanned out across threads.
+    let with_log = config.pairs.iter().any(|p| p.kind.log_domain());
+    let view = FitView::new(values, config.shift, with_log);
+    let threads = effective_threads(config.threads);
+    let plans: Vec<Vec<(u32, u32)>> =
+        parallel_map_indexed(config.pairs.len(), threads, |pi| pair_plan(&view, config.pairs[pi]));
+
+    // Stage 2: the sequential shortest-path sweep, replaying each pair's
+    // span list instead of fitting inline.
+    let mut dist = vec![u64::MAX; n + 1];
+    let mut prev: Vec<Option<PrevEdge>> = vec![None; n + 1];
+    dist[0] = 0;
+
+    // Per-pair live span (the edge overlapping the sweep node).
+    let mut live: Vec<Option<(u32, u32)>> = vec![None; config.pairs.len()];
+    let mut cursor = vec![0usize; config.pairs.len()];
+    let weights: Vec<(u64, u64)> = config
+        .pairs
+        .iter()
+        .map(|p| (config.correction_width(p.eps), config.kappa(p.kind)))
+        .collect();
+
+    for k in 0..n {
+        for pi in 0..config.pairs.len() {
+            let needs_new = live[pi].is_none_or(|(_, end)| end as usize <= k);
+            if needs_new {
+                // The sweep would fit at node k; the plan has that fragment
+                // iff the fit succeeded (its start is exactly k).
+                live[pi] = match plans[pi].get(cursor[pi]) {
+                    Some(&(s, e)) if s as usize == k => {
+                        cursor[pi] += 1;
+                        Some((s, e))
+                    }
+                    _ => None,
+                };
+            } else if let Some((s, _)) = live[pi] {
+                // Relax the prefix edge (start, k); stage-1 fragments are
+                // fit at their own start, so the origin is the start.
+                let (cw, kappa) = weights[pi];
+                relax(&mut dist, &mut prev, s as usize, k, cw, kappa, pi as u32, s);
+            }
+        }
+        for pi in 0..config.pairs.len() {
+            if let Some((s, e)) = live[pi] {
+                // Relax the suffix edge (k, end) — the full edge when
+                // k == start.
+                let (cw, kappa) = weights[pi];
+                relax(&mut dist, &mut prev, k, e as usize, cw, kappa, pi as u32, s);
+            }
+        }
+    }
+
+    backtrack(n, &dist, &prev, &config.pairs, |origin, pair| {
+        longest_fragment_in(&view, origin, pair.kind, pair.eps)
+    })
+}
+
+/// The original inline one-pass sweep of Algorithm 1, kept as the executable
+/// specification the two-stage [`partition`] is tested bit-identical
+/// against (and as the "point 0" measured by the perf baseline harness).
+pub fn partition_reference(values: &[i64], config: &PartitionConfig) -> Partition {
     assert!(!config.pairs.is_empty(), "need at least one (kind, eps) pair");
     let n = values.len();
     if n == 0 {
@@ -153,33 +291,53 @@ pub fn partition(values: &[i64], config: &PartitionConfig) -> Partition {
             } else if let Some(f) = live[pi] {
                 // Relax the prefix edge (f.start, k).
                 let (cw, kappa) = weights[pi];
-                relax(&mut dist, &mut prev, f.start, k, cw, kappa, pair, &f);
+                relax(&mut dist, &mut prev, f.start, k, cw, kappa, pi as u32, f.origin as u32);
             }
         }
-        for (pi, pair) in config.pairs.iter().enumerate() {
+        for (pi, _) in config.pairs.iter().enumerate() {
             if let Some(f) = live[pi] {
                 // Relax the suffix edge (k, f.end) — the full edge when
                 // k == f.start.
                 let (cw, kappa) = weights[pi];
-                relax(&mut dist, &mut prev, k, f.end, cw, kappa, pair, &f);
+                relax(&mut dist, &mut prev, k, f.end, cw, kappa, pi as u32, f.origin as u32);
             }
         }
     }
 
-    // Read the shortest path backwards (paper lines 21–26).
+    backtrack(n, &dist, &prev, &config.pairs, |origin, pair| {
+        longest_fragment(values, origin, pair.kind, pair.eps, config.shift)
+    })
+}
+
+/// Reads the shortest path backwards (paper lines 21–26), refitting each
+/// winning edge's function from its origin to recover the parameters
+/// (fitting is deterministic, so this reproduces the exact params the sweep
+/// saw without having stored them per node).
+fn backtrack(
+    n: usize,
+    dist: &[u64],
+    prev: &[Option<PrevEdge>],
+    pairs: &[Pair],
+    refit: impl Fn(usize, Pair) -> Option<Fragment>,
+) -> Partition {
     let mut fragments = Vec::new();
     let mut epsilons = Vec::new();
     let mut k = n;
     while k != 0 {
         let e = prev[k].unwrap_or_else(|| panic!("node {k} unreachable: no pair covers it"));
+        let pair = pairs[e.pair as usize];
+        let fitted = refit(e.origin as usize, pair)
+            .expect("refit of an edge the sweep fitted successfully");
+        debug_assert_eq!(fitted.origin, e.origin as usize);
+        debug_assert!(fitted.end >= k, "refit shorter than the recorded edge");
         fragments.push(Fragment {
-            kind: e.kind,
-            params: e.params,
+            kind: pair.kind,
+            params: fitted.params,
             start: e.from as usize,
             end: k,
             origin: e.origin as usize,
         });
-        epsilons.push(e.eps);
+        epsilons.push(pair.eps);
         k = e.from as usize;
     }
     fragments.reverse();
@@ -196,8 +354,8 @@ fn relax(
     b: usize,
     cw: u64,
     kappa: u64,
-    pair: &Pair,
-    f: &Fragment,
+    pair: u32,
+    origin: u32,
 ) {
     if a >= b || dist[a] == u64::MAX {
         return;
@@ -206,13 +364,7 @@ fn relax(
     let cand = dist[a] + w;
     if cand < dist[b] {
         dist[b] = cand;
-        prev[b] = Some(PrevEdge {
-            from: a as u32,
-            origin: f.origin as u32,
-            kind: pair.kind,
-            eps: pair.eps,
-            params: f.params,
-        });
+        prev[b] = Some(PrevEdge { from: a as u32, origin, pair });
     }
 }
 

@@ -11,6 +11,11 @@
 //! in O(1). Compression memory is O(chunk), and each chunk is
 //! size-optimal for its own data; the price versus offline NeaTS is only
 //! the fragments cut at chunk boundaries.
+//!
+//! The writer runs whatever partitioner configuration its
+//! [`NeaTSBuilder`] carries — including [`NeaTSBuilder::threads`], so each
+//! chunk's stage-1 fitting fans out across cores while ingestion stays
+//! single-threaded and deterministic.
 
 use crate::layout::NeaTSCompressed;
 use crate::NeaTSBuilder;
@@ -216,6 +221,24 @@ mod tests {
             (chunked as f64) < 1.25 * offline as f64,
             "chunked {chunked} vs offline {offline}"
         );
+    }
+
+    #[test]
+    fn chunked_output_is_thread_count_invariant() {
+        // The builder's threads knob reaches each chunk's partitioner and
+        // must not change what gets stored.
+        let values = stream(6000, 9);
+        let sizes: Vec<usize> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                let mut w = NeaTSWriter::new(NeaTS::builder().threads(t), 1024);
+                w.extend(values.iter().copied());
+                let c = w.finish();
+                assert_eq!(c.decompress(), values, "threads={t}");
+                c.size_in_bytes()
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|p| p[0] == p[1]), "sizes differ across threads: {sizes:?}");
     }
 
     #[test]

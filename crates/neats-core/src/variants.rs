@@ -35,8 +35,9 @@ pub fn select_pairs(
     epsilons: &[u64],
     shift: i64,
     policy: ModelSelection,
+    threads: usize,
 ) -> Vec<Pair> {
-    let all = PartitionConfig::lossless(kinds, epsilons, shift);
+    let all = PartitionConfig::lossless(kinds, epsilons, shift).with_threads(threads);
     let sample_len = ((values.len() as f64 * policy.sample_fraction) as usize)
         .clamp(1.min(values.len()), values.len());
     if sample_len == 0 {
@@ -72,7 +73,8 @@ mod tests {
     fn selects_at_most_top_k_pairs() {
         let values = series(5000);
         let eps = default_epsilons(200);
-        let pairs = select_pairs(&values, &Kind::NEATS_DEFAULT, &eps, 0, ModelSelection::default());
+        let pairs =
+            select_pairs(&values, &Kind::NEATS_DEFAULT, &eps, 0, ModelSelection::default(), 1);
         assert!(!pairs.is_empty());
         assert!(pairs.len() <= 5, "got {} pairs", pairs.len());
     }
@@ -87,6 +89,7 @@ mod tests {
             &eps,
             0,
             ModelSelection { sample_fraction: 0.2, top_k: 3 },
+            2,
         );
         for p in &pairs {
             assert!([Kind::Linear, Kind::Quadratic].contains(&p.kind));
@@ -96,7 +99,7 @@ mod tests {
 
     #[test]
     fn tiny_series_does_not_panic() {
-        let pairs = select_pairs(&[5], &[Kind::Linear], &[0, 2], 0, ModelSelection::default());
+        let pairs = select_pairs(&[5], &[Kind::Linear], &[0, 2], 0, ModelSelection::default(), 1);
         assert!(!pairs.is_empty());
     }
 }

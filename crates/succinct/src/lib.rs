@@ -24,8 +24,8 @@ pub mod wavelet;
 pub mod wire;
 
 pub use bits::{bits_for, bits_for_residual_bound, BitBuf};
-pub use bitvec::BitVector;
-pub use elias_fano::EliasFano;
+pub use bitvec::{BitVector, OnesIter};
+pub use elias_fano::{EliasFano, EliasFanoIter};
 pub use packed::{zigzag_decode, zigzag_encode, PackedIVec, PackedVec};
 pub use wavelet::WaveletMatrix;
 pub use wire::{Wire, WireError, WireReader, WireWriter};
