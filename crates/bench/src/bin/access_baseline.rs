@@ -1,0 +1,139 @@
+//! Access-path baseline harness: open latency and random-access throughput
+//! for the owned (`from_bytes`) versus zero-copy (`ArchiveView::open`) read
+//! paths over the paper datasets, written machine-readable to
+//! `BENCH_access.json` (the sibling of `BENCH_partition.json`).
+//!
+//! For every dataset the run also re-asserts the differential guarantee on
+//! the measured archive: every sampled view answer must equal the owned
+//! answer, so a perf run can never silently report numbers for diverging
+//! read paths.
+//!
+//! Run with `cargo run --release -p bench --bin access_baseline`; scale with
+//! `NEATS_BENCH_N` / `NEATS_BENCH_QUERIES` / `NEATS_BENCH_DATASETS`, and
+//! redirect the artifact with `NEATS_BENCH_OUT`.
+
+use bench::json::Json;
+use bench::{bench_dataset_filter, bench_n, bench_queries, query_indices};
+use neats_core::{ArchiveView, NeaTS, NeaTSCompressed};
+use std::time::Instant;
+use timeseries::{CompressedSeries, TimeSeries};
+
+/// One dataset's measurements.
+struct Row {
+    abbrev: &'static str,
+    archive_bytes: usize,
+    open_owned_us: f64,
+    open_view_us: f64,
+    ra_owned_mqs: f64,
+    ra_view_mqs: f64,
+}
+
+fn main() {
+    let n = bench_n();
+    let queries = bench_queries();
+    let datasets = bench_dataset_filter();
+    let out_path = std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_access.json".into());
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!(
+        "access_baseline — n = {n}, {queries} RA queries, {} datasets, {cores} core(s)",
+        datasets.len()
+    );
+
+    let mut rows = Vec::new();
+    for ds in &datasets {
+        eprintln!("measuring {} …", ds.abbrev());
+        let ts = ds.generate(n);
+        rows.push(measure_dataset(ds.abbrev(), &ts, queries));
+    }
+
+    print_rows(&rows);
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::Str("access".into())),
+        ("schema", Json::Int(1)),
+        ("n", Json::Int(n as i64)),
+        ("queries", Json::Int(queries as i64)),
+        ("host_cores", Json::Int(cores as i64)),
+        (
+            "results",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("dataset", Json::Str(r.abbrev.into())),
+                            ("archive_bytes", Json::Int(r.archive_bytes as i64)),
+                            ("open_owned_us", Json::Num(r.open_owned_us)),
+                            ("open_view_us", Json::Num(r.open_view_us)),
+                            ("ra_owned_mqs", Json::Num(r.ra_owned_mqs)),
+                            ("ra_view_mqs", Json::Num(r.ra_view_mqs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, artifact.render()).expect("write access artifact");
+    println!("\nwrote {out_path}");
+}
+
+/// Times `reps` runs of `f` and returns the mean microseconds per run.
+fn time_us<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn measure_dataset(abbrev: &'static str, ts: &TimeSeries, queries: usize) -> Row {
+    let owned = NeaTS::compress(ts);
+    let bytes = owned.to_bytes();
+    let idx = query_indices(ts.len().max(1), queries);
+
+    // Differential guarantee on the measured archive: the two read paths
+    // must agree before we report their relative performance.
+    let view = ArchiveView::open(&bytes).expect("valid archive");
+    for &k in &idx {
+        assert_eq!(view.at(k), owned.get(k), "{abbrev}: view diverges from owned at {k}");
+    }
+    drop(view);
+
+    // Open latency. The view open is orders of magnitude cheaper, so give it
+    // more repetitions for a stable mean.
+    let open_owned_us = time_us(10, || NeaTSCompressed::from_bytes(&bytes).expect("owned open"));
+    let open_view_us = time_us(200, || ArchiveView::open(&bytes).expect("view open"));
+
+    // Random-access throughput, in million lookups per second.
+    let reread = NeaTSCompressed::from_bytes(&bytes).expect("owned open");
+    let t0 = Instant::now();
+    let mut acc = 0i64;
+    for &k in &idx {
+        acc = acc.wrapping_add(reread.get(k));
+    }
+    std::hint::black_box(acc);
+    let ra_owned_mqs = queries as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    let view = ArchiveView::open(&bytes).expect("view open");
+    let t0 = Instant::now();
+    let mut acc = 0i64;
+    for &k in &idx {
+        acc = acc.wrapping_add(view.at(k));
+    }
+    std::hint::black_box(acc);
+    let ra_view_mqs = queries as f64 / t0.elapsed().as_secs_f64() / 1e6;
+
+    Row { abbrev, archive_bytes: bytes.len(), open_owned_us, open_view_us, ra_owned_mqs, ra_view_mqs }
+}
+
+fn print_rows(rows: &[Row]) {
+    println!(
+        "\n{:<6} {:>12} {:>14} {:>13} {:>11} {:>10}",
+        "data", "bytes", "open own µs", "open view µs", "ra own Mq/s", "ra view Mq/s"
+    );
+    for r in rows {
+        println!(
+            "{:<6} {:>12} {:>14.1} {:>13.2} {:>11.2} {:>10.2}",
+            r.abbrev, r.archive_bytes, r.open_owned_us, r.open_view_us, r.ra_owned_mqs, r.ra_view_mqs
+        );
+    }
+}

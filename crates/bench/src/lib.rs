@@ -15,6 +15,9 @@
 //! * `perf_baseline` — compress/decompress/random-access throughput across
 //!   partitioner thread counts, written machine-readable to
 //!   `BENCH_partition.json` (the repo's perf trajectory).
+//! * `access_baseline` — owned vs zero-copy (`ArchiveView`) open latency and
+//!   random-access throughput, written machine-readable to
+//!   `BENCH_access.json` (the read-side perf trajectory).
 //!
 //! Scale knobs (environment variables):
 //!
@@ -23,9 +26,10 @@
 //! * `NEATS_BENCH_THREADS` — comma-separated thread counts for
 //!   `perf_baseline` (default `1,2,4`);
 //! * `NEATS_BENCH_DATASETS` — comma-separated dataset abbreviations to
-//!   restrict `perf_baseline` to (default: all 16);
-//! * `NEATS_BENCH_OUT` — output path for `perf_baseline`
-//!   (default `BENCH_partition.json`).
+//!   restrict `perf_baseline` / `access_baseline` to (default: all 16);
+//! * `NEATS_BENCH_OUT` — output path for `perf_baseline` /
+//!   `access_baseline` (defaults `BENCH_partition.json` /
+//!   `BENCH_access.json`).
 
 #![warn(missing_docs)]
 pub mod json;

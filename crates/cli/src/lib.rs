@@ -11,13 +11,20 @@
 //! neats get        <in.neats> <index>...
 //! neats range      <in.neats> <start> <count>
 //! neats sum        <in.neats> <start> <count> [--exact]
+//! neats query      <archive> <index | a..b>...
+//! neats stat       <archive>
 //! ```
+//!
+//! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
+//! through the zero-copy [`neats_core::ArchiveView`] — the file is never
+//! fully decoded, which is the recommended serving path. The other query
+//! commands use the owned decode path.
 //!
 //! Input text files contain one decimal value per line (the format the
 //! paper's datasets ship in); `--digits` sets the fixed-precision scaling.
 
 #![warn(missing_docs)]
-use neats_core::{Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
+use neats_core::{ArchiveView, Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
 use std::path::Path;
 use timeseries::{io::load_fixed_precision, CompressedSeries};
 
@@ -113,6 +120,18 @@ pub enum Command {
         /// Exact scan instead of the function-only estimate.
         exact: bool,
     },
+    /// Zero-copy point/range lookups through `ArchiveView` (either flavor).
+    Query {
+        /// Input archive path (`.neats` or `.neatsl`).
+        input: String,
+        /// Lookup specs: a plain index `K`, or a half-open range `A..B`.
+        specs: Vec<String>,
+    },
+    /// Archive statistics from the container frame, without full decode.
+    Stat {
+        /// Input archive path (`.neats` or `.neatsl`).
+        input: String,
+    },
 }
 
 /// Which function families to allow.
@@ -145,7 +164,9 @@ pub const USAGE: &str = "usage:
   neats info       <in.neats>
   neats get        <in.neats> <index>...
   neats range      <in.neats> <start> <count>
-  neats sum        <in.neats> <start> <count> [--exact]";
+  neats sum        <in.neats> <start> <count> [--exact]
+  neats query      <archive> <index | a..b>...
+  neats stat       <archive>";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -245,6 +266,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             count: parse_usize(&get_pos(3, "count")?, "count")?,
             exact,
         }),
+        Some("query") => {
+            let input = get_pos(1, "input")?;
+            if pos.len() < 3 {
+                return err("query needs at least one index or a..b range");
+            }
+            Ok(Command::Query { input, specs: pos[2..].iter().map(|s| s.to_string()).collect() })
+        }
+        Some("stat") => Ok(Command::Stat { input: get_pos(1, "input")? }),
         Some(other) => err(format!("unknown command {other:?}\n{USAGE}")),
         None => err(USAGE),
     }
@@ -359,7 +388,63 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Query { input, specs } => {
+            let bytes = std::fs::read(&input)?;
+            let view =
+                ArchiveView::open(&bytes).map_err(|e| CliError(format!("{input}: {e}")))?;
+            for spec in specs {
+                if let Some((a, b)) = spec.split_once("..") {
+                    let a = parse_usize_msg(a, "range start")?;
+                    let b = parse_usize_msg(b, "range end")?;
+                    if a > b || b > view.len() {
+                        return err(format!("range {a}..{b} out of bounds (len {})", view.len()));
+                    }
+                    let mut values = Vec::with_capacity(b - a);
+                    view.range(a..b, &mut values);
+                    for v in values {
+                        writeln!(out, "{v}")?;
+                    }
+                } else {
+                    let k = parse_usize_msg(&spec, "index")?;
+                    if k >= view.len() {
+                        return err(format!("index {k} out of range (len {})", view.len()));
+                    }
+                    writeln!(out, "{}", view.at(k))?;
+                }
+            }
+            Ok(())
+        }
+        Command::Stat { input } => {
+            let bytes = std::fs::read(&input)?;
+            let (view, sections) = ArchiveView::open_with_sections(&bytes)
+                .map_err(|e| CliError(format!("{input}: {e}")))?;
+            writeln!(out, "flavor:        {}", view.flavor().name())?;
+            writeln!(out, "values:        {}", view.len())?;
+            writeln!(out, "fragments:     {}", view.fragment_count())?;
+            writeln!(out, "file:          {} bytes", bytes.len())?;
+            writeln!(
+                out,
+                "ratio:         {:.2}% of raw 64-bit",
+                100.0 * bytes.len() as f64 / (view.len() * 8).max(1) as f64
+            )?;
+            writeln!(out, "shift:         {}", view.shift())?;
+            if let Some(l) = view.as_lossy() {
+                writeln!(out, "eps:           {}", l.eps())?;
+            }
+            for (kind, count) in view.kind_histogram() {
+                writeln!(out, "kind {:<12} {count} fragments", kind.name())?;
+            }
+            writeln!(out, "sections:")?;
+            for s in &sections {
+                writeln!(out, "  {:<14} {:>10} bytes @ {}", s.name, s.len, s.offset)?;
+            }
+            Ok(())
+        }
     }
+}
+
+fn parse_usize_msg(s: &str, what: &str) -> Result<usize, CliError> {
+    s.parse().map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
 }
 
 #[cfg(test)]
@@ -481,6 +566,87 @@ mod tests {
             .collect();
         let got: Vec<i64> = back.lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parse_query_and_stat() {
+        assert_eq!(
+            parse_args(&argv("query f.neats 5 10..20")).unwrap(),
+            Command::Query { input: "f.neats".into(), specs: vec!["5".into(), "10..20".into()] }
+        );
+        assert_eq!(
+            parse_args(&argv("stat f.neatsl")).unwrap(),
+            Command::Stat { input: "f.neatsl".into() }
+        );
+        assert!(parse_args(&argv("query f.neats")).is_err()); // no specs
+        assert!(parse_args(&argv("stat")).is_err()); // no input
+    }
+
+    #[test]
+    fn query_and_stat_serve_without_full_decode() {
+        let dir = std::env::temp_dir().join("neats_cli_view_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("in.txt");
+        let packed = dir.join("out.neats");
+        let content: String = (0..400).map(|k| format!("{}\n", k * k / 7)).collect();
+        std::fs::write(&input, &content).unwrap();
+        run(
+            parse_args(&argv(&format!("compress {} {}", input.display(), packed.display())))
+                .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Point and range lookups via the zero-copy view.
+        let mut got = Vec::new();
+        run(
+            parse_args(&argv(&format!("query {} 7 100..103", packed.display()))).unwrap(),
+            &mut got,
+        )
+        .unwrap();
+        let lines: Vec<i64> =
+            String::from_utf8_lossy(&got).lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(lines, vec![7 * 7 / 7, 100 * 100 / 7, 101 * 101 / 7, 102 * 102 / 7]);
+
+        // Out-of-bounds is an error, not a panic.
+        let e = run(
+            parse_args(&argv(&format!("query {} 400", packed.display()))).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+
+        // stat reports the frame layout.
+        let mut stat = Vec::new();
+        run(parse_args(&argv(&format!("stat {}", packed.display()))).unwrap(), &mut stat)
+            .unwrap();
+        let text = String::from_utf8_lossy(&stat);
+        assert!(text.contains("flavor:        lossless"), "{text}");
+        assert!(text.contains("values:        400"), "{text}");
+        assert!(text.contains("corrections"), "{text}");
+
+        // Lossy archives are served by the same commands.
+        let lossy = dir.join("out.neatsl");
+        run(
+            parse_args(&argv(&format!(
+                "lossy {} {} --eps 3",
+                input.display(),
+                lossy.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut stat = Vec::new();
+        run(parse_args(&argv(&format!("stat {}", lossy.display()))).unwrap(), &mut stat).unwrap();
+        let text = String::from_utf8_lossy(&stat);
+        assert!(text.contains("flavor:        lossy"), "{text}");
+        assert!(text.contains("eps:           3"), "{text}");
+        let mut q = Vec::new();
+        run(parse_args(&argv(&format!("query {} 10", lossy.display()))).unwrap(), &mut q)
+            .unwrap();
+        let approx: i64 = String::from_utf8_lossy(&q).trim().parse().unwrap();
+        assert!((approx - 100 / 7).unsigned_abs() <= 4, "lossy answer {approx} off");
     }
 
     #[test]

@@ -78,8 +78,9 @@ fn closed_form_sum(frag: &Fragment, a: f64, z: f64) -> Option<f64> {
 }
 
 /// Sums `⌊f(u)⌋ − shift` over `[from, to)` (global indices) for one
-/// fragment, using the closed form when available.
-fn fragment_model_sum(frag: &Fragment, from: usize, to: usize, shift: i64) -> f64 {
+/// fragment, using the closed form when available. Shared with the
+/// zero-copy [`crate::view`] path so estimates are bit-identical.
+pub(crate) fn fragment_model_sum(frag: &Fragment, from: usize, to: usize, shift: i64) -> f64 {
     let a = (from - frag.origin + 1) as f64;
     let z = (to - frag.origin) as f64;
     let len = (to - from) as f64;
@@ -137,7 +138,8 @@ fn extreme_candidates(frag: &Fragment, a: f64, z: f64) -> [Option<f64>; 4] {
 /// `(min, max)` of `⌊f(u)⌋ − shift` over global positions `[from, to)` for
 /// one fragment, from the candidate extremes (integer coordinates: the
 /// continuous stationary point is bracketed by its floor/ceil neighbours).
-fn fragment_model_extremes(frag: &Fragment, from: usize, to: usize, shift: i64) -> (i64, i64) {
+/// Shared with the zero-copy [`crate::view`] path.
+pub(crate) fn fragment_model_extremes(frag: &Fragment, from: usize, to: usize, shift: i64) -> (i64, i64) {
     let a = (from - frag.origin + 1) as f64;
     let z = (to - frag.origin) as f64;
     let mut lo = i64::MAX;

@@ -363,28 +363,37 @@ impl NeaTSCompressed {
 }
 
 impl NeaTSCompressed {
-    /// Writes all components (used by [`crate::serial`]).
-    pub(crate) fn write_wire(&self, w: &mut succinct::WireWriter) {
+    /// Writes all components, marking one container section per component
+    /// (used by [`crate::serial`]).
+    pub(crate) fn write_wire(&self, sw: &mut crate::serial::SectionWriter) {
         use succinct::Wire;
+        let w = &mut sw.w;
         w.u64(self.n as u64);
         w.i64(self.shift);
         match &self.starts {
-            StartIndex::Ef(ef) => {
-                w.u8(0);
-                ef.write(w);
-            }
-            StartIndex::Bv(bv) => {
-                w.u8(1);
-                bv.write(w);
-            }
+            StartIndex::Ef(_) => w.u8(0),
+            StartIndex::Bv(_) => w.u8(1),
         }
-        self.widths.write(w);
-        self.offsets.write(w);
-        self.corrections.write(w);
-        self.kinds.write(w);
-        crate::serial::write_kind_table(w, &self.kind_table);
-        crate::serial::write_params(w, &self.params);
-        self.origin_deltas.write(w);
+        sw.mark(); // header
+        match &self.starts {
+            StartIndex::Ef(ef) => ef.write(&mut sw.w),
+            StartIndex::Bv(bv) => bv.write(&mut sw.w),
+        }
+        sw.mark(); // starts
+        self.widths.write(&mut sw.w);
+        sw.mark(); // widths
+        self.offsets.write(&mut sw.w);
+        sw.mark(); // offsets
+        self.corrections.write(&mut sw.w);
+        sw.mark(); // corrections
+        self.kinds.write(&mut sw.w);
+        sw.mark(); // kinds
+        crate::serial::write_kind_table(&mut sw.w, &self.kind_table);
+        sw.mark(); // kind-table
+        crate::serial::write_params(&mut sw.w, &self.params);
+        sw.mark(); // params
+        self.origin_deltas.write(&mut sw.w);
+        sw.mark(); // origin-deltas
     }
 
     /// Reads and *validates* all components: every cross-structure invariant
@@ -423,8 +432,16 @@ impl NeaTSCompressed {
         if m > 0 && offsets.get(m) as usize > corrections.len() {
             return Err(WireError::Corrupt("corrections overflow"));
         }
-        if m > 0 && n == 0 {
-            return Err(WireError::Corrupt("fragments without data"));
+        // n and m must be zero together: n > 0 with no fragments would make
+        // fragment_of underflow, and the BitVector start index must hold
+        // exactly one bit per position or rank1(k + 1) reads out of bounds.
+        if (m == 0) != (n == 0) {
+            return Err(WireError::Corrupt("fragment count vs series length"));
+        }
+        if let StartIndex::Bv(bv) = &starts {
+            if bv.len() != n {
+                return Err(WireError::Corrupt("start bitvector length"));
+            }
         }
         // Per-fragment validation: starts strictly increasing from 0,
         // symbols within the table, offsets consistent with widths, origins

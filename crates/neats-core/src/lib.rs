@@ -13,6 +13,8 @@
 //!   decompression (Algorithm 2), O(1)-ish random access (Algorithm 3) and
 //!   range scans.
 //! * [`lossy`] — NeaTS-L, the lossy variant with a maximum-error guarantee.
+//! * [`view`] — [`ArchiveView`], the zero-copy read path answering queries
+//!   straight from serialized archive bytes (the recommended serving path).
 //! * [`variants`] — LeaTS (linear-only) and SNeaTS (model selection).
 //!
 //! ## Example
@@ -38,15 +40,18 @@ pub mod serial;
 pub mod streaming;
 pub mod timestamped;
 pub mod variants;
+pub mod view;
 
 pub use aggregate::Estimate;
 pub use fit::{Fragment, Kind, Params};
 pub use layout::{NeaTSCompressed, RankMode};
 pub use lossy::NeaTSLossy;
 pub use partition::{default_epsilons, positivity_shift, Pair, Partition, PartitionConfig};
+pub use serial::{frame_info, ArchiveFlavor, Section};
 pub use streaming::{ChunkedNeaTS, NeaTSWriter};
 pub use timestamped::{TimestampError, TimestampedNeaTS};
 pub use variants::ModelSelection;
+pub use view::{ArchiveView, LosslessView, LossyView};
 
 use timeseries::{Compressor, TimeSeries};
 

@@ -217,17 +217,24 @@ impl NeaTSLossy {
         timeseries::mape_pct(original, &self.reconstruct())
     }
 
-    /// Writes all components (used by [`crate::serial`]).
-    pub(crate) fn write_wire(&self, w: &mut succinct::WireWriter) {
+    /// Writes all components, marking one container section per component
+    /// (used by [`crate::serial`]).
+    pub(crate) fn write_wire(&self, sw: &mut crate::serial::SectionWriter) {
         use succinct::Wire;
-        w.u64(self.n as u64);
-        w.i64(self.shift);
-        w.u64(self.eps);
-        self.starts.write(w);
-        self.kinds.write(w);
-        crate::serial::write_kind_table(w, &self.kind_table);
-        crate::serial::write_params(w, &self.params);
-        self.origin_deltas.write(w);
+        sw.w.u64(self.n as u64);
+        sw.w.i64(self.shift);
+        sw.w.u64(self.eps);
+        sw.mark(); // header
+        self.starts.write(&mut sw.w);
+        sw.mark(); // starts
+        self.kinds.write(&mut sw.w);
+        sw.mark(); // kinds
+        crate::serial::write_kind_table(&mut sw.w, &self.kind_table);
+        sw.mark(); // kind-table
+        crate::serial::write_params(&mut sw.w, &self.params);
+        sw.mark(); // params
+        self.origin_deltas.write(&mut sw.w);
+        sw.mark(); // origin-deltas
     }
 
     /// Reads and validates all components.
@@ -244,8 +251,13 @@ impl NeaTSLossy {
         let params = crate::serial::read_params(r, &kind_table)?;
         let origin_deltas = PackedVec::read(r)?;
         let m = starts.len();
-        if kinds.len() != m || origin_deltas.len() != m || (m > 0 && n == 0) {
+        if kinds.len() != m || origin_deltas.len() != m {
             return Err(WireError::Corrupt("fragment count mismatch"));
+        }
+        // n and m must be zero together, or fragment_of underflows on a
+        // crafted archive with points but no fragments.
+        if (m == 0) != (n == 0) {
+            return Err(WireError::Corrupt("fragment count vs series length"));
         }
         let mut prev = 0usize;
         let mut counts = vec![0usize; kind_table.len()];

@@ -1,21 +1,204 @@
-//! Persistence of compressed series: `to_bytes` / `from_bytes` for
-//! [`NeaTSCompressed`] and [`NeaTSLossy`], built on the succinct crate's
-//! validating wire format.
+//! Persistence of compressed series: the versioned, checksummed container
+//! frame shared by the owned (`to_bytes` / `from_bytes`) and the zero-copy
+//! ([`crate::view::ArchiveView`]) read paths.
 //!
-//! The paper positions NeaTS as the long-term storage format for historical
-//! time series; a storage format that cannot be written to disk is not one.
-//! The encoding is versioned with a magic header so future layout changes
-//! stay detectable.
+//! ## Container frame (version 2)
+//!
+//! ```text
+//! u64  magic            "NeaTSFRM" (little-endian)
+//! u64  version          2
+//! u8   flavor           0 = lossless, 1 = lossy
+//! u64  section_count    9 (lossless) or 6 (lossy)
+//! 2·u64 per section     (offset, length) into the payload, contiguous from 0
+//! u64  payload_len
+//! u64  checksum         CRC-64/XZ over every preceding byte + the payload
+//! …    payload          the flavor's sections, concatenated
+//! ```
+//!
+//! The checksum covers the whole header (everything before the checksum
+//! field) *and* the payload, so any single-byte corruption anywhere in an
+//! archive is rejected deterministically (CRC-64 detects every error burst
+//! shorter than 64 bits). Truncations are rejected by the length fields.
+//! The section table lets tools (`neats stat`) report the layout breakdown
+//! without decoding, and reserves room for section-level evolution.
+//!
+//! Deserialisation is *validating*: beyond the checksum, every structural
+//! invariant the query algorithms rely on is re-checked, so even a crafted
+//! buffer with a correct checksum can never cause a panic or out-of-bounds
+//! read.
 
 use crate::fit::Kind;
 use crate::layout::NeaTSCompressed;
 use crate::lossy::NeaTSLossy;
-use succinct::{WireError, WireReader, WireWriter};
+use succinct::{Crc64, U64sView, WireError, WireReader, WireWriter};
 
-/// Magic + version prefix of the lossless format.
-const MAGIC_LOSSLESS: u64 = 0x4E65_6154_5300_0001; // "NeaTS", v1
-/// Magic + version prefix of the lossy format.
-const MAGIC_LOSSY: u64 = 0x4E65_6154_534C_0001; // "NeaTSL", v1
+/// Container magic: the ASCII bytes `NeaTSFRM`, read as a little-endian u64.
+pub(crate) const FRAME_MAGIC: u64 = u64::from_le_bytes(*b"NeaTSFRM");
+/// Current container version.
+pub(crate) const FRAME_VERSION: u64 = 2;
+
+/// Which compressed representation an archive holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArchiveFlavor {
+    /// A [`NeaTSCompressed`] archive (models + corrections, lossless).
+    Lossless,
+    /// A [`NeaTSLossy`] archive (models only, ε-bounded).
+    Lossy,
+}
+
+impl ArchiveFlavor {
+    fn tag(self) -> u8 {
+        match self {
+            ArchiveFlavor::Lossless => 0,
+            ArchiveFlavor::Lossy => 1,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchiveFlavor::Lossless => "lossless",
+            ArchiveFlavor::Lossy => "lossy",
+        }
+    }
+
+    /// The fixed section names of this flavor's payload, in order.
+    pub fn section_names(self) -> &'static [&'static str] {
+        match self {
+            ArchiveFlavor::Lossless => &[
+                "header",
+                "starts",
+                "widths",
+                "offsets",
+                "corrections",
+                "kinds",
+                "kind-table",
+                "params",
+                "origin-deltas",
+            ],
+            ArchiveFlavor::Lossy => {
+                &["header", "starts", "kinds", "kind-table", "params", "origin-deltas"]
+            }
+        }
+    }
+}
+
+/// One entry of the container's section table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Section {
+    /// Fixed per-flavor section name (see [`ArchiveFlavor::section_names`]).
+    pub name: &'static str,
+    /// Byte offset into the payload.
+    pub offset: usize,
+    /// Section length in bytes.
+    pub len: usize,
+}
+
+/// A payload writer that records section boundaries as it goes.
+pub(crate) struct SectionWriter {
+    pub(crate) w: WireWriter,
+    marks: Vec<usize>,
+}
+
+impl SectionWriter {
+    pub(crate) fn new() -> Self {
+        Self { w: WireWriter::new(), marks: Vec::new() }
+    }
+
+    /// Ends the current section at the writer's position.
+    pub(crate) fn mark(&mut self) {
+        self.marks.push(self.w.len());
+    }
+}
+
+/// Wraps a recorded payload into the container frame.
+pub(crate) fn frame(flavor: ArchiveFlavor, payload: SectionWriter) -> Vec<u8> {
+    let SectionWriter { w, marks } = payload;
+    let payload_bytes = w.finish();
+    debug_assert_eq!(marks.len(), flavor.section_names().len());
+    debug_assert_eq!(marks.last().copied().unwrap_or(0), payload_bytes.len());
+    let mut h = WireWriter::new();
+    h.u64(FRAME_MAGIC);
+    h.u64(FRAME_VERSION);
+    h.u8(flavor.tag());
+    h.u64(marks.len() as u64);
+    let mut prev = 0usize;
+    for &m in &marks {
+        h.u64(prev as u64);
+        h.u64((m - prev) as u64);
+        prev = m;
+    }
+    h.u64(payload_bytes.len() as u64);
+    let mut crc = Crc64::new();
+    crc.update(h.as_slice());
+    crc.update(&payload_bytes);
+    h.u64(crc.finish());
+    let mut out = h.finish();
+    out.extend_from_slice(&payload_bytes);
+    out
+}
+
+/// Validates the container frame of `data` and returns its flavor, section
+/// table, and payload slice. Performs no allocation proportional to the
+/// archive; the CRC pass is one sequential read.
+pub(crate) fn parse_frame(data: &[u8]) -> Result<(ArchiveFlavor, Vec<Section>, &[u8]), WireError> {
+    let mut r = WireReader::new(data);
+    if r.u64()? != FRAME_MAGIC {
+        return Err(WireError::Corrupt("bad container magic"));
+    }
+    if r.u64()? != FRAME_VERSION {
+        return Err(WireError::Corrupt("unsupported container version"));
+    }
+    let flavor = match r.u8()? {
+        0 => ArchiveFlavor::Lossless,
+        1 => ArchiveFlavor::Lossy,
+        _ => return Err(WireError::Corrupt("unknown archive flavor")),
+    };
+    let names = flavor.section_names();
+    if r.read_len()? != names.len() {
+        return Err(WireError::Corrupt("section count"));
+    }
+    let mut sections = Vec::with_capacity(names.len());
+    let mut expect_off = 0usize;
+    for &name in names {
+        let offset = r.read_len()?;
+        let len = r.read_len()?;
+        if offset != expect_off {
+            return Err(WireError::Corrupt("section table not contiguous"));
+        }
+        expect_off = offset.checked_add(len).ok_or(WireError::Corrupt("section table overflow"))?;
+        sections.push(Section { name, offset, len });
+    }
+    let payload_len = r.read_len()?;
+    if payload_len != expect_off {
+        return Err(WireError::Corrupt("section table does not cover payload"));
+    }
+    let header_end = r.pos();
+    let stored = r.u64()?;
+    if r.remaining() < payload_len {
+        return Err(WireError::Truncated);
+    }
+    if r.remaining() > payload_len {
+        return Err(WireError::Corrupt("trailing bytes"));
+    }
+    let payload = &data[data.len() - payload_len..];
+    let mut crc = Crc64::new();
+    crc.update(&data[..header_end]);
+    crc.update(payload);
+    if crc.finish() != stored {
+        return Err(WireError::Corrupt("checksum mismatch"));
+    }
+    Ok((flavor, sections, payload))
+}
+
+/// Reads an archive's flavor and section table without decoding the payload
+/// (for tooling that only inspects the frame; `neats stat` uses
+/// [`crate::view::ArchiveView::open_with_sections`] to get the view and the
+/// table from a single parse). The checksum is still verified.
+pub fn frame_info(data: &[u8]) -> Result<(ArchiveFlavor, Vec<Section>), WireError> {
+    let (flavor, sections, _) = parse_frame(data)?;
+    Ok((flavor, sections))
+}
 
 pub(crate) fn write_kind_table(w: &mut WireWriter, table: &[Kind]) {
     w.u64(table.len() as u64);
@@ -41,18 +224,20 @@ pub(crate) fn write_params(w: &mut WireWriter, params: &[Vec<u64>]) {
     }
 }
 
-pub(crate) fn read_params(
-    r: &mut WireReader<'_>,
+/// Borrowed read of the per-kind parameter arrays: one [`U64sView`] per kind
+/// table entry, validated for arity.
+pub(crate) fn read_params_ref<'a>(
+    r: &mut WireReader<'a>,
     kind_table: &[Kind],
-) -> Result<Vec<Vec<u64>>, WireError> {
+) -> Result<Vec<U64sView<'a>>, WireError> {
     let n = r.read_len()?;
     if n != kind_table.len() {
         return Err(WireError::Corrupt("params arity"));
     }
     let mut out = Vec::with_capacity(n);
     for &kind in kind_table {
-        let p = r.u64_vec()?;
-        if p.len() % kind.param_count() != 0 {
+        let p = r.u64s_ref()?;
+        if !p.len().is_multiple_of(kind.param_count()) {
             return Err(WireError::Corrupt("params not a multiple of arity"));
         }
         out.push(p);
@@ -60,22 +245,31 @@ pub(crate) fn read_params(
     Ok(out)
 }
 
+pub(crate) fn read_params(
+    r: &mut WireReader<'_>,
+    kind_table: &[Kind],
+) -> Result<Vec<Vec<u64>>, WireError> {
+    // Route through the borrowed reader; the owned path materialises once.
+    Ok(read_params_ref(r, kind_table)?.into_iter().map(|p| p.to_vec()).collect())
+}
+
 impl NeaTSCompressed {
-    /// Serialises the compressed series to a self-contained byte buffer.
+    /// Serialises the compressed series into a self-contained, checksummed
+    /// container frame (see the module docs for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
-        w.u64(MAGIC_LOSSLESS);
-        self.write_wire(&mut w);
-        w.finish()
+        let mut sw = SectionWriter::new();
+        self.write_wire(&mut sw);
+        frame(ArchiveFlavor::Lossless, sw)
     }
 
-    /// Deserialises a buffer produced by [`Self::to_bytes`], validating all
-    /// structural invariants.
+    /// Deserialises a buffer produced by [`Self::to_bytes`], verifying the
+    /// checksum and validating all structural invariants.
     pub fn from_bytes(data: &[u8]) -> Result<Self, WireError> {
-        let mut r = WireReader::new(data);
-        if r.u64()? != MAGIC_LOSSLESS {
-            return Err(WireError::Corrupt("bad magic/version"));
+        let (flavor, _, payload) = parse_frame(data)?;
+        if flavor != ArchiveFlavor::Lossless {
+            return Err(WireError::Corrupt("not a lossless archive"));
         }
+        let mut r = WireReader::new(payload);
         let v = Self::read_wire(&mut r)?;
         if !r.is_exhausted() {
             return Err(WireError::Corrupt("trailing bytes"));
@@ -85,20 +279,20 @@ impl NeaTSCompressed {
 }
 
 impl NeaTSLossy {
-    /// Serialises the lossy representation to a self-contained byte buffer.
+    /// Serialises the lossy representation into the container frame.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = WireWriter::new();
-        w.u64(MAGIC_LOSSY);
-        self.write_wire(&mut w);
-        w.finish()
+        let mut sw = SectionWriter::new();
+        self.write_wire(&mut sw);
+        frame(ArchiveFlavor::Lossy, sw)
     }
 
     /// Deserialises a buffer produced by [`Self::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> Result<Self, WireError> {
-        let mut r = WireReader::new(data);
-        if r.u64()? != MAGIC_LOSSY {
-            return Err(WireError::Corrupt("bad magic/version"));
+        let (flavor, _, payload) = parse_frame(data)?;
+        if flavor != ArchiveFlavor::Lossy {
+            return Err(WireError::Corrupt("not a lossy archive"));
         }
+        let mut r = WireReader::new(payload);
         let v = Self::read_wire(&mut r)?;
         if !r.is_exhausted() {
             return Err(WireError::Corrupt("trailing bytes"));
@@ -110,6 +304,7 @@ impl NeaTSLossy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::view::ArchiveView;
     use crate::NeaTS;
     use rand::{rngs::StdRng, Rng, SeedableRng};
     use timeseries::{CompressedSeries, TimeSeries};
@@ -131,6 +326,8 @@ mod tests {
         for k in (0..ts.len()).step_by(61) {
             assert_eq!(back.get(k), ts.values()[k]);
         }
+        // The bytes round-trip unchanged through the container frame.
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]
@@ -139,7 +336,8 @@ mod tests {
         let c = NeaTS::compress(&ts);
         let bytes = c.to_bytes().len();
         let reported = c.size_in_bytes();
-        // The wire format adds per-structure length prefixes only.
+        // The wire format adds per-structure length prefixes and the frame
+        // header only.
         assert!(bytes < reported * 13 / 10, "wire {bytes} vs reported {reported}");
     }
 
@@ -147,14 +345,16 @@ mod tests {
     fn lossy_roundtrip_through_bytes() {
         let ts = walk(2000, 3);
         let l = NeaTS::builder().build_lossy(&ts, 40);
-        let back = NeaTSLossy::from_bytes(&l.to_bytes()).unwrap();
+        let bytes = l.to_bytes();
+        let back = NeaTSLossy::from_bytes(&bytes).unwrap();
         assert_eq!(back.len(), l.len());
         assert_eq!(back.eps(), 40);
         assert_eq!(back.reconstruct(), l.reconstruct());
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]
-    fn wrong_magic_rejected() {
+    fn wrong_flavor_rejected() {
         let ts = walk(100, 4);
         let c = NeaTS::compress(&ts);
         let l = NeaTS::builder().build_lossy(&ts, 5);
@@ -164,33 +364,133 @@ mod tests {
     }
 
     #[test]
+    fn frame_info_reports_the_section_table() {
+        let ts = walk(800, 12);
+        let bytes = NeaTS::compress(&ts).to_bytes();
+        let (flavor, sections) = frame_info(&bytes).unwrap();
+        assert_eq!(flavor, ArchiveFlavor::Lossless);
+        assert_eq!(sections.len(), ArchiveFlavor::Lossless.section_names().len());
+        assert_eq!(sections[0].name, "header");
+        assert_eq!(sections[0].offset, 0);
+        // Sections tile the payload contiguously.
+        let mut expect = 0usize;
+        for s in &sections {
+            assert_eq!(s.offset, expect);
+            expect += s.len;
+        }
+        let lossy = NeaTS::builder().build_lossy(&ts, 9).to_bytes();
+        let (flavor, sections) = frame_info(&lossy).unwrap();
+        assert_eq!(flavor, ArchiveFlavor::Lossy);
+        assert_eq!(sections.len(), ArchiveFlavor::Lossy.section_names().len());
+    }
+
+    #[test]
     fn truncation_never_panics() {
         let ts = walk(500, 5);
         let bytes = NeaTS::compress(&ts).to_bytes();
         for cut in (0..bytes.len()).step_by(7) {
             assert!(NeaTSCompressed::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(ArchiveView::open(&bytes[..cut]).is_err(), "view cut {cut}");
+        }
+        let lossy = NeaTS::builder().build_lossy(&ts, 16).to_bytes();
+        for cut in (0..lossy.len()).step_by(7) {
+            assert!(NeaTSLossy::from_bytes(&lossy[..cut]).is_err(), "lossy cut {cut}");
+            assert!(ArchiveView::open(&lossy[..cut]).is_err(), "lossy view cut {cut}");
         }
     }
 
     #[test]
-    fn bitflip_is_rejected_or_consistent() {
-        // Any single-bit corruption must either be rejected or still produce
-        // a structurally valid object (never a panic / OOB).
+    fn every_single_byte_corruption_is_rejected() {
+        // CRC-64 over header + payload: every single-byte corruption must be
+        // rejected by *both* read paths — exhaustively, not probabilistically.
         let ts = walk(400, 6);
-        let c = NeaTS::compress(&ts);
-        let bytes = c.to_bytes();
+        let bytes = NeaTS::compress(&ts).to_bytes();
+        for pos in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[pos] ^= 1 << (pos % 8);
+            assert!(NeaTSCompressed::from_bytes(&corrupted).is_err(), "owned accepted flip at {pos}");
+            assert!(ArchiveView::open(&corrupted).is_err(), "view accepted flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn random_bitflips_are_rejected_lossy_too() {
+        let ts = walk(400, 6);
+        let l = NeaTS::builder().build_lossy(&ts, 12);
+        let bytes = l.to_bytes();
         let mut rng = StdRng::seed_from_u64(7);
-        for _ in 0..200 {
+        for _ in 0..300 {
             let mut corrupted = bytes.clone();
             let pos = rng.random_range(0..corrupted.len());
             corrupted[pos] ^= 1 << rng.random_range(0..8);
-            if let Ok(back) = NeaTSCompressed::from_bytes(&corrupted) {
-                // decoding succeeded: operations must not panic
-                if !back.is_empty() {
-                    let _ = back.get(back.len() / 2);
-                }
-            }
+            assert!(NeaTSLossy::from_bytes(&corrupted).is_err(), "flip at {pos} accepted");
+            assert!(ArchiveView::open(&corrupted).is_err(), "view flip at {pos} accepted");
         }
+    }
+
+    /// Byte offset of the frame's checksum field.
+    fn crc_offset(bytes: &[u8]) -> usize {
+        let count = u64::from_le_bytes(bytes[17..25].try_into().unwrap()) as usize;
+        25 + count * 16 + 8
+    }
+
+    /// Recomputes and rewrites the frame checksum after a payload patch, so
+    /// tests can exercise *crafted* (checksum-valid) archives rather than
+    /// merely corrupt ones.
+    fn repack_with_valid_crc(bytes: &mut [u8]) {
+        let off = crc_offset(bytes);
+        let mut crc = succinct::Crc64::new();
+        crc.update(&bytes[..off]);
+        crc.update(&bytes[off + 8..]);
+        let v = crc.finish();
+        bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Overwrites the `n` header field (first payload u64) and re-checksums.
+    fn patch_n(bytes: &mut [u8], n: u64) {
+        let payload = crc_offset(bytes) + 8;
+        bytes[payload..payload + 8].copy_from_slice(&n.to_le_bytes());
+        repack_with_valid_crc(bytes);
+    }
+
+    #[test]
+    fn crafted_checksum_valid_archives_are_rejected() {
+        // A valid checksum is no license to trust the payload: structural
+        // validation must still reject archives whose header lies. These are
+        // the cases where only the n/m and bitvector-length cross-checks
+        // stand between a crafted file and a query-time panic.
+
+        // m == 0 but n > 0 (lossless, Elias-Fano mode).
+        let mut crafted = NeaTS::compress(&TimeSeries::from_values(vec![])).to_bytes();
+        patch_n(&mut crafted, 1000);
+        assert!(NeaTSCompressed::from_bytes(&crafted).is_err(), "owned accepted n>0, m=0");
+        assert!(ArchiveView::open(&crafted).is_err(), "view accepted n>0, m=0");
+
+        // m == 0 but n > 0 (lossy).
+        let mut crafted =
+            NeaTS::builder().build_lossy(&TimeSeries::from_values(vec![]), 5).to_bytes();
+        patch_n(&mut crafted, 1000);
+        assert!(NeaTSLossy::from_bytes(&crafted).is_err(), "lossy owned accepted n>0, m=0");
+        assert!(ArchiveView::open(&crafted).is_err(), "lossy view accepted n>0, m=0");
+
+        // BitVector rank mode with n larger than the start bitvector: the
+        // single constant fragment has correction width 0, so every stride
+        // check passes and only the bitvector-length check can reject it.
+        let ts = TimeSeries::from_values(vec![42; 500]);
+        let c = NeaTS::builder()
+            .rank_mode(crate::RankMode::BitVector)
+            .kinds(&[Kind::Linear])
+            .epsilons(&[0])
+            .build(&ts);
+        let mut crafted = c.to_bytes();
+        patch_n(&mut crafted, 505);
+        assert!(NeaTSCompressed::from_bytes(&crafted).is_err(), "owned accepted short start bv");
+        assert!(ArchiveView::open(&crafted).is_err(), "view accepted short start bv");
+
+        // Sanity: the patch helper itself round-trips an unpatched archive.
+        let mut untouched = c.to_bytes();
+        repack_with_valid_crc(&mut untouched);
+        assert!(ArchiveView::open(&untouched).is_ok());
     }
 
     #[test]

@@ -1,0 +1,919 @@
+//! The zero-copy read path: [`ArchiveView`] answers queries straight from
+//! serialized archive bytes.
+//!
+//! [`NeaTSCompressed::from_bytes`](crate::NeaTSCompressed::from_bytes) fully
+//! materialises owned `Vec`s — an O(archive) allocation and copy — before
+//! the first query can run. A serving process handling point lookups over
+//! many archives cannot afford that per open. `ArchiveView::open` instead
+//! validates the container frame (checksum + structural invariants) *once*
+//! and then answers `at(k)`, `range(..)`, scans and the aggregate queries
+//! directly over the borrowed `&[u8]`, with no heap allocation proportional
+//! to the archive: the succinct structures are read through the borrowed
+//! views of [`succinct::views`], whose rank/select directories are persisted
+//! in the archive rather than rebuilt.
+//!
+//! Query semantics are equal to the owned types **by differential testing**
+//! (`tests/view_differential.rs`), not merely by construction: every answer
+//! from a view is property-tested against the owned structure decoded from
+//! the same bytes, for lossless and lossy archives alike.
+
+use crate::aggregate::{fragment_model_extremes, fragment_model_sum, Estimate};
+use crate::fit::{model_value, Fragment, Kind, Params};
+use crate::serial::{self, ArchiveFlavor, Section};
+use std::ops::Range;
+use succinct::{
+    BitBufView, BitVectorView, EliasFanoIterView, EliasFanoView, OnesIterView, PackedVecView,
+    U64sView, WaveletMatrixView, WireError, WireReader,
+};
+
+/// Borrowed fragment-start index `S` in either representation (mirrors the
+/// owned `StartIndex` of [`crate::layout`]).
+#[derive(Clone, Debug)]
+enum StartIndexView<'a> {
+    Ef(EliasFanoView<'a>),
+    Bv(BitVectorView<'a>),
+}
+
+impl<'a> StartIndexView<'a> {
+    /// Index of the fragment covering position `k`.
+    #[inline]
+    fn fragment_of(&self, k: usize) -> usize {
+        match self {
+            StartIndexView::Ef(ef) => ef.rank_leq(k as u64) - 1,
+            StartIndexView::Bv(bv) => bv.rank1(k + 1) - 1,
+        }
+    }
+
+    /// Start position of fragment `i`.
+    #[inline]
+    fn start_of(&self, i: usize) -> usize {
+        match self {
+            StartIndexView::Ef(ef) => ef.get(i) as usize,
+            StartIndexView::Bv(bv) => bv.select1(i).expect("fragment index in range"),
+        }
+    }
+
+    /// Number of fragments indexed.
+    fn len(&self) -> usize {
+        match self {
+            StartIndexView::Ef(ef) => ef.len(),
+            StartIndexView::Bv(bv) => bv.count_ones(),
+        }
+    }
+
+    /// Streaming iterator over all fragment starts in order.
+    fn iter(&self) -> StartIterView<'a> {
+        match self {
+            StartIndexView::Ef(ef) => StartIterView::Ef(ef.iter()),
+            StartIndexView::Bv(bv) => StartIterView::Bv(bv.iter_ones()),
+        }
+    }
+}
+
+/// Streaming fragment-start walk over either `S` representation.
+enum StartIterView<'a> {
+    Ef(EliasFanoIterView<'a>),
+    Bv(OnesIterView<'a>),
+}
+
+impl Iterator for StartIterView<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            StartIterView::Ef(it) => it.next().map(|v| v as usize),
+            StartIterView::Bv(it) => it.next(),
+        }
+    }
+}
+
+/// A zero-copy view over a serialized archive of either flavor.
+///
+/// ```
+/// use neats_core::{ArchiveView, NeaTS};
+/// use timeseries::TimeSeries;
+///
+/// let ts = TimeSeries::from_values((0..2000).map(|k| k * k / 40).collect());
+/// let bytes = NeaTS::compress(&ts).to_bytes();
+/// let view = ArchiveView::open(&bytes).unwrap();
+/// assert_eq!(view.at(1234), ts.values()[1234]);
+/// let mut window = Vec::new();
+/// view.range(100..164, &mut window);
+/// assert_eq!(window, &ts.values()[100..164]);
+/// ```
+#[derive(Clone, Debug)]
+pub enum ArchiveView<'a> {
+    /// A lossless archive (models + corrections).
+    Lossless(LosslessView<'a>),
+    /// A lossy archive (models only, ε-bounded).
+    Lossy(LossyView<'a>),
+}
+
+impl<'a> ArchiveView<'a> {
+    /// Opens an archive produced by
+    /// [`NeaTSCompressed::to_bytes`](crate::NeaTSCompressed::to_bytes) or
+    /// [`NeaTSLossy::to_bytes`](crate::NeaTSLossy::to_bytes): verifies the
+    /// frame checksum, validates every structural invariant the query
+    /// algorithms rely on, and borrows all payloads in place.
+    pub fn open(data: &'a [u8]) -> Result<Self, WireError> {
+        Ok(Self::open_with_sections(data)?.0)
+    }
+
+    /// [`Self::open`], additionally returning the frame's section table —
+    /// one parse and one checksum pass serve both (the `neats stat` path).
+    pub fn open_with_sections(data: &'a [u8]) -> Result<(Self, Vec<Section>), WireError> {
+        let (flavor, sections, payload) = serial::parse_frame(data)?;
+        let mut r = WireReader::new(payload);
+        let view = match flavor {
+            ArchiveFlavor::Lossless => ArchiveView::Lossless(LosslessView::read(&mut r)?),
+            ArchiveFlavor::Lossy => ArchiveView::Lossy(LossyView::read(&mut r)?),
+        };
+        if !r.is_exhausted() {
+            return Err(WireError::Corrupt("trailing bytes"));
+        }
+        Ok((view, sections))
+    }
+
+    /// Number of data points represented.
+    pub fn len(&self) -> usize {
+        match self {
+            ArchiveView::Lossless(v) => v.len(),
+            ArchiveView::Lossy(v) => v.len(),
+        }
+    }
+
+    /// Whether the archive covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which representation the archive holds.
+    pub fn flavor(&self) -> ArchiveFlavor {
+        match self {
+            ArchiveView::Lossless(_) => ArchiveFlavor::Lossless,
+            ArchiveView::Lossy(_) => ArchiveFlavor::Lossy,
+        }
+    }
+
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        match self {
+            ArchiveView::Lossless(v) => v.fragment_count(),
+            ArchiveView::Lossy(v) => v.fragment_count(),
+        }
+    }
+
+    /// The global positivity shift stored in the header.
+    pub fn shift(&self) -> i64 {
+        match self {
+            ArchiveView::Lossless(v) => v.shift(),
+            ArchiveView::Lossy(v) => v.shift(),
+        }
+    }
+
+    /// The value at position `k`: exact for lossless archives, the ε-bounded
+    /// approximation for lossy ones.
+    pub fn at(&self, k: usize) -> i64 {
+        match self {
+            ArchiveView::Lossless(v) => v.get(k),
+            ArchiveView::Lossy(v) => v.approximate(k),
+        }
+    }
+
+    /// Appends the values in `range` to `out` (one fragment rank, then a
+    /// sequential scan).
+    pub fn range(&self, range: Range<usize>, out: &mut Vec<i64>) {
+        match self {
+            ArchiveView::Lossless(v) => v.scan_range(range.start, range.len(), out),
+            ArchiveView::Lossy(v) => v.scan_range(range.start, range.len(), out),
+        }
+    }
+
+    /// Materialises the whole series (decompression for lossless archives,
+    /// reconstruction for lossy ones).
+    pub fn materialize(&self) -> Vec<i64> {
+        match self {
+            ArchiveView::Lossless(v) => v.decompress(),
+            ArchiveView::Lossy(v) => v.reconstruct(),
+        }
+    }
+
+    /// Approximate range sum from the learned functions only, with a
+    /// guaranteed error bound.
+    pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        match self {
+            ArchiveView::Lossless(v) => v.sum_range_estimate(start, count),
+            ArchiveView::Lossy(v) => v.sum_range_estimate(start, count),
+        }
+    }
+
+    /// Per-kind fragment counts.
+    pub fn kind_histogram(&self) -> Vec<(Kind, usize)> {
+        match self {
+            ArchiveView::Lossless(v) => v.kind_histogram(),
+            ArchiveView::Lossy(v) => v.kind_histogram(),
+        }
+    }
+
+    /// The lossless view, if this archive is lossless.
+    pub fn as_lossless(&self) -> Option<&LosslessView<'a>> {
+        match self {
+            ArchiveView::Lossless(v) => Some(v),
+            ArchiveView::Lossy(_) => None,
+        }
+    }
+
+    /// The lossy view, if this archive is lossy.
+    pub fn as_lossy(&self) -> Option<&LossyView<'a>> {
+        match self {
+            ArchiveView::Lossy(v) => Some(v),
+            ArchiveView::Lossless(_) => None,
+        }
+    }
+}
+
+/// Zero-copy counterpart of [`crate::NeaTSCompressed`]: the full lossless
+/// query surface over borrowed bytes.
+#[derive(Clone, Debug)]
+pub struct LosslessView<'a> {
+    n: usize,
+    shift: i64,
+    starts: StartIndexView<'a>,
+    widths: PackedVecView<'a>,
+    offsets: EliasFanoView<'a>,
+    corrections: BitBufView<'a>,
+    kinds: WaveletMatrixView<'a>,
+    /// Distinct kinds in use (≤ 11 entries — not archive-proportional).
+    kind_table: Vec<Kind>,
+    /// Per kind-table entry: borrowed concatenated parameter words.
+    params: Vec<U64sView<'a>>,
+    origin_deltas: PackedVecView<'a>,
+}
+
+impl<'a> LosslessView<'a> {
+    /// Parses and validates the lossless payload — the same invariants as
+    /// the owned `read_wire`, checked through the borrowed views.
+    fn read(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let n = r.read_len()?;
+        let shift = r.i64()?;
+        let starts = match r.u8()? {
+            0 => StartIndexView::Ef(EliasFanoView::read(r)?),
+            1 => StartIndexView::Bv(BitVectorView::read(r)?),
+            _ => return Err(WireError::Corrupt("start index tag")),
+        };
+        let widths = PackedVecView::read(r)?;
+        let offsets = EliasFanoView::read(r)?;
+        let corrections = BitBufView::read(r)?;
+        let kinds = WaveletMatrixView::read(r)?;
+        let kind_table = serial::read_kind_table(r)?;
+        let params = serial::read_params_ref(r, &kind_table)?;
+        let origin_deltas = PackedVecView::read(r)?;
+
+        // Rank/select directories first, so the structural loop below (and
+        // every later query) probes in bounds.
+        match &starts {
+            StartIndexView::Ef(ef) => ef.validate()?,
+            StartIndexView::Bv(bv) => bv.validate()?,
+        }
+        offsets.validate()?;
+        kinds.validate()?;
+
+        let m = widths.len();
+        if starts.len() != m || kinds.len() != m || origin_deltas.len() != m {
+            return Err(WireError::Corrupt("fragment count mismatch"));
+        }
+        if offsets.len() != m + 1 {
+            return Err(WireError::Corrupt("offsets length"));
+        }
+        if m > 0 && offsets.get(m) as usize > corrections.len() {
+            return Err(WireError::Corrupt("corrections overflow"));
+        }
+        // Every point must be covered by a fragment and vice versa: a
+        // crafted archive with n > 0 but m == 0 would make fragment_of
+        // underflow on the first query.
+        if (m == 0) != (n == 0) {
+            return Err(WireError::Corrupt("fragment count vs series length"));
+        }
+        // In BitVector rank mode the index is one bit per position; a
+        // shorter vector would send rank1(k + 1) out of bounds.
+        if let StartIndexView::Bv(bv) = &starts {
+            if bv.len() != n {
+                return Err(WireError::Corrupt("start bitvector length"));
+            }
+        }
+        // Kind symbols: per-symbol ranks at m give the counts in O(σ·log σ);
+        // they sum to m iff no out-of-table symbol occurs anywhere.
+        let mut total_syms = 0usize;
+        for (sym, &kind) in kind_table.iter().enumerate() {
+            let count = kinds.rank(sym as u8, m);
+            if params[sym].len() != count * kind.param_count() {
+                return Err(WireError::Corrupt("params length"));
+            }
+            total_syms += count;
+        }
+        if total_syms != m {
+            return Err(WireError::Corrupt("kind symbol"));
+        }
+        // Fragment geometry: one streaming pass over starts and offsets
+        // (no per-fragment select), mirroring the owned reader's checks.
+        let mut starts_it = starts.iter();
+        let mut offsets_it = offsets.iter();
+        let mut cur_start = starts_it.next();
+        let mut o_prev = offsets_it.next().unwrap_or(0) as usize;
+        for i in 0..m {
+            let start = cur_start.expect("length checked above");
+            if i == 0 && start != 0 {
+                return Err(WireError::Corrupt("first fragment start"));
+            }
+            if start >= n {
+                return Err(WireError::Corrupt("start beyond series"));
+            }
+            cur_start = starts_it.next();
+            let end = cur_start.unwrap_or(n);
+            if end <= start || end > n {
+                return Err(WireError::Corrupt("fragment bounds"));
+            }
+            let w = widths.get(i) as usize;
+            if w > 64 {
+                return Err(WireError::Corrupt("correction width"));
+            }
+            let o_next = offsets_it.next().expect("length checked above") as usize;
+            if o_next < o_prev || o_next - o_prev != (end - start) * w {
+                return Err(WireError::Corrupt("offset stride"));
+            }
+            o_prev = o_next;
+            if origin_deltas.get(i) as usize > start {
+                return Err(WireError::Corrupt("origin delta"));
+            }
+        }
+        Ok(Self {
+            n,
+            shift,
+            starts,
+            widths,
+            offsets,
+            corrections,
+            kinds,
+            kind_table,
+            params,
+            origin_deltas,
+        })
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The global positivity shift stored in the header.
+    pub fn shift(&self) -> i64 {
+        self.shift
+    }
+
+    /// Number of fragments `m`.
+    pub fn fragment_count(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Index of the fragment covering position `k`.
+    pub fn fragment_index_of(&self, k: usize) -> usize {
+        debug_assert!(k < self.n);
+        self.starts.fragment_of(k)
+    }
+
+    /// The correction bit width `B[i]` of fragment `i`.
+    pub fn correction_width_of(&self, i: usize) -> usize {
+        self.widths.get(i) as usize
+    }
+
+    /// Reconstructs the fragment descriptor for fragment `i`.
+    pub fn fragment(&self, i: usize) -> Fragment {
+        let start = self.starts.start_of(i);
+        let end = if i + 1 < self.fragment_count() { self.starts.start_of(i + 1) } else { self.n };
+        let (sym, rank) = self.kinds.access_rank(i);
+        let kind = self.kind_table[sym as usize];
+        let params = self.params_of(sym, rank);
+        let origin = start - self.origin_deltas.get(i) as usize;
+        Fragment { kind, params, start, end, origin }
+    }
+
+    #[inline]
+    fn params_of(&self, sym: u8, rank: usize) -> Params {
+        let kind = self.kind_table[sym as usize];
+        let pc = kind.param_count();
+        let base = rank * pc;
+        let arr = &self.params[sym as usize];
+        Params {
+            m: f64::from_bits(arr.get(base)),
+            b: f64::from_bits(arr.get(base + 1)),
+            extra: if pc == 3 { f64::from_bits(arr.get(base + 2)) } else { 0.0 },
+        }
+    }
+
+    /// Reads the correction for position `k` of fragment `i` starting at
+    /// `start`.
+    #[inline]
+    fn correction(&self, i: usize, start: usize, k: usize) -> i64 {
+        let w = self.widths.get(i) as usize;
+        if w == 0 {
+            return 0;
+        }
+        let o = self.offsets.get(i) as usize + (k - start) * w;
+        let bias = 1u64 << (w - 1);
+        self.corrections.get_bits(o, w).wrapping_sub(bias) as i64
+    }
+
+    /// Per-kind fragment counts.
+    pub fn kind_histogram(&self) -> Vec<(Kind, usize)> {
+        let m = self.fragment_count();
+        self.kind_table
+            .iter()
+            .enumerate()
+            .map(|(sym, &kind)| (kind, self.kinds.rank(sym as u8, m)))
+            .collect()
+    }
+
+    /// Algorithm 3: random access to the value at position `k`.
+    pub fn get(&self, k: usize) -> i64 {
+        debug_assert!(k < self.n);
+        let i = self.starts.fragment_of(k);
+        let start = self.starts.start_of(i);
+        let (sym, rank) = self.kinds.access_rank(i);
+        let params = self.params_of(sym, rank);
+        let kind = self.kind_table[sym as usize];
+        let origin = start - self.origin_deltas.get(i) as usize;
+        let frag = Fragment { kind, params, start, end: self.n, origin };
+        model_value(&frag, k, self.shift).wrapping_add(self.correction(i, start, k))
+    }
+
+    /// Range query: one rank to locate the first fragment, then a sequential
+    /// scan across fragments.
+    pub fn scan_range(&self, start: usize, count: usize, out: &mut Vec<i64>) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.starts.fragment_of(start);
+        let mut pos = start;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            let w = self.widths.get(i) as usize;
+            let o0 = self.offsets.get(i) as usize + (pos - frag.start) * w;
+            self.emit_loop_dispatch(&frag, pos, to, w, o0, out);
+            pos = to;
+            i += 1;
+        }
+    }
+
+    /// Algorithm 2: full decompression, fragment by fragment, with all
+    /// cursors streaming (no per-fragment select/rank machinery).
+    pub fn decompress(&self) -> Vec<i64> {
+        let m = self.fragment_count();
+        let mut out = Vec::with_capacity(self.n);
+        let mut ranks = vec![0usize; self.kind_table.len()];
+        let mut o = 0usize;
+        let mut starts = self.starts.iter();
+        let mut start = starts.next().unwrap_or(0);
+        for i in 0..m {
+            let end = starts.next().unwrap_or(self.n);
+            let sym = self.kinds.access(i);
+            let kind = self.kind_table[sym as usize];
+            let params = self.params_of(sym, ranks[sym as usize]);
+            ranks[sym as usize] += 1;
+            let origin = start - self.origin_deltas.get(i) as usize;
+            let frag = Fragment { kind, params, start, end, origin };
+            let w = self.widths.get(i) as usize;
+            self.emit_loop_dispatch(&frag, start, end, w, o, &mut out);
+            o += (end - start) * w;
+            start = end;
+        }
+        out
+    }
+
+    /// Kind-dispatched emit over `[from, to)` reading `w`-bit corrections
+    /// starting at bit `o0` (mirrors the owned hot loop).
+    fn emit_loop_dispatch(
+        &self,
+        frag: &Fragment,
+        from: usize,
+        to: usize,
+        w: usize,
+        o0: usize,
+        out: &mut Vec<i64>,
+    ) {
+        let p = frag.params;
+        macro_rules! dispatch {
+            ($kind:expr) => {
+                self.emit_loop(|u| $kind.eval(p, u), frag, from, to, w, o0, out)
+            };
+        }
+        match frag.kind {
+            Kind::Linear => dispatch!(Kind::Linear),
+            Kind::Quadratic => dispatch!(Kind::Quadratic),
+            Kind::Exponential => dispatch!(Kind::Exponential),
+            Kind::Sqrt => dispatch!(Kind::Sqrt),
+            Kind::Logarithmic => dispatch!(Kind::Logarithmic),
+            Kind::Power => dispatch!(Kind::Power),
+            Kind::QuadOffset => dispatch!(Kind::QuadOffset),
+            Kind::QuadLinear => dispatch!(Kind::QuadLinear),
+            Kind::CubicLinear => dispatch!(Kind::CubicLinear),
+            Kind::CubicQuad => dispatch!(Kind::CubicQuad),
+            Kind::Gaussian => dispatch!(Kind::Gaussian),
+        }
+    }
+
+    /// The monomorphised emit loop shared by all kinds; `o0` is the bit
+    /// offset of the first correction to read. Identical arithmetic to the
+    /// owned loop — correction words are read through the unaligned view.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn emit_loop<F: Fn(f64) -> f64>(
+        &self,
+        eval: F,
+        frag: &Fragment,
+        from: usize,
+        to: usize,
+        w: usize,
+        o0: usize,
+        out: &mut Vec<i64>,
+    ) {
+        let shift_sub = if frag.kind.log_domain() { self.shift } else { 0 };
+        let origin = frag.origin;
+        let base = out.len();
+        out.resize(base + (to - from), 0);
+        let slice = &mut out[base..];
+        for (j, v) in slice.iter_mut().enumerate() {
+            let f = eval((from + j - origin + 1) as f64);
+            *v = crate::fit::floor_to_i64(f).wrapping_sub(shift_sub);
+        }
+        if w > 0 {
+            let bias = 1u64 << (w - 1);
+            let words = self.corrections.words();
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            let mut word_idx = o0 / 64;
+            let mut bit = o0 % 64;
+            let mut cur = words.get(word_idx);
+            for v in &mut out[base..] {
+                let mut raw = cur >> bit;
+                if bit + w > 64 {
+                    raw |= words.get(word_idx + 1) << (64 - bit);
+                }
+                *v = v.wrapping_add((raw & mask).wrapping_sub(bias) as i64);
+                bit += w;
+                if bit >= 64 {
+                    bit -= 64;
+                    word_idx += 1;
+                    cur = if word_idx < words.len() { words.get(word_idx) } else { 0 };
+                }
+            }
+        }
+    }
+
+    /// Exact range sum (scan-based), as `i128` to avoid overflow.
+    pub fn sum_range_exact(&self, start: usize, count: usize) -> i128 {
+        let mut out = Vec::with_capacity(count);
+        self.scan_range(start, count, &mut out);
+        out.iter().map(|&v| v as i128).sum()
+    }
+
+    /// Approximate range sum from the learned functions only (no correction
+    /// reads), bit-identical to the owned estimate.
+    pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        if count == 0 {
+            return Estimate { value: 0.0, max_error: 0.0 };
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut value = 0.0f64;
+        let mut max_error = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            value += fragment_model_sum(&frag, pos, to, self.shift);
+            let w = self.correction_width_of(i);
+            let bias = if w == 0 { 0.0 } else { (1u64 << (w - 1)) as f64 };
+            max_error += (to - pos) as f64 * (bias + 1.0);
+            pos = to;
+            i += 1;
+        }
+        Estimate { value, max_error }
+    }
+
+    /// Approximate range mean with the same guarantee, scaled by `1/count`.
+    pub fn mean_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        let s = self.sum_range_estimate(start, count);
+        let n = count.max(1) as f64;
+        Estimate { value: s.value / n, max_error: s.max_error / n }
+    }
+
+    /// Approximate range minimum and maximum from the learned functions
+    /// only, each with a guaranteed error bound.
+    pub fn min_max_range_estimate(&self, start: usize, count: usize) -> (Estimate, Estimate) {
+        assert!(count > 0, "min/max of an empty range is undefined");
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        let mut bound = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            let (flo, fhi) = fragment_model_extremes(&frag, pos, to, self.shift);
+            lo = lo.min(flo);
+            hi = hi.max(fhi);
+            let w = self.correction_width_of(i);
+            let bias = if w == 0 { 0.0 } else { (1u64 << (w - 1)) as f64 };
+            bound = bound.max(bias);
+            pos = to;
+            i += 1;
+        }
+        (
+            Estimate { value: lo as f64, max_error: bound },
+            Estimate { value: hi as f64, max_error: bound },
+        )
+    }
+}
+
+/// Zero-copy counterpart of [`crate::NeaTSLossy`]: the ε-bounded query
+/// surface over borrowed bytes.
+#[derive(Clone, Debug)]
+pub struct LossyView<'a> {
+    n: usize,
+    shift: i64,
+    eps: u64,
+    starts: EliasFanoView<'a>,
+    kinds: WaveletMatrixView<'a>,
+    kind_table: Vec<Kind>,
+    params: Vec<U64sView<'a>>,
+    origin_deltas: PackedVecView<'a>,
+}
+
+impl<'a> LossyView<'a> {
+    /// Parses and validates the lossy payload — the same invariants as the
+    /// owned `read_wire`, checked through the borrowed views.
+    fn read(r: &mut WireReader<'a>) -> Result<Self, WireError> {
+        let n = r.read_len()?;
+        let shift = r.i64()?;
+        let eps = r.u64()?;
+        let starts = EliasFanoView::read(r)?;
+        let kinds = WaveletMatrixView::read(r)?;
+        let kind_table = serial::read_kind_table(r)?;
+        let params = serial::read_params_ref(r, &kind_table)?;
+        let origin_deltas = PackedVecView::read(r)?;
+        starts.validate()?;
+        kinds.validate()?;
+        let m = starts.len();
+        if kinds.len() != m || origin_deltas.len() != m {
+            return Err(WireError::Corrupt("fragment count mismatch"));
+        }
+        // See the lossless reader: n and m must be zero together, or
+        // fragment_of underflows on a crafted archive.
+        if (m == 0) != (n == 0) {
+            return Err(WireError::Corrupt("fragment count vs series length"));
+        }
+        let mut total_syms = 0usize;
+        for (sym, &kind) in kind_table.iter().enumerate() {
+            let count = kinds.rank(sym as u8, m);
+            if params[sym].len() != count * kind.param_count() {
+                return Err(WireError::Corrupt("params length"));
+            }
+            total_syms += count;
+        }
+        if total_syms != m {
+            return Err(WireError::Corrupt("kind symbol"));
+        }
+        let mut prev = 0usize;
+        for (i, s) in starts.iter().enumerate() {
+            let s = s as usize;
+            if (i == 0 && s != 0) || (i > 0 && s <= prev) || s >= n {
+                return Err(WireError::Corrupt("fragment starts"));
+            }
+            if origin_deltas.get(i) as usize > s {
+                return Err(WireError::Corrupt("origin delta"));
+            }
+            prev = s;
+        }
+        Ok(Self { n, shift, eps, starts, kinds, kind_table, params, origin_deltas })
+    }
+
+    /// Number of data points represented.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the approximation covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The error bound the approximation was built under.
+    pub fn eps(&self) -> u64 {
+        self.eps
+    }
+
+    /// The global positivity shift stored in the header.
+    pub fn shift(&self) -> i64 {
+        self.shift
+    }
+
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.origin_deltas.len()
+    }
+
+    /// Index of the fragment covering position `k`.
+    pub fn fragment_index_of(&self, k: usize) -> usize {
+        debug_assert!(k < self.n);
+        self.starts.rank_leq(k as u64) - 1
+    }
+
+    /// Reconstructs the fragment descriptor for fragment `i`.
+    pub fn fragment(&self, i: usize) -> Fragment {
+        let start = self.starts.get(i) as usize;
+        let end = if i + 1 < self.fragment_count() {
+            self.starts.get(i + 1) as usize
+        } else {
+            self.n
+        };
+        let sym = self.kinds.access(i);
+        let kind = self.kind_table[sym as usize];
+        let params = self.params_of(sym, self.kinds.rank(sym, i));
+        let origin = start - self.origin_deltas.get(i) as usize;
+        Fragment { kind, params, start, end, origin }
+    }
+
+    #[inline]
+    fn params_of(&self, sym: u8, rank: usize) -> Params {
+        let pc = self.kind_table[sym as usize].param_count();
+        let base = rank * pc;
+        let arr = &self.params[sym as usize];
+        Params {
+            m: f64::from_bits(arr.get(base)),
+            b: f64::from_bits(arr.get(base + 1)),
+            extra: if pc == 3 { f64::from_bits(arr.get(base + 2)) } else { 0.0 },
+        }
+    }
+
+    /// The approximated value at position `k` (random access).
+    pub fn approximate(&self, k: usize) -> i64 {
+        debug_assert!(k < self.n);
+        let i = self.starts.rank_leq(k as u64) - 1;
+        let frag = self.fragment(i);
+        model_value(&frag, k, self.shift)
+    }
+
+    /// Per-kind fragment counts.
+    pub fn kind_histogram(&self) -> Vec<(Kind, usize)> {
+        let m = self.fragment_count();
+        self.kind_table
+            .iter()
+            .enumerate()
+            .map(|(sym, &kind)| (kind, self.kinds.rank(sym as u8, m)))
+            .collect()
+    }
+
+    /// Appends the approximated values in `[start, start + count)` to `out`:
+    /// one rank, then a sequential fragment walk.
+    pub fn scan_range(&self, start: usize, count: usize, out: &mut Vec<i64>) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            for k in pos..to {
+                out.push(model_value(&frag, k, self.shift));
+            }
+            pos = to;
+            i += 1;
+        }
+    }
+
+    /// Materialises the whole approximated series (sequential walk).
+    pub fn reconstruct(&self) -> Vec<i64> {
+        let m = self.fragment_count();
+        let mut out = Vec::with_capacity(self.n);
+        let mut ranks = vec![0usize; self.kind_table.len()];
+        let mut starts = self.starts.iter();
+        let mut start = starts.next().map(|v| v as usize).unwrap_or(0);
+        for i in 0..m {
+            let end = starts.next().map(|v| v as usize).unwrap_or(self.n);
+            let sym = self.kinds.access(i);
+            let kind = self.kind_table[sym as usize];
+            let params = self.params_of(sym, ranks[sym as usize]);
+            ranks[sym as usize] += 1;
+            let origin = start - self.origin_deltas.get(i) as usize;
+            let frag = Fragment { kind, params, start, end, origin };
+            for k in start..end {
+                out.push(model_value(&frag, k, self.shift));
+            }
+            start = end;
+        }
+        out
+    }
+
+    /// Approximate range sum from the lossy model: error bound
+    /// `count·(ε+2)`, bit-identical to the owned estimate.
+    pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
+        if count == 0 {
+            return Estimate { value: 0.0, max_error: 0.0 };
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        let mut value = 0.0f64;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            value += fragment_model_sum(&frag, pos, to, self.shift);
+            pos = to;
+            i += 1;
+        }
+        Estimate { value, max_error: count as f64 * (self.eps as f64 + 2.0) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NeaTS, RankMode};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use timeseries::{CompressedSeries, TimeSeries};
+
+    fn walk(n: usize, seed: u64) -> TimeSeries {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut v = 0i64;
+        TimeSeries::from_values((0..n).map(|_| { v += rng.random_range(-40..41); v }).collect())
+    }
+
+    #[test]
+    fn lossless_view_answers_match_owned() {
+        let ts = walk(3000, 1);
+        for mode in [RankMode::EliasFano, RankMode::BitVector] {
+            let c = NeaTS::builder().rank_mode(mode).build(&ts);
+            let bytes = c.to_bytes();
+            let view = ArchiveView::open(&bytes).unwrap();
+            assert_eq!(view.len(), c.len());
+            assert_eq!(view.fragment_count(), c.fragment_count());
+            for k in 0..ts.len() {
+                assert_eq!(view.at(k), c.get(k), "{mode:?} at({k})");
+            }
+            assert_eq!(view.materialize(), c.decompress(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_view_answers_match_owned() {
+        let ts = walk(2000, 2);
+        let l = NeaTS::builder().build_lossy(&ts, 25);
+        let bytes = l.to_bytes();
+        let view = ArchiveView::open(&bytes).unwrap();
+        let lossy = view.as_lossy().unwrap();
+        assert_eq!(lossy.eps(), 25);
+        for k in 0..ts.len() {
+            assert_eq!(view.at(k), l.approximate(k), "at({k})");
+        }
+        assert_eq!(view.materialize(), l.reconstruct());
+    }
+
+    #[test]
+    fn empty_archive_opens() {
+        let c = NeaTS::compress(&TimeSeries::from_values(vec![]));
+        let bytes = c.to_bytes();
+        let view = ArchiveView::open(&bytes).unwrap();
+        assert!(view.is_empty());
+        assert_eq!(view.materialize(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn view_range_matches_slice() {
+        let ts = walk(2000, 3);
+        let bytes = NeaTS::compress(&ts).to_bytes();
+        let view = ArchiveView::open(&bytes).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..60 {
+            let s = rng.random_range(0..ts.len());
+            let l = rng.random_range(0..=(ts.len() - s).min(400));
+            let mut out = Vec::new();
+            view.range(s..s + l, &mut out);
+            assert_eq!(out, &ts.values()[s..s + l], "range [{s}, {})", s + l);
+        }
+    }
+}

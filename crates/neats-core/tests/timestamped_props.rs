@@ -1,0 +1,91 @@
+//! Property tests for [`neats_core::TimestampedNeaTS`]: every time→index
+//! lookup is checked against a linear-scan oracle over the raw
+//! `(timestamp, value)` pairs.
+
+use neats_core::{NeaTS, TimestampedNeaTS};
+use proptest::prelude::*;
+use timeseries::TimeSeries;
+
+/// Builds strictly-increasing timestamps from positive gaps.
+fn stamps(base: u64, gaps: &[u64]) -> Vec<u64> {
+    let mut t = base;
+    gaps.iter()
+        .map(|&g| {
+            t += g;
+            t
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lookups_match_linear_scan_oracle(
+        base in 0u64..2_000_000_000,
+        gaps in prop::collection::vec(1u64..500, 1..250),
+        deltas in prop::collection::vec(-50i64..=50, 250),
+        probes in prop::collection::vec((0usize..250, -3i64..=3), 1..30),
+    ) {
+        let timestamps = stamps(base, &gaps);
+        let n = timestamps.len();
+        let mut v = 0i64;
+        let values: Vec<i64> = deltas[..n].iter().map(|&d| { v += d; v }).collect();
+        let ts = TimeSeries::from_values(values.clone());
+        let table = TimestampedNeaTS::compress(&timestamps, &ts, &NeaTS::builder()).unwrap();
+
+        // Probe at and around recorded stamps (offsets cover hits and gaps).
+        for &(idx, off) in &probes {
+            let t = timestamps[idx % n].saturating_add_signed(off);
+            // get_at: the value recorded exactly at t, if any.
+            let oracle_get = timestamps
+                .iter()
+                .position(|&s| s == t)
+                .map(|i| values[i]);
+            prop_assert_eq!(table.get_at(t), oracle_get, "get_at({})", t);
+            // lower_bound: index of the first stamp ≥ t.
+            let oracle_lb = timestamps.iter().position(|&s| s >= t).unwrap_or(n);
+            prop_assert_eq!(table.lower_bound(t), oracle_lb, "lower_bound({})", t);
+        }
+
+        // Time-interval queries against the filter oracle.
+        for &(idx, off) in probes.iter().take(8) {
+            let a = timestamps[idx % n].saturating_add_signed(off);
+            let b = a.saturating_add(1000);
+            let mut got = Vec::new();
+            table.range_by_time(a, b, &mut got);
+            let expected: Vec<(u64, i64)> = timestamps
+                .iter()
+                .zip(&values)
+                .filter(|(&t, _)| t >= a && t <= b)
+                .map(|(&t, &v)| (t, v))
+                .collect();
+            prop_assert_eq!(got, expected, "range_by_time({}, {})", a, b);
+        }
+
+        // Per-index accessors round-trip.
+        for i in (0..n).step_by(17.max(n / 8)) {
+            prop_assert_eq!(table.timestamp(i), timestamps[i]);
+            prop_assert_eq!(table.value(i), values[i]);
+        }
+    }
+
+    #[test]
+    fn extreme_probe_points(
+        base in 0u64..1_000_000,
+        gaps in prop::collection::vec(1u64..100, 1..60),
+    ) {
+        let timestamps = stamps(base, &gaps);
+        let n = timestamps.len();
+        let ts = TimeSeries::from_values((0..n as i64).collect());
+        let table = TimestampedNeaTS::compress(&timestamps, &ts, &NeaTS::builder()).unwrap();
+        // Before the first stamp, after the last, and the u64 extremes.
+        prop_assert_eq!(table.get_at(0), timestamps.first().and_then(|&t| (t == 0).then_some(0)));
+        prop_assert_eq!(table.lower_bound(0), 0);
+        prop_assert_eq!(table.lower_bound(u64::MAX), n);
+        prop_assert_eq!(table.get_at(u64::MAX), None);
+        let mut all = Vec::new();
+        table.range_by_time(0, u64::MAX, &mut all);
+        prop_assert_eq!(all.len(), n);
+    }
+}

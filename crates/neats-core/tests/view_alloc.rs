@@ -1,0 +1,116 @@
+//! Asserts the acceptance criterion that `ArchiveView::open` performs no
+//! heap allocation proportional to the archive size, via a counting global
+//! allocator: opening a 16× larger archive must allocate the same small,
+//! constant number of bytes (kind table, section table, a handful of
+//! bounded `Vec`s), and a point query through the view must allocate
+//! nothing at all.
+
+use neats_core::{ArchiveView, Kind, NeaTS};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use timeseries::TimeSeries;
+
+/// Counts every byte handed out (allocations only; frees are irrelevant for
+/// the "does open allocate O(archive)?" question).
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()), Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Bytes allocated while running `f`.
+fn allocated_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATED.load(Ordering::Relaxed) - before, out)
+}
+
+fn archive(n: usize) -> Vec<u8> {
+    let mut v = 0i64;
+    let values: Vec<i64> = (0..n as i64).map(|k| { v += (k * 37 % 23) - 11; v }).collect();
+    let ts = TimeSeries::from_values(values);
+    // A cheap pool keeps compression fast; the layout exercised by `open`
+    // (every section type) is identical to the default pool's.
+    NeaTS::builder().kinds(&[Kind::Linear, Kind::Quadratic]).epsilons(&[0, 4, 32]).build(&ts).to_bytes()
+}
+
+// A single test function: the counter is process-global, so concurrently
+// running measurements would bleed into each other's windows.
+#[test]
+fn open_allocates_constant_memory() {
+    // A generous constant budget: the bounded section/kind/level `Vec`s fit
+    // in well under 4 KiB regardless of archive size.
+    const BUDGET: usize = 4096;
+
+    let small = archive(4_000);
+    let large = archive(64_000);
+    assert!(
+        large.len() > small.len() * 4,
+        "archives must differ in size for the test to mean anything ({} vs {})",
+        large.len(),
+        small.len()
+    );
+
+    let (alloc_small, view_small) = allocated_during(|| ArchiveView::open(&small).unwrap());
+    let (alloc_large, view_large) = allocated_during(|| ArchiveView::open(&large).unwrap());
+    assert!(alloc_small <= BUDGET, "small open allocated {alloc_small} bytes");
+    assert!(
+        alloc_large <= BUDGET,
+        "large open allocated {alloc_large} bytes (archive {} bytes)",
+        large.len()
+    );
+    // Opening 16× the data must not allocate more than a constant extra.
+    assert!(
+        alloc_large <= alloc_small + 512,
+        "open allocation grows with archive size: {alloc_small} -> {alloc_large}"
+    );
+
+    // Point lookups and aggregate estimates through the view are
+    // allocation-free.
+    let (alloc_q, _) = allocated_during(|| {
+        let mut acc = 0i64;
+        for k in (0..view_large.len()).step_by(997) {
+            acc = acc.wrapping_add(view_large.at(k));
+        }
+        std::hint::black_box(acc)
+    });
+    assert_eq!(alloc_q, 0, "point queries allocated {alloc_q} bytes");
+    let (alloc_est, _) = allocated_during(|| {
+        std::hint::black_box(view_large.sum_range_estimate(100, view_large.len() - 200))
+    });
+    assert_eq!(alloc_est, 0, "sum estimate allocated {alloc_est} bytes");
+    drop(view_small);
+
+    // Contrast — and a sanity check of the measurement itself: the owned
+    // decode path of the same archive *does* allocate at least the payload.
+    let (alloc_owned, owned) =
+        allocated_during(|| neats_core::NeaTSCompressed::from_bytes(&large).unwrap());
+    assert!(
+        alloc_owned >= large.len() / 2,
+        "owned open allocated only {alloc_owned} bytes for a {} byte archive",
+        large.len()
+    );
+    drop(owned);
+}

@@ -187,6 +187,17 @@ impl BitVector {
         &self.words
     }
 
+    /// The superblock rank directory (one absolute count per 512 bits, plus
+    /// the total), persisted so zero-copy views can rank without a rebuild.
+    pub(crate) fn block_rank_slice(&self) -> &[u64] {
+        &self.block_rank
+    }
+
+    /// The per-word relative rank directory (see [`Self::block_rank_slice`]).
+    pub(crate) fn sub_rank_slice(&self) -> &[u16] {
+        &self.sub_rank
+    }
+
     /// Streaming iterator over the positions of all set bits, in order.
     ///
     /// A single forward scan of the payload words — O(len/64 + ones) for the
@@ -279,7 +290,7 @@ const fn build_select_in_byte() -> [u8; 2048] {
 /// previous `O(k)` clear-lowest-bit loop (up to 63 iterations); this sits
 /// under every `EliasFano::get` on the random-access path.
 #[inline]
-fn select_in_word(word: u64, k: usize) -> usize {
+pub(crate) fn select_in_word(word: u64, k: usize) -> usize {
     debug_assert!(k < word.count_ones() as usize);
     const ONES: u64 = 0x0101_0101_0101_0101;
     const MSBS: u64 = 0x8080_8080_8080_8080;

@@ -14,18 +14,29 @@
 //!   integer vectors (the array `B`, parameter arrays).
 //! * [`wavelet::WaveletMatrix`] — `access`/`rank_c` over small alphabets
 //!   (the function-kind string `K`).
+//! * [`views`] — borrowed, zero-copy counterparts of all of the above that
+//!   answer queries straight from serialized bytes (the `ArchiveView` read
+//!   path in `neats-core`).
+//! * [`crc`] — the CRC-64 used by the archive container frame.
 
 #![warn(missing_docs)]
 pub mod bits;
 pub mod bitvec;
+pub mod crc;
 pub mod elias_fano;
 pub mod packed;
+pub mod views;
 pub mod wavelet;
 pub mod wire;
 
 pub use bits::{bits_for, bits_for_residual_bound, BitBuf};
 pub use bitvec::{BitVector, OnesIter};
+pub use crc::{crc64, Crc64};
 pub use elias_fano::{EliasFano, EliasFanoIter};
 pub use packed::{zigzag_decode, zigzag_encode, PackedIVec, PackedVec};
+pub use views::{
+    BitBufView, BitVectorView, EliasFanoIterView, EliasFanoView, OnesIterView, PackedVecView,
+    U16sView, U64sView, WaveletMatrixView,
+};
 pub use wavelet::WaveletMatrix;
 pub use wire::{Wire, WireError, WireReader, WireWriter};

@@ -9,6 +9,9 @@ use crate::bits::BitBuf;
 use crate::bitvec::BitVector;
 use crate::elias_fano::EliasFano;
 use crate::packed::PackedVec;
+use crate::views::{
+    BitBufView, BitVectorView, EliasFanoView, PackedVecView, U16sView, U64sView, WaveletMatrixView,
+};
 use crate::wavelet::WaveletMatrix;
 
 /// Error decoding a wire buffer.
@@ -48,6 +51,22 @@ impl<'a> WireReader<'a> {
         self.data.len() - self.pos
     }
 
+    /// Current byte position from the start of the buffer.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Borrows the next `n` raw bytes without copying.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.data.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
         let end = self.pos.checked_add(8).ok_or(WireError::Truncated)?;
@@ -80,26 +99,34 @@ impl<'a> WireReader<'a> {
         Ok(self.u64()? as i64)
     }
 
-    /// Reads a length-prefixed `Vec<u64>`.
-    pub fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+    /// Borrows a length-prefixed `u64` sequence without copying.
+    pub fn u64s_ref(&mut self) -> Result<U64sView<'a>, WireError> {
         let n = self.read_len()?;
-        // Guard against absurd declared lengths before allocating.
-        if n.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
-            return Err(WireError::Truncated);
-        }
-        (0..n).map(|_| self.u64()).collect()
+        let bytes = n.checked_mul(8).ok_or(WireError::Truncated)?;
+        Ok(U64sView::new(self.take(bytes)?))
     }
 
-    /// Reads a length-prefixed byte vector.
-    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+    /// Borrows a length-prefixed `u16` sequence without copying.
+    pub fn u16s_ref(&mut self) -> Result<U16sView<'a>, WireError> {
         let n = self.read_len()?;
-        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.data.len() {
-            return Err(WireError::Truncated);
-        }
-        let v = self.data[self.pos..end].to_vec();
-        self.pos = end;
-        Ok(v)
+        let bytes = n.checked_mul(2).ok_or(WireError::Truncated)?;
+        Ok(U16sView::new(self.take(bytes)?))
+    }
+
+    /// Reads a length-prefixed `Vec<u64>` (one copy of the borrowed bytes).
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, WireError> {
+        Ok(self.u64s_ref()?.to_vec())
+    }
+
+    /// Borrows a length-prefixed byte slice without copying.
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.read_len()?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed byte vector (one copy of the borrowed bytes).
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        Ok(self.bytes_ref()?.to_vec())
     }
 
     /// Whether everything was consumed.
@@ -141,6 +168,29 @@ impl WireWriter {
         for &x in v {
             self.u64(x);
         }
+    }
+
+    /// Writes a length-prefixed `u16` slice (little-endian pairs).
+    pub fn u16_slice(&mut self, v: &[u16]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.out
     }
 
     /// Writes a length-prefixed byte slice.
@@ -188,30 +238,27 @@ impl Wire for BitBuf {
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.read_len()?;
-        let words = r.u64_vec()?;
-        if len > words.len() * 64 || (len > 0 && words.len() > len.div_ceil(64)) {
-            return Err(WireError::Corrupt("BitBuf length"));
-        }
-        Ok(BitBuf::from_words(words, len))
+        // Borrowed parse, then the single materialising copy.
+        Ok(BitBufView::read(r)?.to_bitbuf())
     }
 }
 
 impl Wire for BitVector {
     fn write(&self, w: &mut WireWriter) {
-        // Persist the payload only; directories are rebuilt on load, which
-        // keeps the format stable across directory-layout changes.
+        // The rank/select directories are persisted alongside the payload so
+        // the zero-copy views can answer rank/select without the O(n)
+        // directory rebuild an owned load performs.
         w.u64(self.len() as u64);
         w.u64_slice(self.words());
+        w.u64_slice(self.block_rank_slice());
+        w.u16_slice(self.sub_rank_slice());
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.read_len()?;
-        let words = r.u64_vec()?;
-        if len > words.len() * 64 {
-            return Err(WireError::Corrupt("BitVector length"));
-        }
-        Ok(BitVector::from_words(words, len))
+        // Borrowed parse, then one materialising copy; `to_bitvector`
+        // rebuilds the directories from the payload and rejects the input if
+        // the persisted ones disagree.
+        BitVectorView::read(r)?.to_bitvector()
     }
 }
 
@@ -227,16 +274,7 @@ impl Wire for EliasFano {
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.read_len()?;
-        let universe = r.u64()?;
-        let low_bits = r.read_len()?;
-        if low_bits > 64 {
-            return Err(WireError::Corrupt("EliasFano low_bits"));
-        }
-        let high = BitVector::read(r)?;
-        let low = BitBuf::read(r)?;
-        EliasFano::from_raw_parts(high, low, low_bits, len, universe)
-            .ok_or(WireError::Corrupt("EliasFano parts"))
+        EliasFanoView::read(r)?.to_elias_fano()
     }
 }
 
@@ -248,16 +286,7 @@ impl Wire for PackedVec {
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.read_len()?;
-        let width = r.read_len()?;
-        if width > 64 {
-            return Err(WireError::Corrupt("PackedVec width"));
-        }
-        let buf = BitBuf::read(r)?;
-        if buf.len() != len * width {
-            return Err(WireError::Corrupt("PackedVec payload size"));
-        }
-        Ok(PackedVec::from_raw_parts(buf, width, len))
+        Ok(PackedVecView::read(r)?.to_packed_vec())
     }
 }
 
@@ -274,23 +303,7 @@ impl Wire for WaveletMatrix {
     }
 
     fn read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        let len = r.read_len()?;
-        let bits = r.read_len()?;
-        let zeros: Vec<usize> = r.u64_vec()?.into_iter().map(|z| z as usize).collect();
-        let n_levels = r.read_len()?;
-        if n_levels != bits || zeros.len() != bits || bits > 8 {
-            return Err(WireError::Corrupt("WaveletMatrix level count"));
-        }
-        let mut levels = Vec::with_capacity(n_levels);
-        for _ in 0..n_levels {
-            let l = BitVector::read(r)?;
-            if l.len() != len {
-                return Err(WireError::Corrupt("WaveletMatrix level length"));
-            }
-            levels.push(l);
-        }
-        WaveletMatrix::from_raw_parts(levels, zeros, len, bits)
-            .ok_or(WireError::Corrupt("WaveletMatrix parts"))
+        WaveletMatrixView::read(r)?.to_wavelet_matrix()
     }
 }
 

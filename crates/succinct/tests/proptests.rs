@@ -103,4 +103,46 @@ proptest! {
         let expected = values.iter().rposition(|&v| v <= probe);
         prop_assert_eq!(ef.predecessor_index(probe), expected);
     }
+
+    #[test]
+    fn ones_iter_matches_naive_bit_loop(bits in prop::collection::vec(any::<bool>(), 0..3000)) {
+        let bv = BitVector::from_bools(&bits);
+        // The streaming word-scan iterator must yield exactly the positions a
+        // naive per-bit loop finds, in order.
+        let naive: Vec<usize> =
+            bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let streamed: Vec<usize> = bv.iter_ones().collect();
+        prop_assert_eq!(&streamed, &naive);
+        prop_assert_eq!(bv.iter_ones().len(), naive.len());
+        // size_hint stays exact while the iterator drains.
+        let mut it = bv.iter_ones();
+        for consumed in 0..naive.len() {
+            prop_assert_eq!(it.size_hint(), (naive.len() - consumed, Some(naive.len() - consumed)));
+            it.next();
+        }
+        prop_assert_eq!(it.next(), None);
+    }
+
+    #[test]
+    fn elias_fano_iter_matches_naive(deltas in prop::collection::vec(0u64..5000, 0..500)) {
+        let mut acc = 0u64;
+        let values: Vec<u64> = deltas.iter().map(|&d| { acc += d; acc }).collect();
+        let ef = EliasFano::new(&values);
+        // The streaming iterator must equal a per-index `get` loop (which in
+        // turn is tested against the input), including for duplicates and
+        // empty sequences.
+        let via_get: Vec<u64> = (0..ef.len()).map(|i| ef.get(i)).collect();
+        let streamed: Vec<u64> = ef.iter().collect();
+        prop_assert_eq!(&streamed, &via_get);
+        prop_assert_eq!(&streamed, &values);
+        prop_assert_eq!(ef.iter().len(), values.len());
+        // Partial consumption keeps the remainder consistent.
+        let mut it = ef.iter();
+        let skip = values.len() / 2;
+        for _ in 0..skip {
+            it.next();
+        }
+        let tail: Vec<u64> = it.collect();
+        prop_assert_eq!(&tail[..], &values[skip..]);
+    }
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example storage_engine`
 
-use neats::core::{NeaTS, NeaTSCompressed, NeaTSWriter, TimestampedNeaTS};
+use neats::core::{ArchiveView, NeaTS, NeaTSWriter, TimestampedNeaTS};
 use neats::timeseries::{CompressedSeries, Dataset};
 
 fn main() {
@@ -37,19 +37,28 @@ fn main() {
         .sum();
     println!("persisted {} bytes across {} chunk files", on_disk, store.chunk_count());
 
-    // --- Recovery: load one chunk back and serve queries from it. ---
-    let chunk2 = NeaTSCompressed::from_bytes(
-        &std::fs::read(dir.join("chunk-0002.neats")).expect("read chunk"),
-    )
-    .expect("valid chunk file");
+    // --- Serving: open one chunk zero-copy and answer queries from the
+    // file bytes directly. `ArchiveView::open` validates the checksummed
+    // frame once and allocates nothing proportional to the chunk, which is
+    // what a server opening thousands of chunks per second needs.
+    let chunk_bytes = std::fs::read(dir.join("chunk-0002.neats")).expect("read chunk");
+    let t0 = std::time::Instant::now();
+    let chunk2 = ArchiveView::open(&chunk_bytes).expect("valid chunk file");
+    let open_us = t0.elapsed().as_secs_f64() * 1e6;
     let global_index = 2 * 65_536 + 1234;
-    assert_eq!(chunk2.get(1234), feed.values()[global_index]);
-    println!("recovered chunk 2 and served a point query ✓");
+    assert_eq!(chunk2.at(1234), feed.values()[global_index]);
+    let mut window = Vec::new();
+    chunk2.range(1000..1064, &mut window);
+    assert_eq!(window, &feed.values()[2 * 65_536 + 1000..2 * 65_536 + 1064]);
+    println!(
+        "opened chunk 2 zero-copy in {open_us:.0} µs and served point + range queries ✓"
+    );
 
     // --- Aggregates: dashboard means from the learned functions only. ---
-    let est = chunk2.mean_range_estimate(0, chunk2.len());
+    let serving = chunk2.as_lossless().expect("lossless chunk");
+    let est = serving.mean_range_estimate(0, chunk2.len());
     let exact =
-        chunk2.sum_range_exact(0, chunk2.len()) as f64 / chunk2.len() as f64;
+        serving.sum_range_exact(0, chunk2.len()) as f64 / chunk2.len() as f64;
     println!(
         "chunk 2 mean: estimate {:.2} ± {:.2} (exact {:.2}) from {} fragments",
         est.value,
