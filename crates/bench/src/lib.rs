@@ -18,6 +18,9 @@
 //! * `access_baseline` — owned vs zero-copy (`ArchiveView`) open latency and
 //!   random-access throughput, written machine-readable to
 //!   `BENCH_access.json` (the read-side perf trajectory).
+//! * `store_baseline` — multi-series pack store vs per-file archives: open
+//!   latency, point/range throughput, and the cache-hit effect, written
+//!   machine-readable to `BENCH_store.json`.
 //!
 //! Scale knobs (environment variables):
 //!
@@ -27,9 +30,12 @@
 //!   `perf_baseline` (default `1,2,4`);
 //! * `NEATS_BENCH_DATASETS` — comma-separated dataset abbreviations to
 //!   restrict `perf_baseline` / `access_baseline` to (default: all 16);
+//! * `NEATS_BENCH_SERIES` / `NEATS_BENCH_SEGMENT` — series count and
+//!   segment size for `store_baseline` (defaults 8 / 8192; that binary
+//!   reads `NEATS_BENCH_N` as points *per series*, default 32768);
 //! * `NEATS_BENCH_OUT` — output path for `perf_baseline` /
-//!   `access_baseline` (defaults `BENCH_partition.json` /
-//!   `BENCH_access.json`).
+//!   `access_baseline` / `store_baseline` (defaults `BENCH_partition.json`
+//!   / `BENCH_access.json` / `BENCH_store.json`).
 
 #![warn(missing_docs)]
 pub mod json;

@@ -13,18 +13,31 @@
 //! neats sum        <in.neats> <start> <count> [--exact]
 //! neats query      <archive> <index | a..b>...
 //! neats stat       <archive>
+//! neats store build <out.pack> <in...> [--digits D] [--eps E] [--segment N]
+//!                   [--threads T] [--append]
+//! neats store ls    <pack>
+//! neats store query <pack> <series> <index | a..b | @time>...
 //! ```
 //!
 //! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
 //! through the zero-copy [`neats_core::ArchiveView`] — the file is never
-//! fully decoded, which is the recommended serving path. The other query
-//! commands use the owned decode path.
+//! fully decoded, which is the recommended serving path for single
+//! archives. The other single-archive query commands use the owned decode
+//! path.
+//!
+//! The `store` family works on multi-series packfiles ([`neats_store`]):
+//! `build` ingests one series per input file (named after the file stem)
+//! and compresses segments in parallel; `ls` prints the catalog; `query`
+//! serves point, index-range, and `@timestamp` lookups zero-copy through
+//! [`neats_store::Store`] — the recommended path when serving many series.
 //!
 //! Input text files contain one decimal value per line (the format the
-//! paper's datasets ship in); `--digits` sets the fixed-precision scaling.
+//! paper's datasets ship in) or `timestamp,value` CSV lines (timestamps
+//! must strictly increase); `--digits` sets the fixed-precision scaling.
 
 #![warn(missing_docs)]
 use neats_core::{ArchiveView, Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
+use neats_store::{Store, StoreConfig, StoreMode, StoreWriter};
 use std::path::Path;
 use timeseries::{io::load_fixed_precision, CompressedSeries};
 
@@ -132,6 +145,37 @@ pub enum Command {
         /// Input archive path (`.neats` or `.neatsl`).
         input: String,
     },
+    /// Build (or append to) a multi-series packfile, one series per input.
+    StoreBuild {
+        /// Output pack path.
+        output: String,
+        /// Input text files (one series each, named after the file stem).
+        inputs: Vec<String>,
+        /// Fixed-precision digits for values.
+        digits: u8,
+        /// Lossy error bound (lossless when absent).
+        eps: Option<u64>,
+        /// Max points per segment (0 = default).
+        segment: usize,
+        /// Segment-compression worker threads (0 = auto).
+        threads: usize,
+        /// Append to an existing pack instead of creating a fresh one.
+        append: bool,
+    },
+    /// List a pack's catalog.
+    StoreLs {
+        /// Pack path.
+        pack: String,
+    },
+    /// Zero-copy lookups in a pack through the store.
+    StoreQuery {
+        /// Pack path.
+        pack: String,
+        /// Series name.
+        series: String,
+        /// Lookup specs: index `K`, half-open range `A..B`, or `@timestamp`.
+        specs: Vec<String>,
+    },
 }
 
 /// Which function families to allow.
@@ -166,7 +210,11 @@ pub const USAGE: &str = "usage:
   neats range      <in.neats> <start> <count>
   neats sum        <in.neats> <start> <count> [--exact]
   neats query      <archive> <index | a..b>...
-  neats stat       <archive>";
+  neats stat       <archive>
+  neats store build <out.pack> <in...> [--digits D] [--eps E] [--segment N]
+                    [--threads T] [--append]
+  neats store ls    <pack>
+  neats store query <pack> <series> <index | a..b | @time>...";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -177,6 +225,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut sneats = false;
     let mut exact = false;
     let mut threads = 0usize;
+    let mut segment = 0usize;
+    let mut append = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -211,7 +261,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .and_then(|v| v.parse().ok())
                     .ok_or(CliError("--threads needs a non-negative integer (0 = auto)".into()))?;
             }
+            "--segment" => {
+                i += 1;
+                segment = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(CliError("--segment needs a point count (0 = default)".into()))?;
+            }
             "--sneats" => sneats = true,
+            "--append" => append = true,
             "--exact" => exact = true,
             flag if flag.starts_with("--") => return err(format!("unknown flag {flag}")),
             p => pos.push(p),
@@ -274,6 +332,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Query { input, specs: pos[2..].iter().map(|s| s.to_string()).collect() })
         }
         Some("stat") => Ok(Command::Stat { input: get_pos(1, "input")? }),
+        Some("store") => match pos.get(1).copied() {
+            Some("build") => {
+                let output = get_pos(2, "output pack")?;
+                if pos.len() < 4 {
+                    return err("store build needs at least one input file");
+                }
+                Ok(Command::StoreBuild {
+                    output,
+                    inputs: pos[3..].iter().map(|s| s.to_string()).collect(),
+                    digits,
+                    eps,
+                    segment,
+                    threads,
+                    append,
+                })
+            }
+            Some("ls") => Ok(Command::StoreLs { pack: get_pos(2, "pack")? }),
+            Some("query") => {
+                let pack = get_pos(2, "pack")?;
+                let series = get_pos(3, "series")?;
+                if pos.len() < 5 {
+                    return err("store query needs at least one index, a..b range, or @time");
+                }
+                Ok(Command::StoreQuery {
+                    pack,
+                    series,
+                    specs: pos[4..].iter().map(|s| s.to_string()).collect(),
+                })
+            }
+            other => err(format!("unknown store subcommand {other:?}\n{USAGE}")),
+        },
         Some(other) => err(format!("unknown command {other:?}\n{USAGE}")),
         None => err(USAGE),
     }
@@ -440,7 +529,162 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::StoreBuild { output, inputs, digits, eps, segment, threads, append } => {
+            let cfg = StoreConfig {
+                segment_points: if segment == 0 {
+                    neats_store::DEFAULT_SEGMENT_POINTS
+                } else {
+                    segment
+                },
+                builder: NeaTS::builder(),
+                mode: match eps {
+                    Some(eps) => StoreMode::Lossy { eps },
+                    None => StoreMode::Lossless,
+                },
+                threads,
+            };
+            let mut writer = if append {
+                let existing = std::fs::read(&output)
+                    .map_err(|e| CliError(format!("{output}: {e} (--append needs an existing pack)")))?;
+                StoreWriter::append_to(&existing, cfg)
+                    .map_err(|e| CliError(format!("{output}: {e}")))?
+            } else {
+                StoreWriter::new(cfg)
+            };
+            let mut total_points = 0usize;
+            for input in &inputs {
+                let name = Path::new(input)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().to_string())
+                    .filter(|s| !s.is_empty())
+                    .ok_or(CliError(format!("{input}: cannot derive a series name")))?;
+                let (stamps, values) = load_series_file(input, digits)?;
+                total_points += values.len();
+                writer
+                    .ingest(&name, &stamps, &values)
+                    .map_err(|e| CliError(format!("{input}: {e}")))?;
+            }
+            let pack = writer.finish().map_err(|e| CliError(e.to_string()))?;
+            std::fs::write(&output, &pack)?;
+            writeln!(
+                out,
+                "{} series, {} points -> {} bytes ({output})",
+                inputs.len(),
+                total_points,
+                pack.len()
+            )?;
+            Ok(())
+        }
+        Command::StoreLs { pack } => {
+            let store = Store::open_path(&pack).map_err(|e| CliError(format!("{pack}: {e}")))?;
+            writeln!(
+                out,
+                "{:<20} {:>9} {:>9} {:>10} {:>21} {:>12}",
+                "series", "mode", "points", "segments", "time span", "bytes"
+            )?;
+            for e in store.entries() {
+                let mode = match e.mode() {
+                    StoreMode::Lossless => "lossless".to_string(),
+                    StoreMode::Lossy { eps } => format!("lossy/{eps}"),
+                };
+                writeln!(
+                    out,
+                    "{:<20} {:>9} {:>9} {:>10} {:>10}..{:>9} {:>12}",
+                    e.name(),
+                    mode,
+                    e.len(),
+                    e.segments().len(),
+                    e.t_min(),
+                    e.t_max(),
+                    e.stored_bytes()
+                )?;
+            }
+            writeln!(
+                out,
+                "total: {} series, {} points, {} bytes on disk, {} dead",
+                store.series_count(),
+                store.total_points(),
+                store.as_bytes().len(),
+                store.dead_bytes()
+            )?;
+            Ok(())
+        }
+        Command::StoreQuery { pack, series, specs } => {
+            let store = Store::open_path(&pack).map_err(|e| CliError(format!("{pack}: {e}")))?;
+            let fail = |e: neats_store::StoreError| CliError(format!("{series}: {e}"));
+            for spec in specs {
+                if let Some(t) = spec.strip_prefix('@') {
+                    let t: u64 = t
+                        .parse()
+                        .map_err(|_| CliError(format!("@time must be an integer, got {spec:?}")))?;
+                    match store.at_time(&series, t).map_err(fail)? {
+                        Some(v) => writeln!(out, "{v}")?,
+                        None => {
+                            return err(format!("no sample at timestamp {t} in series {series:?}"))
+                        }
+                    }
+                } else if let Some((a, b)) = spec.split_once("..") {
+                    let a = parse_usize_msg(a, "range start")?;
+                    let b = parse_usize_msg(b, "range end")?;
+                    let mut values = Vec::new();
+                    store.range(&series, a..b, &mut values).map_err(fail)?;
+                    for v in values {
+                        writeln!(out, "{v}")?;
+                    }
+                } else {
+                    let k = parse_usize_msg(&spec, "index")?;
+                    writeln!(out, "{}", store.get(&series, k).map_err(fail)?)?;
+                }
+            }
+            Ok(())
+        }
     }
+}
+
+/// Loads a series input file: either one `timestamp,value` pair per line
+/// (timestamps must be integers), or the plain one-value-per-line format
+/// every other command reads — in which case point indices 0, 1, 2, … are
+/// used as timestamps. Values are scaled by `10^digits` via the same
+/// fixed-precision transform as `neats compress`.
+fn load_series_file(path: &str, digits: u8) -> Result<(Vec<u64>, Vec<i64>), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let timestamped =
+        text.lines().map(str::trim).find(|l| !l.is_empty()).is_some_and(|l| l.contains(','));
+    if !timestamped {
+        // Plain format: exactly what `neats compress` reads — delegate so
+        // the two commands can never diverge on scaling/rounding.
+        let ts = timeseries::io::parse_lines(std::io::Cursor::new(text), digits)
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        let stamps = (0..ts.len() as u64).collect();
+        return Ok((stamps, ts.values().to_vec()));
+    }
+    let scale = 10f64.powi(digits as i32);
+    let mut stamps = Vec::new();
+    let mut values = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((t, v)) = line.split_once(',') else {
+            return Err(CliError(format!(
+                "{path}: mixes timestamped and plain lines (line {})",
+                lineno + 1
+            )));
+        };
+        let t: u64 = t
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("{path}:{}: bad timestamp {t:?}", lineno + 1)))?;
+        let v = v.trim();
+        let v: f64 = v
+            .parse()
+            .map_err(|_| CliError(format!("{path}:{}: bad value {v:?}", lineno + 1)))?;
+        stamps.push(t);
+        values.push((v * scale).round() as i64);
+    }
+    Ok((stamps, values))
 }
 
 fn parse_usize_msg(s: &str, what: &str) -> Result<usize, CliError> {
@@ -670,6 +914,140 @@ mod tests {
         .unwrap();
         let text = String::from_utf8_lossy(&log);
         assert!(text.contains("max error"), "{text}");
+    }
+
+    #[test]
+    fn parse_store_commands() {
+        assert_eq!(
+            parse_args(&argv("store build out.pack a.txt b.csv --eps 4 --segment 512 --append"))
+                .unwrap(),
+            Command::StoreBuild {
+                output: "out.pack".into(),
+                inputs: vec!["a.txt".into(), "b.csv".into()],
+                digits: 0,
+                eps: Some(4),
+                segment: 512,
+                threads: 0,
+                append: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("store ls p.pack")).unwrap(),
+            Command::StoreLs { pack: "p.pack".into() }
+        );
+        assert_eq!(
+            parse_args(&argv("store query p.pack cpu 5 10..20 @99")).unwrap(),
+            Command::StoreQuery {
+                pack: "p.pack".into(),
+                series: "cpu".into(),
+                specs: vec!["5".into(), "10..20".into(), "@99".into()],
+            }
+        );
+        assert!(parse_args(&argv("store")).is_err());
+        assert!(parse_args(&argv("store frobnicate x")).is_err());
+        assert!(parse_args(&argv("store build out.pack")).is_err()); // no inputs
+        assert!(parse_args(&argv("store query p.pack cpu")).is_err()); // no specs
+    }
+
+    #[test]
+    fn store_build_ls_query_end_to_end() {
+        let dir = std::env::temp_dir().join("neats_cli_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("cpu.txt");
+        let csv = dir.join("temp.csv");
+        let pack = dir.join("metrics.pack");
+        // One plain file (implicit 0.. stamps) and one timestamped CSV.
+        let plain_text: String = (0..400).map(|k| format!("{}\n", k * k / 13)).collect();
+        std::fs::write(&plain, &plain_text).unwrap();
+        let csv_text: String =
+            (0..300).map(|k| format!("{},{}.5\n", 1000 + k * 60, 20 + k % 7)).collect();
+        std::fs::write(&csv, &csv_text).unwrap();
+
+        let mut log = Vec::new();
+        run(
+            parse_args(&argv(&format!(
+                "store build {} {} {} --digits 1 --segment 128",
+                pack.display(),
+                plain.display(),
+                csv.display()
+            )))
+            .unwrap(),
+            &mut log,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&log).contains("2 series, 700 points"));
+
+        // ls shows both series and no dead bytes.
+        let mut ls = Vec::new();
+        run(parse_args(&argv(&format!("store ls {}", pack.display()))).unwrap(), &mut ls).unwrap();
+        let text = String::from_utf8_lossy(&ls);
+        assert!(text.contains("cpu"), "{text}");
+        assert!(text.contains("temp"), "{text}");
+        assert!(text.contains("0 dead"), "{text}");
+
+        // Point, range, and @time queries (values scaled by 10^1).
+        let mut q = Vec::new();
+        run(
+            parse_args(&argv(&format!(
+                "store query {} temp @1060 0..2",
+                pack.display()
+            )))
+            .unwrap(),
+            &mut q,
+        )
+        .unwrap();
+        let lines: Vec<i64> =
+            String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(lines, vec![215, 205, 215]); // 21.5, then values at idx 0, 1
+        let mut q = Vec::new();
+        run(
+            parse_args(&argv(&format!("store query {} cpu 200", pack.display()))).unwrap(),
+            &mut q,
+        )
+        .unwrap();
+        assert_eq!(
+            String::from_utf8_lossy(&q).trim().parse::<i64>().unwrap(),
+            200 * 200 / 13 * 10
+        );
+
+        // Errors are reported, not panicked.
+        let e = run(
+            parse_args(&argv(&format!("store query {} nope 0", pack.display()))).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unknown series"), "{e}");
+        let e = run(
+            parse_args(&argv(&format!("store query {} temp @1", pack.display()))).unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("no sample"), "{e}");
+
+        // Append a third series, then verify it serves.
+        run(
+            parse_args(&argv(&format!(
+                "store build {} {} --append --segment 128",
+                pack.display(),
+                dir.join("disk.txt").display()
+            )))
+            .map(|cmd| {
+                std::fs::write(dir.join("disk.txt"), "1\n2\n3\n").unwrap();
+                cmd
+            })
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut q = Vec::new();
+        run(
+            parse_args(&argv(&format!("store query {} disk 0..3", pack.display()))).unwrap(),
+            &mut q,
+        )
+        .unwrap();
+        let lines: Vec<i64> =
+            String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
     }
 
     #[test]

@@ -208,6 +208,28 @@ impl<'a> ArchiveView<'a> {
         }
     }
 
+    /// Exact range sum of the archive's values (the stored values for
+    /// lossless archives, the ε-bounded approximations for lossy ones), as
+    /// `i128` to avoid overflow. Used by the multi-series store to push sums
+    /// down to individual segments and stitch across their boundaries.
+    pub fn sum_range_exact(&self, start: usize, count: usize) -> i128 {
+        match self {
+            ArchiveView::Lossless(v) => v.sum_range_exact(start, count),
+            ArchiveView::Lossy(v) => v.sum_range_exact(start, count),
+        }
+    }
+
+    /// Exact minimum and maximum over `[start, start + count)` of the
+    /// archive's values (`None` for an empty range). Like
+    /// [`Self::sum_range_exact`], this is the segment-local aggregate the
+    /// store's cross-segment pushdown folds over.
+    pub fn min_max_range_exact(&self, start: usize, count: usize) -> Option<(i64, i64)> {
+        match self {
+            ArchiveView::Lossless(v) => v.min_max_range_exact(start, count),
+            ArchiveView::Lossy(v) => v.min_max_range_exact(start, count),
+        }
+    }
+
     /// Per-kind fragment counts.
     pub fn kind_histogram(&self) -> Vec<(Kind, usize)> {
         match self {
@@ -584,6 +606,23 @@ impl<'a> LosslessView<'a> {
         out.iter().map(|&v| v as i128).sum()
     }
 
+    /// Exact range minimum and maximum (scan-based); `None` when `count` is
+    /// zero.
+    pub fn min_max_range_exact(&self, start: usize, count: usize) -> Option<(i64, i64)> {
+        if count == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(count);
+        self.scan_range(start, count, &mut out);
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for &v in &out {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
     /// Approximate range sum from the learned functions only (no correction
     /// reads), bit-identical to the owned estimate.
     pub fn sum_range_estimate(&self, start: usize, count: usize) -> Estimate {
@@ -826,6 +865,45 @@ impl<'a> LossyView<'a> {
             start = end;
         }
         out
+    }
+
+    /// Streaming fold over the approximated values in
+    /// `[start, start + count)`: one rank, then a fragment walk evaluating
+    /// the models directly — no allocation.
+    fn fold_range<A>(&self, start: usize, count: usize, mut acc: A, f: impl Fn(A, i64) -> A) -> A {
+        if count == 0 {
+            return acc;
+        }
+        debug_assert!(start + count <= self.n);
+        let end = start + count;
+        let mut i = self.fragment_index_of(start);
+        let mut pos = start;
+        while pos < end {
+            let frag = self.fragment(i);
+            let to = frag.end.min(end);
+            for k in pos..to {
+                acc = f(acc, model_value(&frag, k, self.shift));
+            }
+            pos = to;
+            i += 1;
+        }
+        acc
+    }
+
+    /// Exact range sum of the ε-bounded approximations, as `i128` to avoid
+    /// overflow (a streaming fragment walk, no allocation).
+    pub fn sum_range_exact(&self, start: usize, count: usize) -> i128 {
+        self.fold_range(start, count, 0i128, |acc, v| acc + v as i128)
+    }
+
+    /// Exact range minimum and maximum of the ε-bounded approximations;
+    /// `None` when `count` is zero (a streaming fragment walk, no
+    /// allocation).
+    pub fn min_max_range_exact(&self, start: usize, count: usize) -> Option<(i64, i64)> {
+        self.fold_range(start, count, None, |acc: Option<(i64, i64)>, v| match acc {
+            Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            None => Some((v, v)),
+        })
     }
 
     /// Approximate range sum from the lossy model: error bound

@@ -1,0 +1,121 @@
+//! An opened segment: the zero-copy value view and timestamp index,
+//! borrowed from the pack's shared byte buffer.
+//!
+//! This is the one place the crate uses `unsafe`. A [`SegmentView`] must
+//! hold both the `Arc<[u8]>` that owns the pack bytes *and* views that
+//! borrow from those bytes — a self-referential pair Rust's lifetimes can't
+//! express directly. The views are transmuted to `'static` internally and
+//! **never exposed at that lifetime**: every accessor reborrows them at the
+//! lifetime of `&self`, so callers cannot outlive the buffer.
+
+use crate::format::SegmentMeta;
+use crate::StoreError;
+use neats_core::ArchiveView;
+use std::sync::Arc;
+use succinct::{crc64, EliasFanoView, WireReader};
+
+/// A validated, opened segment: value archive view + timestamp index, both
+/// borrowing the pack buffer kept alive by `_pack`.
+pub(crate) struct SegmentView {
+    /// Owns the bytes the two views below borrow. Must stay alive as long
+    /// as this struct; never mutated (`Arc<[u8]>` contents are immutable).
+    _pack: Arc<[u8]>,
+    /// SAFETY invariant: borrows from `_pack`'s heap allocation, which is
+    /// stable (moving the `Arc` does not move the bytes) and outlives this
+    /// struct. Only ever reborrowed at `&self`'s lifetime.
+    view: ArchiveView<'static>,
+    /// SAFETY invariant: same as `view`.
+    ts: EliasFanoView<'static>,
+    /// First timestamp; stamps are stored rebased so the Elias-Fano
+    /// universe is the segment's time *span*.
+    ts_base: u64,
+}
+
+impl SegmentView {
+    /// Opens and fully validates one segment of `pack`: the value frame's
+    /// own checksum and structure (via [`ArchiveView::open`]), the timestamp
+    /// blob's catalog-recorded CRC, and the agreement of both with the
+    /// catalog entry (point count, time span, strict stamp monotonicity).
+    pub(crate) fn open(pack: &Arc<[u8]>, meta: &SegmentMeta) -> Result<Self, StoreError> {
+        // Blob bounds were validated against the data region at catalog
+        // parse time.
+        let frame = &pack[meta.data_offset..meta.data_offset + meta.data_len];
+        let view = ArchiveView::open(frame)?;
+        if view.len() != meta.count {
+            return Err(StoreError::Corrupt("segment frame point count"));
+        }
+
+        let blob = &pack[meta.ts_offset..meta.ts_offset + meta.ts_len];
+        if crc64(blob) != meta.ts_crc {
+            return Err(StoreError::Corrupt("timestamp blob checksum mismatch"));
+        }
+        let mut r = WireReader::new(blob);
+        let ts_base = r.u64()?;
+        let ts = EliasFanoView::read(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(StoreError::Corrupt("timestamp blob trailing bytes"));
+        }
+        ts.validate()?;
+        if ts.len() != meta.count {
+            return Err(StoreError::Corrupt("timestamp count mismatch"));
+        }
+        if ts_base != meta.t_min || ts.get(0) != 0 {
+            return Err(StoreError::Corrupt("timestamp base mismatch"));
+        }
+        let mut prev = 0u64;
+        for (i, v) in ts.iter().enumerate() {
+            if i > 0 && v <= prev {
+                return Err(StoreError::Corrupt("timestamps not strictly increasing"));
+            }
+            prev = v;
+        }
+        if ts_base.checked_add(prev) != Some(meta.t_max) {
+            return Err(StoreError::Corrupt("timestamp span mismatch"));
+        }
+
+        // SAFETY: both views borrow from `pack`'s heap allocation. The
+        // `Arc` clone stored alongside them keeps that allocation alive for
+        // the lifetime of the returned struct, the bytes are never mutated,
+        // and the accessors below reborrow the views at `&self`'s lifetime,
+        // so no `'static` reference ever escapes.
+        let view: ArchiveView<'static> = unsafe { std::mem::transmute(view) };
+        let ts: EliasFanoView<'static> = unsafe { std::mem::transmute(ts) };
+        Ok(Self { _pack: Arc::clone(pack), view, ts, ts_base })
+    }
+
+    /// The segment's value archive, reborrowed at `&self`'s lifetime
+    /// (`ArchiveView` is covariant in its lifetime parameter).
+    pub(crate) fn archive<'s>(&'s self) -> &'s ArchiveView<'s> {
+        &self.view
+    }
+
+    /// The timestamp of the segment-local point `i`.
+    pub(crate) fn timestamp(&self, i: usize) -> u64 {
+        self.ts_base + self.ts.get(i)
+    }
+
+    /// Number of stamps ≤ `t` in this segment (0 when `t` precedes it).
+    pub(crate) fn stamps_leq(&self, t: u64) -> usize {
+        if t < self.ts_base {
+            return 0;
+        }
+        self.ts.rank_leq(t - self.ts_base)
+    }
+
+    /// Segment-local index of the first point with timestamp ≥ `t`.
+    pub(crate) fn lower_bound(&self, t: u64) -> usize {
+        if t <= self.ts_base {
+            return 0;
+        }
+        self.ts.rank_leq(t - self.ts_base - 1)
+    }
+
+    /// The segment-local index holding exactly timestamp `t`, if any.
+    pub(crate) fn index_of_time(&self, t: u64) -> Option<usize> {
+        let r = self.stamps_leq(t);
+        if r == 0 || self.timestamp(r - 1) != t {
+            return None;
+        }
+        Some(r - 1)
+    }
+}

@@ -1,0 +1,519 @@
+//! The concurrent reader: open a pack once, serve many series zero-copy.
+
+use crate::cache::{CacheStats, SegmentCache};
+use crate::format::{self, SegmentMeta, SeriesEntry};
+use crate::segment::SegmentView;
+use crate::StoreError;
+use neats_core::Estimate;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Options for [`Store::open_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Target number of opened segment views kept cached across all series
+    /// (`0` disables caching: every query revalidates its segment). The
+    /// budget is divided over the cache's shards, so an uneven working set
+    /// can briefly hold up to `shards − 1` more entries than this.
+    pub cache_capacity: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self { cache_capacity: 256 }
+    }
+}
+
+/// A read-only, thread-safe view over a pack.
+///
+/// The pack bytes are held once in an `Arc<[u8]>`; every query runs through
+/// a borrowed [`neats_core::ArchiveView`] over a slice of that buffer — no
+/// per-query copy of archive data. Opened (validated) segment views are
+/// kept in a sharded LRU cache, so a working set of hot segments is served
+/// without re-running checksums. `Store` is `Send + Sync`; share it behind
+/// an `Arc` and query from any number of threads.
+pub struct Store {
+    data: Arc<[u8]>,
+    series: Vec<SeriesEntry>,
+    index: HashMap<String, usize>,
+    catalog_offset: usize,
+    cache: SegmentCache,
+}
+
+impl Store {
+    /// Opens a pack from bytes with default [`StoreOptions`], validating
+    /// the header, footer, catalog checksum, and every catalog invariant.
+    pub fn open(data: impl Into<Arc<[u8]>>) -> Result<Self, StoreError> {
+        Self::open_with(data, StoreOptions::default())
+    }
+
+    /// [`Self::open`] with explicit options.
+    pub fn open_with(
+        data: impl Into<Arc<[u8]>>,
+        options: StoreOptions,
+    ) -> Result<Self, StoreError> {
+        let data = data.into();
+        let (series, catalog_offset) = format::parse_pack(&data)?;
+        let index = series.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        Ok(Self {
+            data,
+            series,
+            index,
+            catalog_offset,
+            cache: SegmentCache::new(options.cache_capacity),
+        })
+    }
+
+    /// Opens a pack file from disk (one read into the shared buffer).
+    pub fn open_path(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open(std::fs::read(path)?)
+    }
+
+    /// The pack bytes the store serves from.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Series names in catalog order.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.iter().map(|s| s.name()).collect()
+    }
+
+    /// Number of series in the catalog.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// The catalog entry for `name`, if present.
+    pub fn series(&self, name: &str) -> Option<&SeriesEntry> {
+        self.index.get(name).map(|&i| &self.series[i])
+    }
+
+    /// All catalog entries, in catalog order.
+    pub fn entries(&self) -> &[SeriesEntry] {
+        &self.series
+    }
+
+    /// Total points across all series.
+    pub fn total_points(&self) -> usize {
+        self.series.iter().map(|s| s.len()).sum()
+    }
+
+    /// Bytes in the data region not referenced by any live segment —
+    /// left behind by deleted or re-ingested series and reclaimable with
+    /// [`Self::compact`].
+    pub fn dead_bytes(&self) -> usize {
+        let live: usize = self.series.iter().map(|s| s.stored_bytes()).sum();
+        (self.catalog_offset - format::HEADER_LEN).saturating_sub(live)
+    }
+
+    /// Hit/miss counters of the segment-view cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn entry(&self, name: &str) -> Result<(usize, &SeriesEntry), StoreError> {
+        match self.index.get(name) {
+            Some(&i) => Ok((i, &self.series[i])),
+            None => Err(StoreError::UnknownSeries(name.to_string())),
+        }
+    }
+
+    /// Opens (or fetches from cache) segment `seg` of series `si`.
+    fn open_segment(&self, si: usize, seg: usize) -> Result<Arc<SegmentView>, StoreError> {
+        let meta = &self.series[si].segments()[seg];
+        self.cache
+            .get_or_open((si as u32, seg as u32), || SegmentView::open(&self.data, meta))
+    }
+
+    /// Index of the segment of `s` covering point `idx` (caller checks
+    /// `idx < s.len()`; segments tile the index space contiguously).
+    fn segment_of_index(s: &SeriesEntry, idx: usize) -> usize {
+        s.segments().partition_point(|m| m.first_index + m.count <= idx)
+    }
+
+    /// Index of the first segment of `s` whose span may contain `t`
+    /// (`segments().len()` when `t` is past the last segment).
+    fn segment_of_time(s: &SeriesEntry, t: u64) -> usize {
+        s.segments().partition_point(|m| m.t_max < t)
+    }
+
+    fn check_range(s: &SeriesEntry, range: &Range<usize>) -> Result<(), StoreError> {
+        if range.start > range.end || range.end > s.len() {
+            return Err(StoreError::BadRange {
+                start: range.start,
+                end: range.end,
+                len: s.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The value at series-global position `idx` (exact for lossless
+    /// series, ε-bounded for lossy ones).
+    pub fn get(&self, name: &str, idx: usize) -> Result<i64, StoreError> {
+        let (si, s) = self.entry(name)?;
+        if idx >= s.len() {
+            return Err(StoreError::OutOfRange { index: idx, len: s.len() });
+        }
+        let seg = Self::segment_of_index(s, idx);
+        let view = self.open_segment(si, seg)?;
+        Ok(view.archive().at(idx - s.segments()[seg].first_index))
+    }
+
+    /// The timestamp of the point at series-global position `idx`.
+    pub fn timestamp(&self, name: &str, idx: usize) -> Result<u64, StoreError> {
+        let (si, s) = self.entry(name)?;
+        if idx >= s.len() {
+            return Err(StoreError::OutOfRange { index: idx, len: s.len() });
+        }
+        let seg = Self::segment_of_index(s, idx);
+        let view = self.open_segment(si, seg)?;
+        Ok(view.timestamp(idx - s.segments()[seg].first_index))
+    }
+
+    /// The value recorded exactly at timestamp `t`, if any.
+    pub fn at_time(&self, name: &str, t: u64) -> Result<Option<i64>, StoreError> {
+        let (si, s) = self.entry(name)?;
+        let seg = Self::segment_of_time(s, t);
+        if seg == s.segments().len() || t < s.segments()[seg].t_min {
+            return Ok(None);
+        }
+        let view = self.open_segment(si, seg)?;
+        Ok(view.index_of_time(t).map(|i| view.archive().at(i)))
+    }
+
+    /// Appends the values at series-global positions `range` to `out`,
+    /// stitching across segment boundaries.
+    pub fn range(&self, name: &str, range: Range<usize>, out: &mut Vec<i64>) -> Result<(), StoreError> {
+        let (si, s) = self.entry(name)?;
+        Self::check_range(s, &range)?;
+        self.for_each_overlap(si, s, &range, |view, local| {
+            view.archive().range(local, out);
+            Ok(())
+        })
+    }
+
+    /// Appends all `(timestamp, value)` pairs with timestamp in
+    /// `[t_lo, t_hi]` to `out`, stitching across segment boundaries.
+    pub fn range_by_time(
+        &self,
+        name: &str,
+        t_lo: u64,
+        t_hi: u64,
+        out: &mut Vec<(u64, i64)>,
+    ) -> Result<(), StoreError> {
+        let (si, s) = self.entry(name)?;
+        if t_hi < t_lo {
+            return Ok(());
+        }
+        let mut seg = Self::segment_of_time(s, t_lo);
+        let mut values = Vec::new();
+        while seg < s.segments().len() && s.segments()[seg].t_min <= t_hi {
+            let view = self.open_segment(si, seg)?;
+            let first = view.lower_bound(t_lo);
+            let end = view.stamps_leq(t_hi);
+            if first < end {
+                values.clear();
+                view.archive().range(first..end, &mut values);
+                out.reserve(end - first);
+                for (off, &v) in values.iter().enumerate() {
+                    out.push((view.timestamp(first + off), v));
+                }
+            }
+            seg += 1;
+        }
+        Ok(())
+    }
+
+    /// Folds `f` over every segment overlapping `range`, passing the opened
+    /// view and the segment-local subrange — the shared walk under every
+    /// stitched range query and aggregate pushdown.
+    fn for_each_overlap(
+        &self,
+        si: usize,
+        s: &SeriesEntry,
+        range: &Range<usize>,
+        mut f: impl FnMut(&SegmentView, Range<usize>) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let mut seg = Self::segment_of_index(s, range.start);
+        let mut pos = range.start;
+        while pos < range.end {
+            let meta = &s.segments()[seg];
+            let to = range.end.min(meta.first_index + meta.count);
+            let view = self.open_segment(si, seg)?;
+            f(&view, pos - meta.first_index..to - meta.first_index)?;
+            pos = to;
+            seg += 1;
+        }
+        Ok(())
+    }
+
+    /// Exact sum over `range`, pushed down to each overlapping segment and
+    /// stitched (as `i128` to avoid overflow).
+    pub fn sum(&self, name: &str, range: Range<usize>) -> Result<i128, StoreError> {
+        let (si, s) = self.entry(name)?;
+        Self::check_range(s, &range)?;
+        let mut acc = 0i128;
+        self.for_each_overlap(si, s, &range, |view, local| {
+            acc += view.archive().sum_range_exact(local.start, local.len());
+            Ok(())
+        })?;
+        Ok(acc)
+    }
+
+    /// Approximate sum over `range` from the learned functions only, with a
+    /// guaranteed error bound: per-segment estimates are additive in both
+    /// value and bound.
+    pub fn sum_estimate(&self, name: &str, range: Range<usize>) -> Result<Estimate, StoreError> {
+        let (si, s) = self.entry(name)?;
+        Self::check_range(s, &range)?;
+        let mut value = 0.0f64;
+        let mut max_error = 0.0f64;
+        self.for_each_overlap(si, s, &range, |view, local| {
+            let e = view.archive().sum_range_estimate(local.start, local.len());
+            value += e.value;
+            max_error += e.max_error;
+            Ok(())
+        })?;
+        Ok(Estimate { value, max_error })
+    }
+
+    /// Exact minimum and maximum over `range`, pushed down per segment and
+    /// folded (`None` for an empty range).
+    pub fn min_max(
+        &self,
+        name: &str,
+        range: Range<usize>,
+    ) -> Result<Option<(i64, i64)>, StoreError> {
+        let (si, s) = self.entry(name)?;
+        Self::check_range(s, &range)?;
+        let mut acc: Option<(i64, i64)> = None;
+        self.for_each_overlap(si, s, &range, |view, local| {
+            if let Some((lo, hi)) = view.archive().min_max_range_exact(local.start, local.len()) {
+                acc = Some(match acc {
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                    None => (lo, hi),
+                });
+            }
+            Ok(())
+        })?;
+        Ok(acc)
+    }
+
+    /// Runs `f` against the opened zero-copy view of one segment — the
+    /// escape hatch for queries the stitched API doesn't cover.
+    pub fn with_segment<R>(
+        &self,
+        name: &str,
+        seg: usize,
+        f: impl FnOnce(&neats_core::ArchiveView<'_>) -> R,
+    ) -> Result<R, StoreError> {
+        let (si, s) = self.entry(name)?;
+        if seg >= s.segments().len() {
+            return Err(StoreError::OutOfRange { index: seg, len: s.segments().len() });
+        }
+        let view = self.open_segment(si, seg)?;
+        Ok(f(view.archive()))
+    }
+
+    /// Rewrites the pack keeping only live segments: blob bytes are copied
+    /// verbatim (no recompression), offsets are rebased, dead bytes and
+    /// superseded catalogs are dropped. The result opens to a store
+    /// answering every query identically, with [`Self::dead_bytes`] `== 0`.
+    pub fn compact(&self) -> Vec<u8> {
+        let mut pack = format::empty_pack();
+        let mut entries = Vec::with_capacity(self.series.len());
+        for s in &self.series {
+            let mut segments = Vec::with_capacity(s.segments().len());
+            for m in s.segments() {
+                let data_offset = pack.len();
+                pack.extend_from_slice(&self.data[m.data_offset..m.data_offset + m.data_len]);
+                let ts_offset = pack.len();
+                pack.extend_from_slice(&self.data[m.ts_offset..m.ts_offset + m.ts_len]);
+                segments.push(SegmentMeta { data_offset, ts_offset, ..m.clone() });
+            }
+            entries.push(SeriesEntry { name: s.name.clone(), mode: s.mode(), segments });
+        }
+        format::seal(pack, &entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{StoreConfig, StoreWriter};
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn store_is_send_and_sync() {
+        assert_send_sync::<Store>();
+    }
+
+    fn demo_pack(segment_points: usize) -> (Vec<u64>, Vec<i64>, Vec<u8>) {
+        let stamps: Vec<u64> = (0..1000u64).map(|i| 1_000 + i * 3).collect();
+        let values: Vec<i64> = (0..1000).map(|k: i64| (k * k) / 37 - k).collect();
+        let mut w =
+            StoreWriter::new(StoreConfig { segment_points, ..StoreConfig::default() });
+        w.ingest("demo", &stamps, &values).unwrap();
+        let pack = w.finish().unwrap();
+        (stamps, values, pack)
+    }
+
+    #[test]
+    fn point_and_range_queries_stitch_across_segments() {
+        let (stamps, values, pack) = demo_pack(128);
+        let store = Store::open(pack).unwrap();
+        let s = store.series("demo").unwrap();
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.segments().len(), 1000usize.div_ceil(128));
+        for k in (0..1000).step_by(37) {
+            assert_eq!(store.get("demo", k).unwrap(), values[k]);
+            assert_eq!(store.timestamp("demo", k).unwrap(), stamps[k]);
+            assert_eq!(store.at_time("demo", stamps[k]).unwrap(), Some(values[k]));
+        }
+        // Gap timestamps resolve to None.
+        assert_eq!(store.at_time("demo", stamps[10] + 1).unwrap(), None);
+        assert_eq!(store.at_time("demo", 0).unwrap(), None);
+        assert_eq!(store.at_time("demo", u64::MAX).unwrap(), None);
+        // A range spanning several segment boundaries.
+        let mut out = Vec::new();
+        store.range("demo", 100..900, &mut out).unwrap();
+        assert_eq!(out, &values[100..900]);
+        // Aggregates match the scan.
+        let want_sum: i128 = values[100..900].iter().map(|&v| v as i128).sum();
+        assert_eq!(store.sum("demo", 100..900).unwrap(), want_sum);
+        let (lo, hi) = store.min_max("demo", 100..900).unwrap().unwrap();
+        assert_eq!(lo, *values[100..900].iter().min().unwrap());
+        assert_eq!(hi, *values[100..900].iter().max().unwrap());
+        let est = store.sum_estimate("demo", 100..900).unwrap();
+        assert!((est.value - want_sum as f64).abs() <= est.max_error);
+        // Empty ranges.
+        assert_eq!(store.sum("demo", 500..500).unwrap(), 0);
+        assert_eq!(store.min_max("demo", 500..500).unwrap(), None);
+    }
+
+    #[test]
+    fn range_by_time_matches_filter() {
+        let (stamps, values, pack) = demo_pack(100);
+        let store = Store::open(pack).unwrap();
+        for (t_lo, t_hi) in [(0, u64::MAX), (stamps[50], stamps[750]), (stamps[99] + 1, stamps[400])] {
+            let mut got = Vec::new();
+            store.range_by_time("demo", t_lo, t_hi, &mut got).unwrap();
+            let want: Vec<(u64, i64)> = stamps
+                .iter()
+                .zip(&values)
+                .filter(|(&t, _)| t >= t_lo && t <= t_hi)
+                .map(|(&t, &v)| (t, v))
+                .collect();
+            assert_eq!(got, want, "[{t_lo}, {t_hi}]");
+        }
+        let mut inverted = Vec::new();
+        store.range_by_time("demo", 10, 5, &mut inverted).unwrap();
+        assert!(inverted.is_empty());
+    }
+
+    #[test]
+    fn errors_are_structured() {
+        let (_, _, pack) = demo_pack(128);
+        let store = Store::open(pack).unwrap();
+        assert!(matches!(store.get("nope", 0), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(
+            store.get("demo", 1000),
+            Err(StoreError::OutOfRange { index: 1000, len: 1000 })
+        ));
+        assert!(matches!(
+            store.range("demo", 5..2000, &mut Vec::new()),
+            Err(StoreError::BadRange { .. })
+        ));
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = store.sum("demo", 9..3);
+        assert!(matches!(inverted, Err(StoreError::BadRange { .. })));
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let (_, values, pack) = demo_pack(128);
+        let store = Store::open_with(pack.clone(), StoreOptions { cache_capacity: 4 }).unwrap();
+        for _ in 0..3 {
+            assert_eq!(store.get("demo", 5).unwrap(), values[5]);
+        }
+        let stats = store.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert!(stats.entries >= 1);
+        assert!(stats.hit_rate() > 0.6);
+
+        // capacity 0 disables caching: every lookup is a miss.
+        let cold = Store::open_with(pack, StoreOptions { cache_capacity: 0 }).unwrap();
+        for _ in 0..3 {
+            cold.get("demo", 5).unwrap();
+        }
+        let stats = cold.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn delete_and_compact_reclaim_dead_bytes() {
+        let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+        let stamps: Vec<u64> = (0..500).collect();
+        let keep: Vec<i64> = (0..500).map(|k: i64| k * 3 % 101).collect();
+        let drop_v: Vec<i64> = (0..500).map(|k: i64| k).collect();
+        w.ingest("keep", &stamps, &keep).unwrap();
+        w.ingest("drop", &stamps, &drop_v).unwrap();
+        let pack = w.finish().unwrap();
+
+        // Delete one series through an appending writer.
+        let mut w = StoreWriter::append_to(&pack, StoreConfig::default()).unwrap();
+        assert!(w.delete_series("drop"));
+        assert!(!w.delete_series("drop"));
+        let pack2 = w.finish().unwrap();
+        let store = Store::open(pack2).unwrap();
+        assert_eq!(store.series_names(), vec!["keep"]);
+        assert!(store.dead_bytes() > 0, "deleted blobs must be counted dead");
+
+        // Compaction drops the dead bytes and preserves every answer.
+        let compacted = store.compact();
+        assert!(compacted.len() < store.as_bytes().len());
+        let small = Store::open(compacted).unwrap();
+        assert_eq!(small.dead_bytes(), 0);
+        for k in (0..500).step_by(17) {
+            assert_eq!(small.get("keep", k).unwrap(), keep[k]);
+            assert_eq!(small.timestamp("keep", k).unwrap(), stamps[k]);
+        }
+        // Compacting a compact pack is a fixed point.
+        assert_eq!(small.compact(), small.as_bytes());
+    }
+
+    #[test]
+    fn append_extends_a_series() {
+        let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+        let s1: Vec<u64> = (0..200).collect();
+        let v1: Vec<i64> = (0..200).map(|k: i64| k % 17).collect();
+        w.ingest("s", &s1, &v1).unwrap();
+        let pack = w.finish().unwrap();
+
+        let mut w =
+            StoreWriter::append_to(&pack, StoreConfig { segment_points: 64, ..Default::default() })
+                .unwrap();
+        let s2: Vec<u64> = (200..300).collect();
+        let v2: Vec<i64> = (0..100).map(|k: i64| -k).collect();
+        w.ingest("s", &s2, &v2).unwrap();
+        let pack2 = w.finish().unwrap();
+        let store = Store::open(pack2).unwrap();
+        let all: Vec<i64> = v1.iter().chain(&v2).copied().collect();
+        let mut out = Vec::new();
+        store.range("s", 0..300, &mut out).unwrap();
+        assert_eq!(out, all);
+        assert_eq!(store.timestamp("s", 250).unwrap(), 250);
+        assert_eq!(store.at_time("s", 250).unwrap(), Some(v2[50]));
+    }
+}

@@ -1,0 +1,323 @@
+//! Building packs: batch ingestion, segmentation, and parallel compression.
+
+use crate::format::{self, SegmentMeta, SeriesEntry, StoreMode};
+use crate::StoreError;
+use neats_core::parallel::{effective_threads, parallel_map_indexed};
+use neats_core::NeaTSBuilder;
+use succinct::{crc64, EliasFano, Wire, WireWriter};
+use timeseries::TimeSeries;
+
+/// Default maximum points per segment. Small enough that a point query
+/// validates (on a cache miss) and caches a bounded amount of state, large
+/// enough that per-segment overheads (frame header, parameter tables)
+/// amortise.
+pub const DEFAULT_SEGMENT_POINTS: usize = 8192;
+
+/// Configuration for [`StoreWriter`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Maximum points per segment (must be ≥ 1).
+    pub segment_points: usize,
+    /// The compression pipeline for segment value columns.
+    pub builder: NeaTSBuilder,
+    /// Lossless archives, or lossy archives under an error bound.
+    pub mode: StoreMode,
+    /// Worker threads for the segment-compression fan-out at
+    /// [`StoreWriter::finish`] (`0` = automatic, like
+    /// [`neats_core::parallel::effective_threads`]).
+    pub threads: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_points: DEFAULT_SEGMENT_POINTS,
+            builder: neats_core::NeaTS::builder(),
+            mode: StoreMode::Lossless,
+            threads: 0,
+        }
+    }
+}
+
+struct WriterSeries {
+    name: String,
+    mode: StoreMode,
+    /// Segments already present in the base bytes (append mode).
+    committed: Vec<SegmentMeta>,
+    pending_t: Vec<u64>,
+    pending_v: Vec<i64>,
+}
+
+impl WriterSeries {
+    fn last_timestamp(&self) -> Option<u64> {
+        self.pending_t.last().copied().or_else(|| self.committed.last().map(|m| m.t_max))
+    }
+}
+
+/// Builds a pack: ingests `(series, timestamps, values)` batches, splits
+/// them into bounded-size segments, and compresses all segments in parallel
+/// at [`Self::finish`].
+///
+/// A writer can start fresh ([`Self::new`]) or from an existing pack
+/// ([`Self::append_to`]); in the latter case existing segment bytes are
+/// carried over verbatim and new batches append behind them.
+/// [`Self::delete_series`] (or deleting + re-ingesting) leaves the old
+/// segment bytes in place as *dead* bytes — [`crate::Store::compact`]
+/// reclaims them.
+pub struct StoreWriter {
+    cfg: StoreConfig,
+    /// Header + data region accumulated so far (committed blobs verbatim).
+    base: Vec<u8>,
+    series: Vec<WriterSeries>,
+}
+
+impl StoreWriter {
+    /// A writer for a fresh pack.
+    pub fn new(cfg: StoreConfig) -> Self {
+        assert!(cfg.segment_points >= 1, "segment_points must be at least 1");
+        Self { cfg, base: format::empty_pack(), series: Vec::new() }
+    }
+
+    /// A writer that appends to an existing pack: its catalog is parsed,
+    /// its data region (including any dead bytes) is kept verbatim, and new
+    /// ingests extend the listed series or add new ones.
+    pub fn append_to(pack: &[u8], cfg: StoreConfig) -> Result<Self, StoreError> {
+        assert!(cfg.segment_points >= 1, "segment_points must be at least 1");
+        let (entries, catalog_offset) = format::parse_pack(pack)?;
+        let base = pack[..catalog_offset].to_vec();
+        let series = entries
+            .into_iter()
+            .map(|e| WriterSeries {
+                name: e.name,
+                mode: e.mode,
+                committed: e.segments,
+                pending_t: Vec::new(),
+                pending_v: Vec::new(),
+            })
+            .collect();
+        Ok(Self { cfg, base, series })
+    }
+
+    /// The names of all series the writer currently holds, in catalog order.
+    pub fn series_names(&self) -> Vec<&str> {
+        self.series.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Ingests one batch for `name` (creating the series on first sight,
+    /// under the writer's configured mode). Timestamps must strictly
+    /// increase within the batch and continue past the series' last stored
+    /// timestamp. An empty batch is a no-op.
+    pub fn ingest(
+        &mut self,
+        name: &str,
+        timestamps: &[u64],
+        values: &[i64],
+    ) -> Result<(), StoreError> {
+        if timestamps.len() != values.len() {
+            return Err(StoreError::LengthMismatch {
+                timestamps: timestamps.len(),
+                values: values.len(),
+            });
+        }
+        if name.is_empty() {
+            return Err(StoreError::EmptyName);
+        }
+        if timestamps.is_empty() {
+            return Ok(());
+        }
+        let slot = match self.series.iter().position(|s| s.name == name) {
+            Some(i) => {
+                if self.series[i].mode != self.cfg.mode {
+                    return Err(StoreError::ModeMismatch { series: name.to_string() });
+                }
+                i
+            }
+            None => {
+                self.series.push(WriterSeries {
+                    name: name.to_string(),
+                    mode: self.cfg.mode,
+                    committed: Vec::new(),
+                    pending_t: Vec::new(),
+                    pending_v: Vec::new(),
+                });
+                self.series.len() - 1
+            }
+        };
+        let s = &mut self.series[slot];
+        let mut last = s.last_timestamp();
+        for (i, &t) in timestamps.iter().enumerate() {
+            if last.map(|p| t <= p).unwrap_or(false) {
+                return Err(StoreError::TimestampOrder { series: name.to_string(), index: i });
+            }
+            last = Some(t);
+        }
+        s.pending_t.extend_from_slice(timestamps);
+        s.pending_v.extend_from_slice(values);
+        Ok(())
+    }
+
+    /// Drops `name` from the catalog. Committed segment bytes stay in the
+    /// pack as dead bytes until [`crate::Store::compact`]. Returns whether
+    /// the series existed.
+    pub fn delete_series(&mut self, name: &str) -> bool {
+        match self.series.iter().position(|s| s.name == name) {
+            Some(i) => {
+                self.series.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Compresses every pending batch into segments — fanned out over up to
+    /// `cfg.threads` scoped worker threads — and seals the pack (catalog +
+    /// footer), returning the finished bytes.
+    ///
+    /// The output is deterministic and thread-count-invariant: segment
+    /// compression itself is bit-identical across thread counts (the PR-2
+    /// partitioner guarantee), and blobs are appended in catalog order.
+    pub fn finish(self) -> Result<Vec<u8>, StoreError> {
+        let StoreWriter { cfg, mut base, series } = self;
+
+        // One task per future segment, across all series.
+        struct Task<'a> {
+            series: usize,
+            stamps: &'a [u64],
+            values: &'a [i64],
+        }
+        let mut tasks: Vec<Task<'_>> = Vec::new();
+        for (si, s) in series.iter().enumerate() {
+            for start in (0..s.pending_v.len()).step_by(cfg.segment_points) {
+                let end = (start + cfg.segment_points).min(s.pending_v.len());
+                tasks.push(Task {
+                    series: si,
+                    stamps: &s.pending_t[start..end],
+                    values: &s.pending_v[start..end],
+                });
+            }
+        }
+
+        // The fan-out is across segments, so each task compresses with one
+        // partitioner thread — nested parallelism would oversubscribe.
+        let inner = cfg.builder.clone().threads(1);
+        let threads = effective_threads(cfg.threads);
+        let blobs: Vec<(Vec<u8>, Vec<u8>)> = parallel_map_indexed(tasks.len(), threads, |i| {
+            let t = &tasks[i];
+            let ts = TimeSeries::from_values(t.values.to_vec());
+            let frame = match series[t.series].mode {
+                StoreMode::Lossless => inner.build(&ts).to_bytes(),
+                StoreMode::Lossy { eps } => inner.build_lossy(&ts, eps).to_bytes(),
+            };
+            let base_t = t.stamps[0];
+            let rebased: Vec<u64> = t.stamps.iter().map(|&x| x - base_t).collect();
+            let mut w = WireWriter::new();
+            w.u64(base_t);
+            EliasFano::new(&rebased).write(&mut w);
+            (frame, w.finish())
+        });
+
+        // Append blobs in task order and assemble the catalog.
+        let mut entries: Vec<SeriesEntry> = series
+            .iter()
+            .map(|s| SeriesEntry {
+                name: s.name.clone(),
+                mode: s.mode,
+                segments: s.committed.clone(),
+            })
+            .collect();
+        for (task, (frame, ts_blob)) in tasks.iter().zip(&blobs) {
+            let entry = &mut entries[task.series];
+            let first_index = entry.len();
+            let data_offset = base.len();
+            base.extend_from_slice(frame);
+            let ts_offset = base.len();
+            base.extend_from_slice(ts_blob);
+            entry.segments.push(SegmentMeta {
+                data_offset,
+                data_len: frame.len(),
+                ts_offset,
+                ts_len: ts_blob.len(),
+                ts_crc: crc64(ts_blob),
+                first_index,
+                count: task.values.len(),
+                t_min: task.stamps[0],
+                t_max: *task.stamps.last().expect("non-empty task"),
+            });
+        }
+        // A series that ended up with no segments (created then deleted, or
+        // never filled) has no catalog entry.
+        entries.retain(|e| !e.segments.is_empty());
+        Ok(format::seal(base, &entries))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_batches() {
+        let mut w = StoreWriter::new(StoreConfig::default());
+        assert!(matches!(w.ingest("", &[1], &[1]), Err(StoreError::EmptyName)));
+        assert!(matches!(
+            w.ingest("a", &[1, 2], &[1]),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            w.ingest("a", &[5, 5], &[1, 2]),
+            Err(StoreError::TimestampOrder { index: 1, .. })
+        ));
+        w.ingest("a", &[1, 2, 3], &[10, 20, 30]).unwrap();
+        // The next batch must continue past stamp 3.
+        assert!(matches!(
+            w.ingest("a", &[3, 4], &[1, 2]),
+            Err(StoreError::TimestampOrder { index: 0, .. })
+        ));
+        w.ingest("a", &[4], &[40]).unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_noop_and_creates_nothing() {
+        let mut w = StoreWriter::new(StoreConfig::default());
+        w.ingest("ghost", &[], &[]).unwrap();
+        assert!(w.series_names().is_empty());
+        let pack = w.finish().unwrap();
+        let (entries, _) = format::parse_pack(&pack).unwrap();
+        assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn segments_split_at_the_configured_size() {
+        let cfg = StoreConfig { segment_points: 100, ..StoreConfig::default() };
+        let mut w = StoreWriter::new(cfg);
+        let stamps: Vec<u64> = (0..250).collect();
+        let values: Vec<i64> = (0..250).collect();
+        w.ingest("s", &stamps, &values).unwrap();
+        let pack = w.finish().unwrap();
+        let (entries, _) = format::parse_pack(&pack).unwrap();
+        assert_eq!(entries.len(), 1);
+        let segs = entries[0].segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs.iter().map(|m| m.count()).collect::<Vec<_>>(), vec![100, 100, 50]);
+        assert_eq!(segs[1].first_index(), 100);
+        assert_eq!(segs[2].t_min(), 200);
+    }
+
+    #[test]
+    fn finish_is_thread_count_invariant() {
+        let build = |threads: usize| {
+            let cfg = StoreConfig { segment_points: 64, threads, ..StoreConfig::default() };
+            let mut w = StoreWriter::new(cfg);
+            for name in ["a", "b", "c"] {
+                let stamps: Vec<u64> = (0..300).map(|i| i * 7).collect();
+                let values: Vec<i64> =
+                    (0..300).map(|k: i64| k * k % 91 - (name.len() as i64)).collect();
+                w.ingest(name, &stamps, &values).unwrap();
+            }
+            w.finish().unwrap()
+        };
+        let one = build(1);
+        assert_eq!(one, build(2), "threads=2 diverges");
+        assert_eq!(one, build(4), "threads=4 diverges");
+    }
+}

@@ -1,0 +1,347 @@
+//! Differential tests for the pack store: every store answer must equal the
+//! answer computed from **standalone archives** — for each segment, an
+//! archive built independently from the same slice with the same
+//! configuration (for lossless series, additionally the raw ingested
+//! values) — across segment sizes × lossless/lossy × 1/2/4 writer threads.
+//!
+//! Also here: the catalog-region corruption guarantee. Every single-byte
+//! corruption of the catalog region (catalog bytes + footer) is rejected
+//! deterministically at `Store::open`; corruption of segment blobs is
+//! rejected at first query of the affected segment.
+
+use neats_core::{ArchiveView, NeaTS};
+use neats_store::{Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
+use proptest::prelude::*;
+use timeseries::TimeSeries;
+
+/// Writer fan-out thread counts the acceptance criteria call out.
+const THREADS: [usize; 3] = [1, 2, 4];
+/// Segment-size pool: tiny (many boundaries), medium, larger than most
+/// generated series (single segment).
+const SEGMENT_POINTS: [usize; 3] = [16, 64, 512];
+
+/// One generated series: irregular strictly-increasing stamps + a walk.
+#[derive(Clone, Debug)]
+struct GenSeries {
+    name: String,
+    stamps: Vec<u64>,
+    values: Vec<i64>,
+}
+
+fn gen_series(idx: usize, gaps: &[u64], deltas: &[i64]) -> GenSeries {
+    let n = gaps.len().min(deltas.len());
+    let mut t = 1_600_000_000u64 + idx as u64;
+    let mut v = (idx as i64) * 13;
+    let mut stamps = Vec::with_capacity(n);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        t += 1 + gaps[i];
+        v += deltas[i];
+        stamps.push(t);
+        values.push(v);
+    }
+    GenSeries { name: format!("series-{idx}"), stamps, values }
+}
+
+/// Standalone per-segment archives: the single-archive answers the store
+/// must reproduce. Returns the opened bytes per segment plus the segment
+/// boundaries `(first_index, count)`.
+struct Standalone {
+    segment_bytes: Vec<Vec<u8>>,
+    bounds: Vec<(usize, usize)>,
+}
+
+impl Standalone {
+    fn build(s: &GenSeries, segment_points: usize, mode: StoreMode) -> Self {
+        let builder = NeaTS::builder().threads(1);
+        let mut segment_bytes = Vec::new();
+        let mut bounds = Vec::new();
+        for start in (0..s.values.len()).step_by(segment_points) {
+            let end = (start + segment_points).min(s.values.len());
+            let ts = TimeSeries::from_values(s.values[start..end].to_vec());
+            let bytes = match mode {
+                StoreMode::Lossless => builder.build(&ts).to_bytes(),
+                StoreMode::Lossy { eps } => builder.build_lossy(&ts, eps).to_bytes(),
+            };
+            segment_bytes.push(bytes);
+            bounds.push((start, end - start));
+        }
+        Self { segment_bytes, bounds }
+    }
+
+    fn views(&self) -> Vec<ArchiveView<'_>> {
+        self.segment_bytes.iter().map(|b| ArchiveView::open(b).expect("standalone")).collect()
+    }
+
+    /// The full series as the standalone archives answer it.
+    fn materialize(&self) -> Vec<i64> {
+        self.views().iter().flat_map(|v| v.materialize()).collect()
+    }
+}
+
+/// Checks the complete store query surface for one series against its
+/// standalone archives.
+fn assert_series_equivalent(
+    store: &Store,
+    s: &GenSeries,
+    standalone: &Standalone,
+    ranges: &[(usize, usize)],
+) -> Result<(), TestCaseError> {
+    let name = s.name.as_str();
+    let entry = store.series(name).expect("series in catalog");
+    let n = s.values.len();
+    prop_assert_eq!(entry.len(), n);
+    prop_assert_eq!(
+        entry.segments().iter().map(|m| (m.first_index(), m.count())).collect::<Vec<_>>(),
+        standalone.bounds.clone(),
+        "segment boundaries diverge"
+    );
+    let views = standalone.views();
+    let oracle = standalone.materialize();
+
+    // Point queries: every index, plus both error edges.
+    for k in 0..n {
+        prop_assert_eq!(store.get(name, k).unwrap(), oracle[k], "get({})", k);
+        prop_assert_eq!(store.timestamp(name, k).unwrap(), s.stamps[k], "timestamp({})", k);
+    }
+    prop_assert!(store.get(name, n).is_err());
+
+    // Time queries: every stored stamp hits, neighbours in gaps miss.
+    for k in (0..n).step_by(3) {
+        prop_assert_eq!(store.at_time(name, s.stamps[k]).unwrap(), Some(oracle[k]));
+        let gap = s.stamps[k] + 1;
+        if k + 1 >= n || s.stamps[k + 1] != gap {
+            prop_assert_eq!(store.at_time(name, gap).unwrap(), None);
+        }
+    }
+    if n > 0 {
+        prop_assert_eq!(store.at_time(name, s.stamps[0] - 1).unwrap(), None);
+        prop_assert_eq!(store.at_time(name, s.stamps[n - 1] + 1).unwrap(), None);
+    }
+
+    // Index ranges + aggregate pushdown, stitched vs standalone stitching.
+    for &(a, b) in ranges {
+        let mut got = Vec::new();
+        store.range(name, a..b, &mut got).unwrap();
+        prop_assert_eq!(&got, &oracle[a..b], "range({}..{})", a, b);
+
+        let want_sum: i128 = oracle[a..b].iter().map(|&v| v as i128).sum();
+        prop_assert_eq!(store.sum(name, a..b).unwrap(), want_sum, "sum({}..{})", a, b);
+
+        let want_mm = oracle[a..b]
+            .iter()
+            .fold(None, |acc: Option<(i64, i64)>, &v| match acc {
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+                None => Some((v, v)),
+            });
+        prop_assert_eq!(store.min_max(name, a..b).unwrap(), want_mm, "min_max({}..{})", a, b);
+
+        // The stitched estimate must equal the per-segment standalone
+        // estimates added in segment order — bit-identical f64 folding.
+        let mut value = 0.0f64;
+        let mut max_error = 0.0f64;
+        for (view, &(first, count)) in views.iter().zip(&standalone.bounds) {
+            let lo = a.max(first);
+            let hi = b.min(first + count);
+            if lo < hi {
+                let e = view.sum_range_estimate(lo - first, hi - lo);
+                value += e.value;
+                max_error += e.max_error;
+            }
+        }
+        let est = store.sum_estimate(name, a..b).unwrap();
+        prop_assert_eq!(est.value, value, "sum_estimate value ({}..{})", a, b);
+        prop_assert_eq!(est.max_error, max_error, "sum_estimate bound ({}..{})", a, b);
+    }
+
+    // Time-interval queries against the filter oracle.
+    if n > 0 {
+        for &(a, b) in ranges.iter().take(3) {
+            let (t_lo, t_hi) = if a < b {
+                (s.stamps[a], s.stamps[b - 1])
+            } else {
+                (s.stamps[a.min(n - 1)], s.stamps[a.min(n - 1)])
+            };
+            let mut got = Vec::new();
+            store.range_by_time(name, t_lo, t_hi, &mut got).unwrap();
+            let want: Vec<(u64, i64)> = s
+                .stamps
+                .iter()
+                .zip(&oracle)
+                .filter(|(&t, _)| t >= t_lo && t <= t_hi)
+                .map(|(&t, &v)| (t, v))
+                .collect();
+            prop_assert_eq!(got, want, "range_by_time [{}, {}]", t_lo, t_hi);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Store answers == standalone-archive answers, lossless, across
+    /// segment sizes × thread counts × 1–3 series per pack.
+    #[test]
+    fn lossless_store_equals_standalone(
+        gaps in prop::collection::vec(0u64..300, 30..280),
+        deltas in prop::collection::vec(-50i64..=50, 30..280),
+        series_count in 1usize..=3,
+        seg_idx in 0usize..SEGMENT_POINTS.len(),
+        thread_idx in 0usize..THREADS.len(),
+        range_seeds in prop::collection::vec((0usize..10_000, 0usize..10_000), 2..6),
+    ) {
+        run_case(
+            &gaps, &deltas, series_count, SEGMENT_POINTS[seg_idx],
+            THREADS[thread_idx], StoreMode::Lossless, &range_seeds,
+        )?;
+    }
+
+    /// Same, lossy: store segments and standalone segments approximate the
+    /// same slices under the same ε, so their answers must be identical.
+    #[test]
+    fn lossy_store_equals_standalone(
+        gaps in prop::collection::vec(0u64..300, 30..220),
+        deltas in prop::collection::vec(-50i64..=50, 30..220),
+        series_count in 1usize..=2,
+        eps in 0u64..90,
+        seg_idx in 0usize..SEGMENT_POINTS.len(),
+        thread_idx in 0usize..THREADS.len(),
+        range_seeds in prop::collection::vec((0usize..10_000, 0usize..10_000), 2..5),
+    ) {
+        run_case(
+            &gaps, &deltas, series_count, SEGMENT_POINTS[seg_idx],
+            THREADS[thread_idx], StoreMode::Lossy { eps }, &range_seeds,
+        )?;
+    }
+}
+
+fn run_case(
+    gaps: &[u64],
+    deltas: &[i64],
+    series_count: usize,
+    segment_points: usize,
+    threads: usize,
+    mode: StoreMode,
+    range_seeds: &[(usize, usize)],
+) -> Result<(), TestCaseError> {
+    let all: Vec<GenSeries> = (0..series_count)
+        .map(|i| {
+            // Derive distinct series from rotations of the generated pools.
+            let rot = (i * 7) % gaps.len().max(1);
+            let g: Vec<u64> = gaps[rot..].iter().chain(&gaps[..rot]).copied().collect();
+            let d: Vec<i64> = deltas[rot..].iter().chain(&deltas[..rot]).copied().collect();
+            gen_series(i, &g, &d)
+        })
+        .collect();
+
+    let cfg = StoreConfig {
+        segment_points,
+        builder: NeaTS::builder(),
+        mode,
+        threads,
+    };
+    let mut w = StoreWriter::new(cfg);
+    for s in &all {
+        // Split each series into a few ingestion batches to exercise the
+        // batch-boundary path as well as the segmentation path.
+        let n = s.values.len();
+        for (lo, hi) in [(0, n / 3), (n / 3, n / 3 + 1), (n / 3 + 1, n)] {
+            w.ingest(&s.name, &s.stamps[lo..hi], &s.values[lo..hi]).unwrap();
+        }
+    }
+    let pack = w.finish().unwrap();
+
+    // A freshly written pack has no dead bytes, and compaction of it is the
+    // identity — the byte-level fixed-point invariant.
+    let store = Store::open_with(pack.clone(), StoreOptions { cache_capacity: 8 }).unwrap();
+    prop_assert_eq!(store.dead_bytes(), 0);
+    prop_assert_eq!(store.compact(), pack);
+
+    for s in &all {
+        let standalone = Standalone::build(s, segment_points, mode);
+        let n = s.values.len();
+        let ranges: Vec<(usize, usize)> = range_seeds
+            .iter()
+            .map(|&(a, b)| {
+                let lo = a % (n + 1);
+                (lo, lo + b % (n - lo + 1))
+            })
+            .collect();
+        assert_series_equivalent(&store, s, &standalone, &ranges)?;
+    }
+    Ok(())
+}
+
+/// Per-byte corruption of the catalog region (catalog bytes + footer) is
+/// rejected deterministically at open — exhaustively, two bit positions per
+/// byte.
+#[test]
+fn catalog_region_corruption_is_rejected_per_byte() {
+    let pack = corruption_pack();
+    let catalog_offset = u64::from_le_bytes(
+        pack[pack.len() - 32..pack.len() - 24].try_into().unwrap(),
+    ) as usize;
+    assert!(catalog_offset < pack.len());
+    for pos in catalog_offset..pack.len() {
+        for bit in [0u8, 7] {
+            let mut bad = pack.clone();
+            bad[pos] ^= 1 << bit;
+            assert!(
+                Store::open(bad).is_err(),
+                "catalog-region flip at byte {pos} bit {bit} was accepted"
+            );
+        }
+    }
+    // The header magic/version are exact-match checks: also deterministic.
+    for pos in 0..16 {
+        let mut bad = pack.clone();
+        bad[pos] ^= 1;
+        assert!(Store::open(bad).is_err(), "header flip at byte {pos} was accepted");
+    }
+}
+
+/// Corruption inside the data region is caught at first query of the
+/// affected segment: the value frame is self-checksummed, the timestamp
+/// blob's CRC is recorded in the catalog.
+#[test]
+fn data_region_corruption_is_rejected_at_query_time() {
+    let pack = corruption_pack();
+    let catalog_offset = u64::from_le_bytes(
+        pack[pack.len() - 32..pack.len() - 24].try_into().unwrap(),
+    ) as usize;
+    for pos in (16..catalog_offset).step_by(11) {
+        let mut bad = pack.clone();
+        bad[pos] ^= 1;
+        // Catalog is intact, so the store still opens…
+        let store = Store::open(bad).expect("catalog is intact");
+        // …but the corrupted byte lives in exactly one segment blob, and
+        // every query touching it must fail. Sweep all points of all series:
+        // at least one must error, and no query may return a wrong value.
+        let mut rejected = false;
+        for name in ["alpha", "beta"] {
+            let entry = store.series(name).unwrap();
+            for k in 0..entry.len() {
+                match store.get(name, k) {
+                    Err(_) => {
+                        rejected = true;
+                        break;
+                    }
+                    Ok(_) => {}
+                }
+            }
+        }
+        assert!(rejected, "no query rejected the data-region flip at byte {pos}");
+    }
+}
+
+/// A small two-series pack used by the corruption tests.
+fn corruption_pack() -> Vec<u8> {
+    let mut w = StoreWriter::new(StoreConfig { segment_points: 48, ..StoreConfig::default() });
+    let stamps: Vec<u64> = (0..160u64).map(|i| 10 + i * 5).collect();
+    let a: Vec<i64> = (0..160).map(|k: i64| k * k / 9 - 2 * k).collect();
+    let b: Vec<i64> = (0..160).map(|k: i64| 77 - k % 23).collect();
+    w.ingest("alpha", &stamps, &a).unwrap();
+    w.ingest("beta", &stamps, &b).unwrap();
+    w.finish().unwrap()
+}

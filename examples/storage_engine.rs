@@ -1,88 +1,119 @@
-//! A miniature time-series storage engine on top of NeaTS: streaming
-//! ingestion, on-disk persistence, timestamp indexing, and aggregate
-//! queries over compressed data — the composition a time-series database
-//! (the paper's §I motivation) would actually deploy.
+//! A miniature time-series storage engine on top of the pack store:
+//! multi-series ingestion with parallel segment compression, one-file
+//! persistence, concurrent zero-copy serving with a segment-view cache,
+//! time-indexed and aggregate queries over compressed data, and space
+//! reclamation — the composition a time-series database (the paper's §I
+//! motivation) would actually deploy.
 //!
 //! Run with: `cargo run --release --example storage_engine`
 
-use neats::core::{ArchiveView, NeaTS, NeaTSWriter, TimestampedNeaTS};
-use neats::timeseries::{CompressedSeries, Dataset};
+use neats::store::{Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
+use neats::timeseries::Dataset;
 
 fn main() {
     let dir = std::env::temp_dir().join("neats_storage_engine");
     std::fs::create_dir_all(&dir).expect("create storage dir");
+    let pack_path = dir.join("metrics.pack");
 
-    // --- Ingestion: values arrive as a stream, memory stays bounded. ---
-    let feed = Dataset::AirPressure.generate(300_000);
-    let mut writer = NeaTSWriter::new(NeaTS::builder(), 65_536);
-    writer.extend(feed.values().iter().copied());
-    let store = writer.finish();
-    println!(
-        "ingested {} readings into {} chunks, {:.2}% of raw",
-        store.len(),
-        store.chunk_count(),
-        100.0 * store.size_in_bytes() as f64 / feed.uncompressed_bytes() as f64
-    );
-
-    // --- Persistence: each chunk is a self-contained file. ---
-    for i in 0..store.chunk_count() {
-        let path = dir.join(format!("chunk-{i:04}.neats"));
-        std::fs::write(&path, store.chunk(i).to_bytes()).expect("write chunk");
+    // --- Ingestion: several feeds land in one pack; segments are
+    // compressed in parallel at finish().
+    let n = 100_000usize;
+    let feeds = [
+        ("air-pressure", Dataset::AirPressure),
+        ("bio-temp", Dataset::IrBioTemp),
+        ("wind-dir", Dataset::WindDirection),
+    ];
+    let mut writer = StoreWriter::new(StoreConfig {
+        segment_points: 16_384,
+        ..StoreConfig::default()
+    });
+    let mut raw_bytes = 0usize;
+    for (name, ds) in &feeds {
+        let values = ds.generate(n);
+        // Irregular arrival times: one reading every ~30 s with jitter.
+        let stamps: Vec<u64> =
+            (0..n as u64).map(|i| 1_710_000_000 + i * 30 + (i * i) % 7).collect();
+        raw_bytes += values.uncompressed_bytes();
+        writer.ingest(name, &stamps, values.values()).expect("valid batch");
     }
-    let on_disk: u64 = std::fs::read_dir(&dir)
-        .expect("list storage dir")
-        .filter_map(|e| e.ok())
-        .filter(|e| e.file_name().to_string_lossy().ends_with(".neats"))
-        .map(|e| e.metadata().expect("metadata").len())
-        .sum();
-    println!("persisted {} bytes across {} chunk files", on_disk, store.chunk_count());
+    let pack = writer.finish().expect("seal pack");
+    std::fs::write(&pack_path, &pack).expect("persist pack");
+    println!(
+        "ingested {} series × {n} readings into one {}-byte pack ({:.2}% of raw)",
+        feeds.len(),
+        pack.len(),
+        100.0 * pack.len() as f64 / raw_bytes as f64
+    );
 
-    // --- Serving: open one chunk zero-copy and answer queries from the
-    // file bytes directly. `ArchiveView::open` validates the checksummed
-    // frame once and allocates nothing proportional to the chunk, which is
-    // what a server opening thousands of chunks per second needs.
-    let chunk_bytes = std::fs::read(dir.join("chunk-0002.neats")).expect("read chunk");
+    // --- Serving: open the pack once; only the catalog is validated up
+    // front. Every query is answered through borrowed zero-copy views of
+    // the mapped bytes, with hot segments kept in a sharded LRU cache.
     let t0 = std::time::Instant::now();
-    let chunk2 = ArchiveView::open(&chunk_bytes).expect("valid chunk file");
+    let store = Store::open_path(&pack_path).expect("open pack");
     let open_us = t0.elapsed().as_secs_f64() * 1e6;
-    let global_index = 2 * 65_536 + 1234;
-    assert_eq!(chunk2.at(1234), feed.values()[global_index]);
+    let oracle = Dataset::AirPressure.generate(n);
+    assert_eq!(store.get("air-pressure", 54_321).unwrap(), oracle.values()[54_321]);
     let mut window = Vec::new();
-    chunk2.range(1000..1064, &mut window);
-    assert_eq!(window, &feed.values()[2 * 65_536 + 1000..2 * 65_536 + 1064]);
+    store.range("air-pressure", 60_000..60_064, &mut window).unwrap();
+    assert_eq!(window, &oracle.values()[60_000..60_064]);
+    println!("opened the pack in {open_us:.0} µs and served point + range queries ✓");
+
+    // --- Concurrent dashboards: scoped reader threads share the store.
+    std::thread::scope(|scope| {
+        for (name, _) in &feeds {
+            let store = &store;
+            scope.spawn(move || {
+                let len = store.series(name).expect("known series").len();
+                let sum = store.sum(name, 0..len).expect("aggregate");
+                let (lo, hi) = store.min_max(name, 0..len).expect("aggregate").unwrap();
+                let est = store.sum_estimate(name, 0..len).expect("estimate");
+                assert!((est.value - sum as f64).abs() <= est.max_error);
+                println!(
+                    "  {name:<14} mean {:>12.2}  min {lo:>8}  max {hi:>8}  (model estimate ± {:.0})",
+                    sum as f64 / len as f64,
+                    est.max_error
+                );
+            });
+        }
+    });
+    let stats = store.cache_stats();
     println!(
-        "opened chunk 2 zero-copy in {open_us:.0} µs and served point + range queries ✓"
+        "cache after the dashboard pass: {} hits / {} misses ({} views cached)",
+        stats.hits, stats.misses, stats.entries
     );
 
-    // --- Aggregates: dashboard means from the learned functions only. ---
-    let serving = chunk2.as_lossless().expect("lossless chunk");
-    let est = serving.mean_range_estimate(0, chunk2.len());
-    let exact =
-        serving.sum_range_exact(0, chunk2.len()) as f64 / chunk2.len() as f64;
-    println!(
-        "chunk 2 mean: estimate {:.2} ± {:.2} (exact {:.2}) from {} fragments",
-        est.value,
-        est.max_error,
-        exact,
-        chunk2.fragment_count()
-    );
-    assert!((est.value - exact).abs() <= est.max_error);
-
-    // --- Timestamp index: a second table with irregular timestamps. ---
-    let n = 50_000usize;
-    let stamps: Vec<u64> = (0..n as u64).map(|i| 1_710_000_000 + i * 60 + (i % 13)).collect();
-    let temps = Dataset::IrBioTemp.generate(n);
-    let table = TimestampedNeaTS::compress(&stamps, &temps, &NeaTS::builder())
-        .expect("valid timestamps");
-    let day_start = stamps[n / 2];
+    // --- Time travel: the pack carries an Elias-Fano timestamp index per
+    // segment, so interval queries stitch across segments.
+    let day_start = store.timestamp("bio-temp", n / 2).unwrap();
     let mut day = Vec::new();
-    table.range_by_time(day_start, day_start + 86_400, &mut day);
-    println!(
-        "time-indexed table: {} readings in the queried day, index+values at {:.2}% of raw",
-        day.len(),
-        100.0 * table.size_in_bytes() as f64 / temps.uncompressed_bytes() as f64
-    );
+    store.range_by_time("bio-temp", day_start, day_start + 86_400, &mut day).unwrap();
     assert!(!day.is_empty());
+    let exact = store.at_time("bio-temp", day[0].0).unwrap();
+    assert_eq!(exact, Some(day[0].1));
+    println!("time-indexed: {} readings in the queried day starting at {day_start}", day.len());
+
+    // --- Retention: drop a series, then compact to reclaim its bytes.
+    let mut writer = StoreWriter::append_to(
+        &pack,
+        StoreConfig { mode: StoreMode::Lossless, ..StoreConfig::default() },
+    )
+    .expect("reopen for append");
+    writer.delete_series("wind-dir");
+    let trimmed = writer.finish().expect("seal");
+    let trimmed_store =
+        Store::open_with(trimmed, StoreOptions::default()).expect("open trimmed");
+    let reclaimed = trimmed_store.dead_bytes();
+    let compacted = trimmed_store.compact();
+    println!(
+        "retention: dropped 1 series, compacted {} dead bytes away ({} -> {} bytes)",
+        reclaimed,
+        trimmed_store.as_bytes().len(),
+        compacted.len()
+    );
+    let small = Store::open(compacted).expect("open compacted");
+    assert_eq!(small.dead_bytes(), 0);
+    assert_eq!(small.series_count(), 2);
+    assert_eq!(small.get("air-pressure", 54_321).unwrap(), oracle.values()[54_321]);
 
     println!("\nstorage engine demo complete ✓");
 }

@@ -10,6 +10,10 @@
 //!   (Theorem 1), the space-optimal partitioner (Algorithm 1), the compressed
 //!   layout with O(1) random access (Algorithms 2–3), the lossy variant
 //!   NeaTS-L, and the LeaTS / SNeaTS variants.
+//! * [`store`] — the multi-series segmented packfile store: parallel batch
+//!   ingestion, a checksummed catalog, concurrent zero-copy serving with a
+//!   sharded segment-view cache, and `compact()` — the recommended way to
+//!   serve many series from one file.
 //! * [`succinct`] — bitvectors with rank/select, Elias-Fano sequences, packed
 //!   integer vectors and a wavelet tree; the substrate the layout is built on.
 //! * [`timeseries`] — the `TimeSeries` type, compressor traits, and the 16
@@ -42,5 +46,6 @@
 pub use lossless_baselines as lossless;
 pub use lossy_baselines as lossy;
 pub use neats_core as core;
+pub use neats_store as store;
 pub use succinct;
 pub use timeseries;

@@ -6,6 +6,7 @@
 use neats::core::NeaTS;
 use neats::lossless::paper_competitors;
 use neats::lossy::Pla;
+use neats::store::{Store, StoreConfig, StoreWriter};
 use neats::succinct::{BitVector, EliasFano};
 use neats::timeseries::{CompressedSeries, TimeSeries};
 
@@ -50,6 +51,18 @@ fn umbrella_surface_compresses_and_randomly_accesses() {
     let pla = Pla::compress(&ts, eps);
     assert_eq!(pla.len(), 1000);
     assert!(pla.max_error(&ts) <= eps + 1, "PLA bound violated: {}", pla.max_error(&ts));
+
+    // neats::store — the multi-series pack store round-trips the same
+    // series and serves it back zero-copy.
+    let stamps: Vec<u64> = (0..1000u64).map(|i| 1_000 + i * 7).collect();
+    let mut w = StoreWriter::new(StoreConfig { segment_points: 256, ..Default::default() });
+    w.ingest("readme", &stamps, &values).unwrap();
+    let store = Store::open(w.finish().unwrap()).unwrap();
+    assert_eq!(store.get("readme", 499).unwrap(), values[499]);
+    assert_eq!(store.at_time("readme", stamps[777]).unwrap(), Some(values[777]));
+    let mut window = Vec::new();
+    store.range("readme", 250..260, &mut window).unwrap();
+    assert_eq!(window, &values[250..260]);
 
     // neats::succinct — the substrate types are directly usable.
     let bools: Vec<bool> = values.iter().map(|v| v % 2 == 0).collect();
