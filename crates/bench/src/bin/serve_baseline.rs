@@ -1,0 +1,222 @@
+//! Serving-layer baseline harness: request throughput and latency of the
+//! `neats-serve` HTTP frontend under concurrent in-process clients, written
+//! machine-readable to `BENCH_serve.json` (sibling of the other `BENCH_*`
+//! artifacts).
+//!
+//! The sweep is worker-thread count × batch size: every cell starts a fresh
+//! server on an ephemeral loopback port, hammers it with
+//! `NEATS_BENCH_CLIENTS` keep-alive client threads issuing batched
+//! `POST /q` point queries, and reports requests/s, queries/s, and
+//! client-observed p50/p99/max latency. Every response is parsed and
+//! checked against the direct `Store` oracle before any number is
+//! reported, so the throughput figures can never describe a server that
+//! answers wrongly.
+//!
+//! Run with `cargo run --release -p bench --bin serve_baseline`; scale with
+//! `NEATS_BENCH_N` (points per series) / `NEATS_BENCH_SERIES` /
+//! `NEATS_BENCH_QUERIES` (queries per cell) / `NEATS_BENCH_CLIENTS`, sweep
+//! with `NEATS_BENCH_SERVE_THREADS` / `NEATS_BENCH_BATCH`
+//! (comma-separated), and redirect with `NEATS_BENCH_OUT`.
+
+use bench::json::Json;
+use bench::{env_usize, env_usize_list, query_indices};
+use neats_core::AtomicHistogram;
+use neats_serve::{ServeConfig, Server};
+use neats_store::{Store, StoreConfig, StoreWriter};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+use timeseries::Dataset;
+
+fn main() {
+    let n = env_usize("NEATS_BENCH_N", 1 << 14);
+    let series_count = env_usize("NEATS_BENCH_SERIES", 4);
+    let queries = env_usize("NEATS_BENCH_QUERIES", 20_000);
+    let clients = env_usize("NEATS_BENCH_CLIENTS", 4);
+    let thread_sweep = env_usize_list("NEATS_BENCH_SERVE_THREADS", &[1, 2]);
+    let batch_sweep = env_usize_list("NEATS_BENCH_BATCH", &[1, 16]);
+    let out_path = std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!(
+        "serve_baseline — {series_count} series × {n} points, {queries} queries/cell, \
+         {clients} client(s), threads {thread_sweep:?} × batch {batch_sweep:?}, {cores} core(s)"
+    );
+
+    // --- One pack, reused by every cell.
+    let names: Vec<String> = (0..series_count).map(|i| format!("s{i:02}")).collect();
+    let mut data = Vec::new();
+    for i in 0..series_count {
+        let ds = Dataset::ALL[i % Dataset::ALL.len()];
+        let ts = ds.generate(n);
+        let stamps: Vec<u64> = (0..n as u64).map(|k| 1_700_000_000 + k * 30).collect();
+        data.push((stamps, ts.values().to_vec()));
+    }
+    let mut w = StoreWriter::new(StoreConfig::default());
+    for (name, (stamps, values)) in names.iter().zip(&data) {
+        w.ingest(name, stamps, values).expect("ingest");
+    }
+    let pack = w.finish().expect("finish pack");
+    println!("pack: {} bytes", pack.len());
+
+    // The oracle store answers directly; the server gets its own copy of
+    // the bytes (same `Arc` sharing as production).
+    let oracle = Store::open(pack.clone()).expect("open oracle");
+
+    // Deterministic query plan shared by every cell.
+    let sidx = query_indices(series_count, queries);
+    let pidx = query_indices(n, queries);
+
+    let mut cells = Vec::new();
+    for &threads in &thread_sweep {
+        for &batch in &batch_sweep {
+            let store = Arc::new(Store::open(pack.clone()).expect("open server store"));
+            let cfg = ServeConfig { threads, ..ServeConfig::default() };
+            let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).expect("bind");
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let running = std::thread::spawn(move || server.run());
+
+            let requests_total = (queries / batch).max(1);
+            let per_client = requests_total.div_ceil(clients);
+            let latency = AtomicHistogram::new();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for c in 0..clients {
+                    let latency = &latency;
+                    let names = &names;
+                    let oracle = &oracle;
+                    let sidx = &sidx;
+                    let pidx = &pidx;
+                    s.spawn(move || {
+                        let first = c * per_client;
+                        let last = (first + per_client).min(requests_total);
+                        client_loop(
+                            addr, names, oracle, sidx, pidx, batch, first, last, latency,
+                        );
+                    });
+                }
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            handle.shutdown();
+            running.join().expect("server thread").expect("server run");
+
+            let snap = latency.snapshot();
+            let reqs = snap.count();
+            let reqs_per_s = reqs as f64 / wall;
+            let queries_per_s = (reqs as usize * batch) as f64 / wall;
+            let (p50, p99, max) = (
+                snap.quantile(0.5) as f64 / 1e3,
+                snap.quantile(0.99) as f64 / 1e3,
+                snap.max() as f64 / 1e3,
+            );
+            println!(
+                "threads {threads} × batch {batch:>3}: {reqs_per_s:>8.0} req/s \
+                 ({queries_per_s:>9.0} q/s), p50 {p50:>7.1} µs, p99 {p99:>8.1} µs"
+            );
+            cells.push(Json::obj(vec![
+                ("threads", Json::Int(threads as i64)),
+                ("batch", Json::Int(batch as i64)),
+                ("clients", Json::Int(clients as i64)),
+                ("requests", Json::Int(reqs as i64)),
+                ("reqs_per_s", Json::Num(reqs_per_s)),
+                ("queries_per_s", Json::Num(queries_per_s)),
+                ("p50_us", Json::Num(p50)),
+                ("p99_us", Json::Num(p99)),
+                ("max_us", Json::Num(max)),
+            ]));
+        }
+    }
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::Str("serve".into())),
+        ("schema", Json::Int(1)),
+        ("n_per_series", Json::Int(n as i64)),
+        ("series", Json::Int(series_count as i64)),
+        ("queries_per_cell", Json::Int(queries as i64)),
+        ("clients", Json::Int(clients as i64)),
+        ("host_cores", Json::Int(cores as i64)),
+        ("pack_bytes", Json::Int(pack.len() as i64)),
+        ("cells", Json::Arr(cells)),
+    ]);
+    std::fs::write(&out_path, artifact.render()).expect("write serve artifact");
+    println!("\nwrote {out_path}");
+}
+
+/// One client thread: a single keep-alive connection issuing batched point
+/// queries `first..last` of the shared plan, verifying every response
+/// against the oracle and recording request latencies.
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    addr: SocketAddr,
+    names: &[String],
+    oracle: &Store,
+    sidx: &[usize],
+    pidx: &[usize],
+    batch: usize,
+    first: usize,
+    last: usize,
+    latency: &AtomicHistogram,
+) {
+    if first >= last {
+        return;
+    }
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).expect("timeout");
+    let mut leftover: Vec<u8> = Vec::new();
+    for r in first..last {
+        // Build the batch body and the expected answers.
+        let mut body = String::new();
+        let mut expect = String::new();
+        for b in 0..batch {
+            let q = (r * batch + b) % sidx.len();
+            let (s, k) = (sidx[q], pidx[q]);
+            body.push_str(&format!("{} idx={}\n", names[s], k));
+            expect.push_str(&format!("#{b} ok 1\n{}\n", oracle.get(&names[s], k).expect("oracle")));
+        }
+        expect.push_str(&format!("#done {batch}\n"));
+        let request = format!(
+            "POST /q HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let t0 = Instant::now();
+        stream.write_all(request.as_bytes()).expect("send");
+        let got = read_response(&mut stream, &mut leftover);
+        latency.record(t0.elapsed().as_nanos() as u64);
+        assert_eq!(got, expect, "server answer diverged from the store oracle");
+    }
+}
+
+/// Reads one HTTP response (status must be 200) and returns its body.
+fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> String {
+    let head_end = loop {
+        if let Some(p) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break p + 4;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "unexpected status: {head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length");
+    buf.drain(..head_end);
+    while buf.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8(buf[..content_length].to_vec()).expect("utf8 body");
+    buf.drain(..content_length);
+    body
+}

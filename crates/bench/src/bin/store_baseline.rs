@@ -16,7 +16,7 @@
 //! `NEATS_BENCH_SERIES`, and redirect with `NEATS_BENCH_OUT`.
 
 use bench::json::Json;
-use bench::{bench_queries, query_indices};
+use bench::{bench_queries, env_usize, query_indices};
 use neats_core::{ArchiveView, NeaTS};
 use neats_store::{Store, StoreConfig, StoreOptions, StoreWriter};
 use std::time::Instant;
@@ -25,10 +25,6 @@ use timeseries::Dataset;
 /// Range length for the range-throughput measurement (clamped to half the
 /// per-series point count so tiny smoke runs stay valid).
 const RANGE_LEN: usize = 256;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn main() {
     // Per-series points: a store pack holds many series, so the per-series

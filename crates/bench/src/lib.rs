@@ -21,6 +21,10 @@
 //! * `store_baseline` — multi-series pack store vs per-file archives: open
 //!   latency, point/range throughput, and the cache-hit effect, written
 //!   machine-readable to `BENCH_store.json`.
+//! * `serve_baseline` — the HTTP serving layer under concurrent in-process
+//!   clients: requests/s and client-observed p50/p99 latency across worker
+//!   threads × batch size, every response diffed against the `Store`
+//!   oracle, written machine-readable to `BENCH_serve.json`.
 //!
 //! Scale knobs (environment variables):
 //!
@@ -33,9 +37,15 @@
 //! * `NEATS_BENCH_SERIES` / `NEATS_BENCH_SEGMENT` — series count and
 //!   segment size for `store_baseline` (defaults 8 / 8192; that binary
 //!   reads `NEATS_BENCH_N` as points *per series*, default 32768);
+//! * `NEATS_BENCH_SERVE_THREADS` / `NEATS_BENCH_BATCH` /
+//!   `NEATS_BENCH_CLIENTS` — `serve_baseline`'s worker sweep, batch-size
+//!   sweep and client-thread count (defaults `1,2` / `1,16` / 4; that
+//!   binary reads `NEATS_BENCH_N` per series, default 16384, and
+//!   `NEATS_BENCH_QUERIES` per sweep cell);
 //! * `NEATS_BENCH_OUT` — output path for `perf_baseline` /
-//!   `access_baseline` / `store_baseline` (defaults `BENCH_partition.json`
-//!   / `BENCH_access.json` / `BENCH_store.json`).
+//!   `access_baseline` / `store_baseline` / `serve_baseline` (defaults
+//!   `BENCH_partition.json` / `BENCH_access.json` / `BENCH_store.json` /
+//!   `BENCH_serve.json`).
 
 #![warn(missing_docs)]
 pub mod json;
@@ -44,24 +54,38 @@ use neats_core::NeaTSCompressor;
 use std::time::Instant;
 use timeseries::{AnyCompressor, Dataset, TimeSeries};
 
+/// A `usize` knob from the environment, falling back to `default` when the
+/// variable is unset or unparseable — the shared parsing rule for every
+/// `NEATS_BENCH_*` scalar so the harness binaries cannot drift.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A comma-separated positive-integer list from the environment (entries
+/// are trimmed, non-numeric and zero entries dropped), falling back to
+/// `default` when unset or empty — the shared rule for sweep knobs.
+pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&t| t > 0).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
 /// Points per dataset (env `NEATS_BENCH_N`).
 pub fn bench_n() -> usize {
-    std::env::var("NEATS_BENCH_N").ok().and_then(|v| v.parse().ok()).unwrap_or(1 << 17)
+    env_usize("NEATS_BENCH_N", 1 << 17)
 }
 
 /// Random-access query count (env `NEATS_BENCH_QUERIES`).
 pub fn bench_queries() -> usize {
-    std::env::var("NEATS_BENCH_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000)
+    env_usize("NEATS_BENCH_QUERIES", 20_000)
 }
 
 /// Partitioner thread counts for the perf baseline (env
 /// `NEATS_BENCH_THREADS`, comma-separated; default `1,2,4`).
 pub fn bench_threads() -> Vec<usize> {
-    std::env::var("NEATS_BENCH_THREADS")
-        .ok()
-        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).filter(|&t| t > 0).collect::<Vec<usize>>())
-        .filter(|v| !v.is_empty())
-        .unwrap_or_else(|| vec![1, 2, 4])
+    env_usize_list("NEATS_BENCH_THREADS", &[1, 2, 4])
 }
 
 /// The datasets the perf baseline runs on: all 16, or the subset named by

@@ -17,6 +17,7 @@
 //!                   [--threads T] [--append]
 //! neats store ls    <pack>
 //! neats store query <pack> <series> <index | a..b | @time>...
+//! neats serve       <pack> [--addr HOST:PORT] [--threads T] [--cache N]
 //! ```
 //!
 //! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
@@ -31,13 +32,19 @@
 //! serves point, index-range, and `@timestamp` lookups zero-copy through
 //! [`neats_store::Store`] — the recommended path when serving many series.
 //!
+//! `serve` mounts a pack behind the multi-threaded HTTP frontend
+//! ([`neats_serve`]): it prints `listening on <addr>` (the actual port when
+//! bound with `:0`) and serves until killed. Endpoints and the wire grammar
+//! are specified in `docs/PROTOCOL.md` at the repository root.
+//!
 //! Input text files contain one decimal value per line (the format the
 //! paper's datasets ship in) or `timestamp,value` CSV lines (timestamps
 //! must strictly increase); `--digits` sets the fixed-precision scaling.
 
 #![warn(missing_docs)]
 use neats_core::{ArchiveView, Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
-use neats_store::{Store, StoreConfig, StoreMode, StoreWriter};
+use neats_serve::{ServeConfig, Server};
+use neats_store::{Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
 use std::path::Path;
 use timeseries::{io::load_fixed_precision, CompressedSeries};
 
@@ -176,6 +183,17 @@ pub enum Command {
         /// Lookup specs: index `K`, half-open range `A..B`, or `@timestamp`.
         specs: Vec<String>,
     },
+    /// Serve a pack over HTTP.
+    Serve {
+        /// Pack path.
+        pack: String,
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads (0 = auto: `NEATS_SERVE_THREADS`, else all cores).
+        threads: usize,
+        /// Segment-view cache capacity (0 disables caching).
+        cache: usize,
+    },
 }
 
 /// Which function families to allow.
@@ -214,7 +232,8 @@ pub const USAGE: &str = "usage:
   neats store build <out.pack> <in...> [--digits D] [--eps E] [--segment N]
                     [--threads T] [--append]
   neats store ls    <pack>
-  neats store query <pack> <series> <index | a..b | @time>...";
+  neats store query <pack> <series> <index | a..b | @time>...
+  neats serve       <pack> [--addr HOST:PORT] [--threads T] [--cache N]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -227,6 +246,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut threads = 0usize;
     let mut segment = 0usize;
     let mut append = false;
+    let mut addr: Option<String> = None;
+    let mut cache: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -267,6 +288,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .ok_or(CliError("--segment needs a point count (0 = default)".into()))?;
+            }
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or(CliError("--addr needs a host:port".into()))?,
+                );
+            }
+            "--cache" => {
+                i += 1;
+                cache = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(CliError("--cache needs a view count (0 disables)".into()))?,
+                );
             }
             "--sneats" => sneats = true,
             "--append" => append = true,
@@ -363,6 +400,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             other => err(format!("unknown store subcommand {other:?}\n{USAGE}")),
         },
+        Some("serve") => Ok(Command::Serve {
+            pack: get_pos(1, "pack")?,
+            addr: addr.unwrap_or_else(|| "127.0.0.1:8462".to_string()),
+            threads,
+            cache: cache.unwrap_or(256),
+        }),
         Some(other) => err(format!("unknown command {other:?}\n{USAGE}")),
         None => err(USAGE),
     }
@@ -637,6 +680,32 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                 }
             }
             Ok(())
+        }
+        Command::Serve { pack, addr, threads, cache } => {
+            let store = Store::open_with(
+                std::fs::read(&pack)
+                    .map_err(|e| CliError(format!("{pack}: {e}")))?,
+                StoreOptions { cache_capacity: cache },
+            )
+            .map_err(|e| CliError(format!("{pack}: {e}")))?;
+            let series = store.series_count();
+            let points = store.total_points();
+            let cfg = ServeConfig { threads, ..ServeConfig::default() };
+            let server = Server::bind(std::sync::Arc::new(store), addr.as_str(), cfg)
+                .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+            writeln!(
+                out,
+                "serving {series} series ({points} points) from {pack} with {} worker(s)",
+                server.threads()
+            )?;
+            // The smoke scripts scrape this exact line for the bound port.
+            writeln!(out, "listening on {}", server.local_addr())?;
+            out.flush()?;
+            // Runs until the process is killed; the library API
+            // (ServerHandle::shutdown) is the graceful-shutdown hook for
+            // embedders — a std-only binary has no signal handler to wire
+            // it to.
+            server.run().map_err(|e| CliError(format!("serve: {e}")))
         }
     }
 }
@@ -1048,6 +1117,111 @@ mod tests {
         let lines: Vec<i64> =
             String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        assert_eq!(
+            parse_args(&argv("serve metrics.pack --addr 0.0.0.0:9000 --threads 4 --cache 64"))
+                .unwrap(),
+            Command::Serve {
+                pack: "metrics.pack".into(),
+                addr: "0.0.0.0:9000".into(),
+                threads: 4,
+                cache: 64,
+            }
+        );
+        // Defaults: loopback on the documented port, auto threads, cache 256.
+        assert_eq!(
+            parse_args(&argv("serve metrics.pack")).unwrap(),
+            Command::Serve {
+                pack: "metrics.pack".into(),
+                addr: "127.0.0.1:8462".into(),
+                threads: 0,
+                cache: 256,
+            }
+        );
+        assert!(parse_args(&argv("serve")).is_err()); // no pack
+        assert!(parse_args(&argv("serve p.pack --addr")).is_err()); // missing value
+        assert!(parse_args(&argv("serve p.pack --cache lots")).is_err());
+    }
+
+    #[test]
+    fn serve_command_serves_a_pack_end_to_end() {
+        use std::io::{Read as _, Write as _};
+        let dir = std::env::temp_dir().join("neats_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("cpu.txt");
+        let pack = dir.join("serve.pack");
+        let values: Vec<i64> = (0..400).map(|k: i64| k * k % 139 - 11).collect();
+        let text: String = values.iter().map(|v| format!("{v}\n")).collect();
+        std::fs::write(&input, text).unwrap();
+        run(
+            parse_args(&argv(&format!(
+                "store build {} {} --segment 128",
+                pack.display(),
+                input.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Run `neats serve` on an ephemeral port in a background thread and
+        // scrape the "listening on" line through a shared writer.
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let log = SharedBuf::default();
+        let mut thread_log = log.clone();
+        let cmd = parse_args(&argv(&format!(
+            "serve {} --addr 127.0.0.1:0 --threads 2",
+            pack.display()
+        )))
+        .unwrap();
+        // The serving thread blocks until process exit; it is detached on
+        // purpose (the harness reaps it with the test process). Keep the
+        // handle so a pre-listen failure surfaces instead of hanging the
+        // scrape loop below.
+        let server_thread = std::thread::spawn(move || run(cmd, &mut thread_log));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            let text = String::from_utf8(log.0.lock().unwrap().clone()).unwrap();
+            if let Some(line) = text.lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..].to_string();
+            }
+            if server_thread.is_finished() {
+                panic!("serve exited before listening: {:?} (log: {text:?})", {
+                    // The thread is finished; join cannot block.
+                    server_thread.join()
+                });
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve did not start listening within 10s (log: {text:?})"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        conn.write_all(b"GET /q/cpu?idx=123 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body.trim().parse::<i64>().unwrap(), values[123]);
+        let logged = String::from_utf8(log.0.lock().unwrap().clone()).unwrap();
+        assert!(logged.contains("serving 1 series (400 points)"), "{logged}");
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! * [`view`] — [`ArchiveView`], the zero-copy read path answering queries
 //!   straight from serialized archive bytes (the recommended serving path).
 //! * [`variants`] — LeaTS (linear-only) and SNeaTS (model selection).
+//! * [`parallel`] / [`histogram`] — the std-only threading primitives
+//!   (work-stealing fan-out, closeable worker queue) and the wait-free
+//!   latency histogram shared with the store and serving layers.
+//!
+//! How these modules compose into the full system (container formats, read
+//! paths, threading model) is documented in `ARCHITECTURE.md` at the
+//! repository root.
 //!
 //! ## Example
 //!
@@ -32,6 +39,7 @@
 #![warn(missing_docs)]
 pub mod aggregate;
 pub mod fit;
+pub mod histogram;
 pub mod layout;
 pub mod lossy;
 pub mod parallel;
@@ -44,6 +52,7 @@ pub mod view;
 
 pub use aggregate::Estimate;
 pub use fit::{Fragment, Kind, Params};
+pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use layout::{NeaTSCompressed, RankMode};
 pub use lossy::NeaTSLossy;
 pub use partition::{default_epsilons, positivity_shift, Pair, Partition, PartitionConfig};

@@ -1,27 +1,129 @@
-//! Minimal scoped-thread fan-out used by the two-stage partitioner.
+//! Minimal scoped-thread building blocks shared by the parallel stages.
 //!
 //! The container this project builds in has no network access, so instead of
-//! a rayon dependency we keep a ~60-line work-stealing `parallel_map` on
-//! `std::thread::scope`. Tasks are pulled from an atomic counter (cheap
-//! dynamic load balancing — the per-pair greedy tilings the partitioner
-//! fans out have very uneven costs) and results are re-ordered by task
-//! index, so the output is deterministic regardless of scheduling.
+//! a rayon/crossbeam dependency this module keeps two small std-only
+//! primitives:
+//!
+//! * [`parallel_map_indexed`] — the work-stealing fan-out used by the
+//!   two-stage partitioner and the store writer. Tasks are pulled from an
+//!   atomic counter (cheap dynamic load balancing — the per-pair greedy
+//!   tilings the partitioner fans out have very uneven costs) and results
+//!   are re-ordered by task index, so the output is deterministic regardless
+//!   of scheduling.
+//! * [`Queue`] — a closeable blocking MPMC queue, the feed between an
+//!   accept loop and a fixed worker pool (`neats-serve` hands accepted
+//!   connections to its workers through one of these).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Resolves a thread-count request: an explicit nonzero `threads` wins,
 /// otherwise the `NEATS_THREADS` environment variable, otherwise
 /// [`std::thread::available_parallelism`].
 pub fn effective_threads(threads: usize) -> usize {
+    effective_threads_env(threads, "NEATS_THREADS")
+}
+
+/// [`effective_threads`] with a caller-chosen environment variable, for
+/// subsystems with their own knob (the serving layer reads
+/// `NEATS_SERVE_THREADS`): an explicit nonzero `threads` wins, otherwise a
+/// positive integer in `env_var`, otherwise
+/// [`std::thread::available_parallelism`].
+pub fn effective_threads_env(threads: usize, env_var: &str) -> usize {
     if threads != 0 {
         return threads;
     }
-    if let Some(n) = std::env::var("NEATS_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+    if let Some(n) = std::env::var(env_var).ok().and_then(|v| v.parse::<usize>().ok()) {
         if n > 0 {
             return n;
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A closeable blocking multi-producer multi-consumer queue.
+///
+/// Producers [`push`](Self::push); consumers [`pop`](Self::pop), blocking
+/// while the queue is empty and open. [`close`](Self::close) wakes every
+/// blocked consumer; items already queued are still drained, and `pop`
+/// returns `None` only once the queue is both closed and empty — the
+/// natural shutdown protocol for a worker pool ("finish what was accepted,
+/// then exit").
+pub struct Queue<T> {
+    state: Mutex<QueueState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Queue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Queue<T> {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item` and wakes one consumer. Returns `false` (dropping
+    /// the item) if the queue is already closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty and
+    /// open. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, blocked consumers wake,
+    /// and already-queued items remain poppable until drained.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Items currently queued (racy under concurrent use; for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Maps `f` over task indices `0..n` on up to `threads` scoped threads and
@@ -110,5 +212,56 @@ mod tests {
     fn effective_threads_explicit_wins() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads_env(5, "NEATS_NO_SUCH_VAR"), 5);
+        assert!(effective_threads_env(0, "NEATS_NO_SUCH_VAR") >= 1);
+    }
+
+    #[test]
+    fn queue_delivers_in_order_and_drains_after_close() {
+        let q: Queue<u32> = Queue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3), "push after close must be refused");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_closed());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_feeds_a_worker_pool() {
+        let q: Queue<usize> = Queue::new();
+        let total: AtomicUsize = AtomicUsize::new(0);
+        let popped: AtomicUsize = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        total.fetch_add(v, Ordering::Relaxed);
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for v in 1..=100 {
+                assert!(q.push(v));
+            }
+            q.close();
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 100);
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn queue_pop_blocks_until_push() {
+        let q: Queue<&'static str> = Queue::new();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            // The consumer should be blocked; feed it.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert!(q.push("hello"));
+            assert_eq!(h.join().unwrap(), Some("hello"));
+        });
     }
 }

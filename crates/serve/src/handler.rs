@@ -1,0 +1,422 @@
+//! Request routing: the four endpoints, the query grammar shared by single
+//! and batched queries, and the JSON renderers.
+//!
+//! The full request/response grammar, status-code contract, and batch frame
+//! format live in `docs/PROTOCOL.md` at the repository root; the loopback
+//! integration test mirrors its examples verbatim.
+
+use crate::http::{Method, Request, Response};
+use crate::stats::{Endpoint, ServerStats};
+use neats_store::{Store, StoreError, StoreMode};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Routes one parsed request, recording latency and error counters for the
+/// endpoint it lands on.
+pub fn handle(store: &Store, stats: &ServerStats, threads: usize, req: &Request) -> Response {
+    let t0 = Instant::now();
+    let (endpoint, resp) = route(store, stats, threads, req);
+    match endpoint {
+        Some(e) => stats.record(e, resp.status, t0.elapsed().as_nanos() as u64),
+        None => {
+            stats.unrouted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+    resp
+}
+
+fn route(
+    store: &Store,
+    stats: &ServerStats,
+    threads: usize,
+    req: &Request,
+) -> (Option<Endpoint>, Response) {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/series") => (Some(Endpoint::Series), series_json(store)),
+        (Method::Get, "/stats") => (Some(Endpoint::Stats), stats_json(store, stats, threads)),
+        (Method::Get, path) if path.starts_with("/q/") => {
+            let series = &path[3..];
+            (Some(Endpoint::Query), single_query(store, series, &req.query))
+        }
+        (Method::Post, "/q") => (Some(Endpoint::Batch), batch_query(store, &req.body)),
+        // Known paths under the wrong method get a 405, unknown paths a 404.
+        (_, "/series" | "/stats" | "/q") | (Method::Post, _) if known_path(&req.path) => {
+            (None, Response::error(405, "method not allowed"))
+        }
+        _ => (None, Response::error(404, "no such endpoint")),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    path == "/series" || path == "/stats" || path == "/q" || path.starts_with("/q/")
+}
+
+/// `GET /q/<series>?idx=K | idx=A..B | t=T | t=A..B`.
+fn single_query(store: &Store, series: &str, query: &str) -> Response {
+    match run_query(store, series, query) {
+        Ok((body, _)) => Response::text(body),
+        Err((status, reason)) => Response::error(status, &reason),
+    }
+}
+
+/// `POST /q` — one query per line: `<series> <spec>`. Every query is
+/// answered inside one 200 frame; see `docs/PROTOCOL.md` for the framing.
+fn batch_query(store: &Store, body: &[u8]) -> Response {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "batch body is not UTF-8");
+    };
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let i = n;
+        n += 1;
+        // The spec (`idx=…` / `t=…`) never contains a space, so the series
+        // name is everything before the *last* space — names with spaces
+        // need no escaping in batch lines.
+        match line.rsplit_once(' ') {
+            Some((series, spec)) => match run_query(store, series.trim(), spec.trim()) {
+                Ok((payload, lines)) => {
+                    let _ = writeln!(out, "#{i} ok {lines}");
+                    out.extend_from_slice(&payload);
+                }
+                Err((status, reason)) => {
+                    let _ = writeln!(out, "#{i} err {status} {reason}");
+                }
+            },
+            None => {
+                let _ = writeln!(out, "#{i} err 400 malformed query line (want: <series> <spec>)");
+            }
+        }
+    }
+    let _ = writeln!(out, "#done {n}");
+    Response::text(out)
+}
+
+/// Runs one query spec (`idx=K`, `idx=A..B`, `t=T`, `t=A..B`) against
+/// `series`, returning the rendered payload and its line count, or the
+/// status + reason it fails with.
+pub(crate) fn run_query(
+    store: &Store,
+    series: &str,
+    spec: &str,
+) -> Result<(Vec<u8>, usize), (u16, String)> {
+    let (key, val) = spec
+        .split_once('=')
+        .ok_or_else(|| (400u16, format!("malformed query spec {spec:?} (want idx=… or t=…)")))?;
+    let mut body = Vec::new();
+    let mut lines = 0usize;
+    match key {
+        "idx" => {
+            if let Some((a, b)) = val.split_once("..") {
+                let a = parse_num(a, "range start")?;
+                let b = parse_num(b, "range end")?;
+                store
+                    .range_chunks(series, a..b, |chunk| {
+                        // Rendered straight from the zero-copy segment
+                        // views: the decoded-value buffer stays one segment
+                        // long (the text body still accumulates in full for
+                        // Content-Length framing).
+                        for v in chunk {
+                            let _ = writeln!(body, "{v}");
+                        }
+                        lines += chunk.len();
+                    })
+                    .map_err(store_err)?;
+            } else {
+                let k = parse_num(val, "index")?;
+                let v = store.get(series, k).map_err(store_err)?;
+                let _ = writeln!(body, "{v}");
+                lines = 1;
+            }
+        }
+        "t" => {
+            if let Some((a, b)) = val.split_once("..") {
+                let a = parse_num(a, "time range start")?;
+                let b = parse_num(b, "time range end")?;
+                store
+                    .range_by_time_chunks(series, a, b, |chunk| {
+                        for (t, v) in chunk {
+                            let _ = writeln!(body, "{t},{v}");
+                        }
+                        lines += chunk.len();
+                    })
+                    .map_err(store_err)?;
+            } else {
+                let t = parse_num(val, "timestamp")?;
+                match store.at_time(series, t).map_err(store_err)? {
+                    Some(v) => {
+                        let _ = writeln!(body, "{v}");
+                        lines = 1;
+                    }
+                    None => return Err((404, format!("no sample at timestamp {t}"))),
+                }
+            }
+        }
+        other => return Err((400, format!("unknown query key {other:?} (want idx or t)"))),
+    }
+    Ok((body, lines))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, (u16, String)> {
+    s.trim()
+        .parse()
+        .map_err(|_| (400, format!("{what} must be a non-negative integer, got {s:?}")))
+}
+
+/// Maps a [`StoreError`] to the HTTP status the protocol promises.
+fn store_err(e: StoreError) -> (u16, String) {
+    let status = match &e {
+        StoreError::UnknownSeries(_) => 404,
+        StoreError::OutOfRange { .. } | StoreError::BadRange { .. } => 400,
+        // A corrupt segment surfacing at query time is a server-side fault.
+        StoreError::Corrupt(_) | StoreError::Wire(_) => 500,
+        _ => 400,
+    };
+    (status, e.to_string())
+}
+
+/// `GET /series`: the catalog as a JSON array.
+fn series_json(store: &Store) -> Response {
+    let mut out = String::from("[");
+    for (i, e) in store.entries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let eps = match e.mode() {
+            StoreMode::Lossless => 0,
+            StoreMode::Lossy { eps } => eps,
+        };
+        out.push_str(&format!(
+            "\n  {{\"name\": {}, \"mode\": \"{}\", \"eps\": {}, \"points\": {}, \
+             \"segments\": {}, \"t_min\": {}, \"t_max\": {}}}",
+            json_string(e.name()),
+            e.mode().name(),
+            eps,
+            e.len(),
+            e.segments().len(),
+            e.t_min(),
+            e.t_max(),
+        ));
+    }
+    out.push_str(if store.entries().is_empty() { "]\n" } else { "\n]\n" });
+    Response::json(out)
+}
+
+/// `GET /stats`: cache counters, connection counters, and per-endpoint
+/// latency percentiles.
+fn stats_json(store: &Store, stats: &ServerStats, threads: usize) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
+    let cache = store.cache_stats();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"uptime_s\": {:.3},\n", stats.uptime_s()));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"series\": {},\n", store.series_count()));
+    out.push_str(&format!("  \"points\": {},\n", store.total_points()));
+    out.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
+        cache.hits,
+        cache.misses,
+        cache.entries,
+        cache.hit_rate(),
+    ));
+    out.push_str(&format!(
+        "  \"connections\": {{\"accepted\": {}, \"active\": {}, \"protocol_errors\": {}, \
+         \"unrouted\": {}, \"panics\": {}}},\n",
+        stats.accepted.load(Relaxed),
+        stats.active.load(Relaxed),
+        stats.protocol_errors.load(Relaxed),
+        stats.unrouted.load(Relaxed),
+        stats.panics.load(Relaxed),
+    ));
+    out.push_str("  \"endpoints\": {");
+    for (i, e) in Endpoint::ALL.iter().enumerate() {
+        let s = stats.endpoint(*e);
+        let snap = s.latency_ns.snapshot();
+        out.push_str(&format!(
+            "{}\n    \"{}\": {{\"requests\": {}, \"errors\": {}, \"p50_us\": {:.1}, \
+             \"p99_us\": {:.1}, \"max_us\": {:.1}, \"mean_us\": {:.1}}}",
+            if i > 0 { "," } else { "" },
+            e.key(),
+            s.requests.load(Relaxed),
+            s.errors.load(Relaxed),
+            snap.quantile(0.5) as f64 / 1e3,
+            snap.quantile(0.99) as f64 / 1e3,
+            snap.max() as f64 / 1e3,
+            snap.mean() / 1e3,
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    Response::json(out)
+}
+
+/// Renders a JSON string literal with full escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neats_store::{StoreConfig, StoreWriter};
+
+    fn demo_store() -> Store {
+        let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+        let stamps: Vec<u64> = (0..500u64).map(|i| 1_000 + i * 3).collect();
+        let values: Vec<i64> = (0..500).map(|k: i64| k * k % 211 - 17).collect();
+        w.ingest("cpu", &stamps, &values).unwrap();
+        Store::open(w.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn query_grammar_answers_match_store() {
+        let store = demo_store();
+        let (body, lines) = run_query(&store, "cpu", "idx=7").unwrap();
+        assert_eq!(lines, 1);
+        assert_eq!(
+            String::from_utf8(body).unwrap().trim().parse::<i64>().unwrap(),
+            store.get("cpu", 7).unwrap()
+        );
+
+        let (body, lines) = run_query(&store, "cpu", "idx=10..200").unwrap();
+        assert_eq!(lines, 190);
+        let got: Vec<i64> = String::from_utf8(body)
+            .unwrap()
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        let mut want = Vec::new();
+        store.range("cpu", 10..200, &mut want).unwrap();
+        assert_eq!(got, want);
+
+        let t = store.timestamp("cpu", 42).unwrap();
+        let (body, _) = run_query(&store, "cpu", &format!("t={t}")).unwrap();
+        assert_eq!(
+            String::from_utf8(body).unwrap().trim().parse::<i64>().unwrap(),
+            store.get("cpu", 42).unwrap()
+        );
+
+        let (body, lines) = run_query(&store, "cpu", "t=1000..1300").unwrap();
+        let mut want = Vec::new();
+        store.range_by_time("cpu", 1000, 1300, &mut want).unwrap();
+        assert_eq!(lines, want.len());
+        let got: Vec<(u64, i64)> = String::from_utf8(body)
+            .unwrap()
+            .lines()
+            .map(|l| {
+                let (t, v) = l.split_once(',').unwrap();
+                (t.parse().unwrap(), v.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn query_grammar_statuses() {
+        let store = demo_store();
+        assert_eq!(run_query(&store, "nope", "idx=0").unwrap_err().0, 404);
+        assert_eq!(run_query(&store, "cpu", "idx=99999").unwrap_err().0, 400);
+        assert_eq!(run_query(&store, "cpu", "idx=9..2").unwrap_err().0, 400);
+        assert_eq!(run_query(&store, "cpu", "t=1").unwrap_err().0, 404); // gap
+        assert_eq!(run_query(&store, "cpu", "frob=1").unwrap_err().0, 400);
+        assert_eq!(run_query(&store, "cpu", "idx").unwrap_err().0, 400);
+        assert_eq!(run_query(&store, "cpu", "idx=banana").unwrap_err().0, 400);
+        // An inverted time range is simply empty, like range_by_time.
+        let (body, lines) = run_query(&store, "cpu", "t=300..200").unwrap();
+        assert!(body.is_empty());
+        assert_eq!(lines, 0);
+    }
+
+    #[test]
+    fn batch_frame_shape() {
+        let store = demo_store();
+        let stats = ServerStats::new();
+        let req = Request {
+            method: Method::Post,
+            path: "/q".into(),
+            query: String::new(),
+            keep_alive: true,
+            body: b"cpu idx=3\nnope idx=0\n\ncpu idx=0..2\nmalformed\n".to_vec(),
+        };
+        let resp = handle(&store, &stats, 1, &req);
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.starts_with("#0 ok 1\n"), "{text}");
+        assert!(text.contains("#1 err 404"), "{text}");
+        assert!(text.contains("#2 ok 2\n"), "{text}");
+        assert!(text.contains("#3 err 400"), "{text}");
+        assert!(text.ends_with("#done 4\n"), "{text}");
+    }
+
+    #[test]
+    fn routing_and_counters() {
+        let store = demo_store();
+        let stats = ServerStats::new();
+        let get = |path: &str, query: &str| Request {
+            method: Method::Get,
+            path: path.into(),
+            query: query.into(),
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&store, &stats, 2, &get("/series", "")).status, 200);
+        assert_eq!(handle(&store, &stats, 2, &get("/q/cpu", "idx=1")).status, 200);
+        assert_eq!(handle(&store, &stats, 2, &get("/q/none", "idx=1")).status, 404);
+        assert_eq!(handle(&store, &stats, 2, &get("/frob", "")).status, 404);
+        let stats_resp = handle(&store, &stats, 2, &get("/stats", ""));
+        assert_eq!(stats_resp.status, 200);
+        let text = String::from_utf8(stats_resp.body).unwrap();
+        assert!(text.contains("\"threads\": 2"), "{text}");
+        assert!(text.contains("\"query\": {\"requests\": 2, \"errors\": 1"), "{text}");
+        // POST to a GET-only path is a 405.
+        let post = Request {
+            method: Method::Post,
+            path: "/series".into(),
+            query: String::new(),
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&store, &stats, 2, &post).status, 405);
+    }
+
+    #[test]
+    fn series_json_lists_catalog() {
+        let store = demo_store();
+        let stats = ServerStats::new();
+        let req = Request {
+            method: Method::Get,
+            path: "/series".into(),
+            query: String::new(),
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        let resp = handle(&store, &stats, 1, &req);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"name\": \"cpu\""), "{text}");
+        assert!(text.contains("\"points\": 500"), "{text}");
+        assert!(text.contains("\"mode\": \"lossless\""), "{text}");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

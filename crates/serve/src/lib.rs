@@ -1,0 +1,87 @@
+//! # neats-serve — a multi-threaded query server over the pack store
+//!
+//! The paper's headline feature — random access into learned-compressed
+//! series — pays off at system scale when queries are served concurrently
+//! over the wire. This crate is that serving frontend: a std-only (zero
+//! dependencies beyond the workspace) multi-threaded TCP server that mounts
+//! a packfile via [`neats_store::Store`] and speaks a minimal HTTP/1.1
+//! subset:
+//!
+//! | Endpoint | Answer |
+//! |---|---|
+//! | `GET /series` | the catalog, as JSON |
+//! | `GET /q/<series>?idx=K` \| `?idx=A..B` \| `?t=T` \| `?t=A..B` | one query, plain text |
+//! | `POST /q` | many queries (one per body line), one framed response |
+//! | `GET /stats` | cache hit rate + per-endpoint latency percentiles, JSON |
+//!
+//! The exact request/response grammar, status codes, and batch frame format
+//! are specified in `docs/PROTOCOL.md` at the repository root, with `curl`
+//! examples mirrored by the loopback integration test; the system-level
+//! picture (how this layer sits on `store` → `neats-core` → `succinct`)
+//! is in `ARCHITECTURE.md`.
+//!
+//! ## Design
+//!
+//! * **Accept loop + fixed worker pool** — [`Server::run`] accepts on the
+//!   calling thread and feeds a closeable queue drained by `threads`
+//!   workers ([`neats_core::parallel::Queue`]); the count resolves from the
+//!   explicit knob, else `NEATS_SERVE_THREADS`, else all cores.
+//! * **Zero-copy serving** — every worker borrows the one `Arc<Store>`;
+//!   responses are rendered straight from the store's zero-copy
+//!   [`neats_core::ArchiveView`]s via [`neats_store::Store::range_chunks`],
+//!   so *decode* buffers are bounded by one segment regardless of range
+//!   length (the rendered text body is still accumulated in full for
+//!   `Content-Length` framing).
+//! * **Keep-alive & pipelining** — connections serve any number of
+//!   requests; buffered pipelined requests are handled in order.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] (the
+//!   SIGTERM-equivalent hook) stops the accept loop, drains accepted
+//!   connections, finishes in-flight requests, then [`Server::run`]
+//!   returns.
+//! * **Observability** — per-endpoint request/error counters and latency
+//!   histograms ([`neats_core::AtomicHistogram`]) served on `/stats`.
+//!
+//! ## Ingest → serve → query roundtrip
+//!
+//! ```
+//! use neats_serve::{ServeConfig, Server};
+//! use neats_store::{Store, StoreConfig, StoreWriter};
+//! use std::io::{Read, Write};
+//! use std::sync::Arc;
+//!
+//! // Ingest: build a pack with one series.
+//! let mut w = StoreWriter::new(StoreConfig::default());
+//! let stamps: Vec<u64> = (0..100).map(|i| 1_000 + i * 60).collect();
+//! let values: Vec<i64> = (0..100).map(|k: i64| k * k % 83).collect();
+//! w.ingest("cpu", &stamps, &values).unwrap();
+//! let store = Arc::new(Store::open(w.finish().unwrap()).unwrap());
+//!
+//! // Serve: bind an ephemeral port and run the server on its own thread.
+//! let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = server.handle();
+//! let running = std::thread::spawn(move || server.run());
+//!
+//! // Query: a point lookup over plain HTTP/1.1.
+//! let mut conn = std::net::TcpStream::connect(addr).unwrap();
+//! conn.write_all(b"GET /q/cpu?idx=42 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+//! let mut response = String::new();
+//! conn.read_to_string(&mut response).unwrap();
+//! let body = response.split("\r\n\r\n").nth(1).unwrap();
+//! assert_eq!(body.trim().parse::<i64>().unwrap(), store.get("cpu", 42).unwrap());
+//!
+//! // Shut down gracefully; run() returns after the drain.
+//! handle.shutdown();
+//! running.join().unwrap().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod handler;
+mod http;
+mod server;
+mod stats;
+
+pub use http::{Limits, Method, Request, Response};
+pub use server::{ServeConfig, Server, ServerHandle, THREADS_ENV};
+pub use stats::{Endpoint, EndpointStats, ServerStats};

@@ -1,0 +1,284 @@
+//! The server: a bound listener, an accept loop, and a fixed worker pool
+//! draining a [`Queue`] of accepted connections.
+//!
+//! ## Threading model
+//!
+//! [`Server::run`] blocks the calling thread on `accept()` and spawns
+//! `threads` scoped workers (resolved like every other knob in this
+//! workspace: explicit value, else `NEATS_SERVE_THREADS`, else all cores).
+//! Accepted connections are pushed onto a closeable blocking queue
+//! ([`neats_core::parallel::Queue`]); each worker pops one connection and
+//! owns it for its whole keep-alive lifetime — requests on one connection
+//! are handled serially (HTTP/1.1 semantics), requests on different
+//! connections in parallel. The [`Store`] is shared behind an `Arc` and is
+//! `Send + Sync`; queries run zero-copy against the shared pack bytes, so
+//! workers never copy archive data.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] is the SIGTERM-equivalent: it sets the
+//! shutdown flag and wakes the accept loop with a loopback connection. The
+//! accept loop stops accepting and closes the queue; workers drain already
+//! accepted connections, finish the request in flight (plus any pipelined
+//! requests the client already sent in full), answer them with
+//! `Connection: close`, and exit. `run` returns once every worker has
+//! joined.
+
+use crate::http::{Conn, HttpError, Limits, ReadOutcome, Response};
+use crate::stats::ServerStats;
+use crate::{handler, http};
+use neats_core::parallel::{effective_threads_env, Queue};
+use neats_store::Store;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Environment variable naming the default worker-thread count.
+pub const THREADS_ENV: &str = "NEATS_SERVE_THREADS";
+
+/// Server tuning knobs. `Default` matches the documented configuration
+/// table in the README.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (`0` = automatic: [`THREADS_ENV`], else all cores).
+    pub threads: usize,
+    /// Maximum request-head bytes before a 431.
+    pub max_header_bytes: usize,
+    /// Maximum request-body bytes before a 413.
+    pub max_body_bytes: usize,
+    /// Maximum time a started request may take to arrive before a 408.
+    pub request_timeout: Duration,
+    /// Poll tick at which blocked reads re-check the shutdown flag; bounds
+    /// how long shutdown waits for idle keep-alive connections.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_header_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            request_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+struct Shared {
+    shutdown: AtomicBool,
+    stats: ServerStats,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] serves until a
+/// [`ServerHandle::shutdown`]; the handle is obtained *before* `run` and is
+/// cheap to clone across threads.
+pub struct Server {
+    listener: TcpListener,
+    store: Arc<Store>,
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: usize,
+    cfg: ServeConfig,
+}
+
+/// A clonable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: stop accepting, drain accepted
+    /// connections, finish in-flight requests, then let [`Server::run`]
+    /// return. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Best-effort prompt wake of the accept loop with a throwaway
+        // connection (the loop also polls the flag, so a failed connect —
+        // full backlog, wildcard-bind quirks — only delays shutdown by one
+        // poll tick, never hangs it). An unspecified bind address is not
+        // connectable; aim at loopback on the same port instead.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            match &mut target {
+                SocketAddr::V4(a) => a.set_ip(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(a) => a.set_ip(std::net::Ipv6Addr::LOCALHOST),
+            }
+        }
+        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(100));
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The address the server is bound to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port) over
+    /// `store`. The worker count is resolved at [`Self::run`].
+    pub fn bind(
+        store: Arc<Store>,
+        addr: impl ToSocketAddrs,
+        mut cfg: ServeConfig,
+    ) -> std::io::Result<Server> {
+        // A zero poll interval would make set_read_timeout fail (leaving
+        // sockets blocking, which breaks shutdown) and turn the accept
+        // loop into a busy spin — clamp it to something meaningful.
+        cfg.poll_interval = cfg.poll_interval.max(Duration::from_millis(1));
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let threads = effective_threads_env(cfg.threads, THREADS_ENV);
+        Ok(Server {
+            listener,
+            store,
+            shared: Arc::new(Shared { shutdown: AtomicBool::new(false), stats: ServerStats::new() }),
+            addr,
+            threads,
+            cfg,
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The resolved worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A shutdown handle; obtain it before calling [`Self::run`].
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared), addr: self.addr }
+    }
+
+    /// Serves until shutdown: the calling thread runs the accept loop, the
+    /// worker pool handles connections. Returns after the drain completes.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, store, shared, addr: _, threads, cfg } = self;
+        let queue: Queue<TcpStream> = Queue::new();
+        let limits = Limits {
+            max_header_bytes: cfg.max_header_bytes,
+            max_body_bytes: cfg.max_body_bytes,
+            request_timeout: cfg.request_timeout,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    while let Some(conn) = queue.pop() {
+                        serve_connection(&store, &shared, &cfg, &limits, threads, conn);
+                    }
+                });
+            }
+            // Non-blocking accept with a short idle sleep: the loop
+            // observes the shutdown flag even if the wake-up connect in
+            // ServerHandle::shutdown never lands (wildcard binds, full
+            // backlog), so run() can never hang on accept(). The tick is
+            // deliberately much shorter than poll_interval — it bounds
+            // *accept latency* for every new connection, not just shutdown
+            // responsiveness.
+            let accept_tick = Duration::from_millis(2).min(cfg.poll_interval);
+            let nonblocking = listener.set_nonblocking(true).is_ok();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        if shared.shutdown.load(Ordering::SeqCst) {
+                            break; // likely the wake-up connection; drop it
+                        }
+                        // Workers rely on read timeouts, which need a
+                        // blocking socket (some platforms inherit the
+                        // listener's non-blocking flag).
+                        if conn.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        if !queue.push(conn) {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && nonblocking => {
+                        std::thread::sleep(accept_tick);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Transient accept failure (e.g. fd exhaustion):
+                        // back off briefly instead of spinning.
+                        std::thread::sleep(cfg.poll_interval);
+                    }
+                }
+            }
+            queue.close();
+        });
+        Ok(())
+    }
+}
+
+/// Serves one connection for its whole keep-alive lifetime.
+fn serve_connection(
+    store: &Store,
+    shared: &Shared,
+    cfg: &ServeConfig,
+    limits: &Limits,
+    threads: usize,
+    stream: TcpStream,
+) {
+    shared.stats.active.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    // The read timeout is the poll tick: blocked reads wake this often to
+    // re-check the shutdown flag.
+    let _ = stream.set_read_timeout(Some(cfg.poll_interval));
+    let mut conn = Conn::new(stream);
+    let should_abort = || shared.shutdown.load(Ordering::SeqCst);
+    loop {
+        match conn.read_request(limits, &should_abort) {
+            Ok(ReadOutcome::Request(req)) => {
+                // A handler panic must not take down the worker (the pool is
+                // fixed — a dead worker would shrink capacity forever); the
+                // panicking request gets a 500 and its connection closes.
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    handler::handle(store, &shared.stats, threads, &req)
+                }));
+                let (resp, close_after) = match result {
+                    Ok(resp) => (resp, false),
+                    Err(_) => {
+                        shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        (Response::error(500, "internal error"), true)
+                    }
+                };
+                // On shutdown, drain: requests the client already pipelined
+                // in full are still answered before the close.
+                let keep = req.keep_alive
+                    && !close_after
+                    && (!should_abort() || conn.has_buffered_request());
+                if http::write_response(conn.stream(), &resp, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Ok(ReadOutcome::Closed) => break,
+            Err(HttpError { status, reason }) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    conn.stream(),
+                    &Response::error(status, &reason),
+                    false,
+                );
+                break;
+            }
+        }
+    }
+    shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+}

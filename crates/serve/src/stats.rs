@@ -1,0 +1,130 @@
+//! Per-endpoint request counters and latency histograms, rendered by
+//! `GET /stats`.
+
+use neats_core::AtomicHistogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The endpoints the server tracks separately.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /series`.
+    Series,
+    /// `GET /q/<series>` — single queries.
+    Query,
+    /// `POST /q` — batched queries.
+    Batch,
+    /// `GET /stats`.
+    Stats,
+}
+
+impl Endpoint {
+    /// All endpoints, in `/stats` render order.
+    pub const ALL: [Endpoint; 4] = [Endpoint::Series, Endpoint::Query, Endpoint::Batch, Endpoint::Stats];
+
+    /// The key this endpoint renders under in the `/stats` JSON.
+    pub fn key(self) -> &'static str {
+        match self {
+            Endpoint::Series => "series",
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Stats => "stats",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Series => 0,
+            Endpoint::Query => 1,
+            Endpoint::Batch => 2,
+            Endpoint::Stats => 3,
+        }
+    }
+}
+
+/// One endpoint's counters.
+#[derive(Default)]
+pub struct EndpointStats {
+    /// Requests routed to the endpoint (including those answered 4xx).
+    pub requests: AtomicU64,
+    /// Requests answered with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// Wall-clock handling latency, nanoseconds (excludes socket I/O of the
+    /// response write).
+    pub latency_ns: AtomicHistogram,
+}
+
+impl EndpointStats {
+    fn new() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_ns: AtomicHistogram::new(),
+        }
+    }
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All counters one server instance exposes on `/stats`.
+pub struct ServerStats {
+    started: Instant,
+    /// Connections accepted since start.
+    pub accepted: AtomicU64,
+    /// Connections currently being served.
+    pub active: AtomicU64,
+    /// Requests that failed HTTP parsing before reaching any endpoint
+    /// (malformed heads, limit violations, timeouts).
+    pub protocol_errors: AtomicU64,
+    /// Requests for paths that route nowhere (404/405 before an endpoint).
+    pub unrouted: AtomicU64,
+    /// Handler panics converted to 500s — the severest failure class must
+    /// be visible on `/stats`, and a panicking handler never reaches the
+    /// per-endpoint recording path.
+    pub panics: AtomicU64,
+    endpoints: [EndpointStats; 4],
+}
+
+impl ServerStats {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            accepted: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            endpoints: [
+                EndpointStats::new(),
+                EndpointStats::new(),
+                EndpointStats::new(),
+                EndpointStats::new(),
+            ],
+        }
+    }
+
+    /// The counters of `e`.
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointStats {
+        &self.endpoints[e.index()]
+    }
+
+    /// Records one handled request on `e`.
+    pub fn record(&self, e: Endpoint, status: u16, elapsed_ns: u64) {
+        let s = self.endpoint(e);
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        s.latency_ns.record(elapsed_ns);
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}

@@ -48,6 +48,12 @@
 //! value frame carries its own CRC-64, the timestamp blob's CRC lives in the
 //! catalog).
 //!
+//! The full byte-level offset tables, the catalog record grammar, how this
+//! read path compares to the owned and single-archive view paths, and the
+//! `segment.rs` unsafe-lifetime invariants are documented in
+//! `ARCHITECTURE.md` at the repository root; the HTTP serving layer over
+//! this store is the `neats-serve` crate.
+//!
 //! ```
 //! use neats_store::{Store, StoreConfig, StoreWriter};
 //!

@@ -196,6 +196,29 @@ impl Store {
         })
     }
 
+    /// Streams the values at series-global positions `range` to `f` in
+    /// segment-sized chunks, in order, without materialising the whole
+    /// range: each chunk is decoded from the segment's zero-copy view into
+    /// an internal buffer reused across segments, so peak allocation is
+    /// bounded by the segment size, not the range length. This is the
+    /// accessor the serving layer renders responses from.
+    pub fn range_chunks(
+        &self,
+        name: &str,
+        range: Range<usize>,
+        mut f: impl FnMut(&[i64]),
+    ) -> Result<(), StoreError> {
+        let (si, s) = self.entry(name)?;
+        Self::check_range(s, &range)?;
+        let mut buf = Vec::new();
+        self.for_each_overlap(si, s, &range, |view, local| {
+            buf.clear();
+            view.archive().range(local, &mut buf);
+            f(&buf);
+            Ok(())
+        })
+    }
+
     /// Appends all `(timestamp, value)` pairs with timestamp in
     /// `[t_lo, t_hi]` to `out`, stitching across segment boundaries.
     pub fn range_by_time(
@@ -205,12 +228,27 @@ impl Store {
         t_hi: u64,
         out: &mut Vec<(u64, i64)>,
     ) -> Result<(), StoreError> {
+        self.range_by_time_chunks(name, t_lo, t_hi, |chunk| out.extend_from_slice(chunk))
+    }
+
+    /// Streams all `(timestamp, value)` pairs with timestamp in
+    /// `[t_lo, t_hi]` to `f` in segment-sized chunks, in order — the
+    /// time-indexed counterpart of [`Self::range_chunks`], with the same
+    /// bounded-allocation guarantee.
+    pub fn range_by_time_chunks(
+        &self,
+        name: &str,
+        t_lo: u64,
+        t_hi: u64,
+        mut f: impl FnMut(&[(u64, i64)]),
+    ) -> Result<(), StoreError> {
         let (si, s) = self.entry(name)?;
         if t_hi < t_lo {
             return Ok(());
         }
         let mut seg = Self::segment_of_time(s, t_lo);
         let mut values = Vec::new();
+        let mut pairs = Vec::new();
         while seg < s.segments().len() && s.segments()[seg].t_min <= t_hi {
             let view = self.open_segment(si, seg)?;
             let first = view.lower_bound(t_lo);
@@ -218,10 +256,12 @@ impl Store {
             if first < end {
                 values.clear();
                 view.archive().range(first..end, &mut values);
-                out.reserve(end - first);
+                pairs.clear();
+                pairs.reserve(end - first);
                 for (off, &v) in values.iter().enumerate() {
-                    out.push((view.timestamp(first + off), v));
+                    pairs.push((view.timestamp(first + off), v));
                 }
+                f(&pairs);
             }
             seg += 1;
         }
@@ -326,6 +366,17 @@ impl Store {
     /// verbatim (no recompression), offsets are rebased, dead bytes and
     /// superseded catalogs are dropped. The result opens to a store
     /// answering every query identically, with [`Self::dead_bytes`] `== 0`.
+    ///
+    /// **Catalog ordering guarantee.** The rewritten catalog lists series in
+    /// the source pack's catalog order, each series' segments in their
+    /// (index-contiguous, time-ordered) table order, and the rewritten data
+    /// region lays blobs out in exactly that order — value frame then
+    /// timestamp blob per segment, ascending offsets, no gaps. A pack that
+    /// already has this canonical shape (the output of any `compact()`, and
+    /// any freshly written pack) therefore compacts to *byte-identical*
+    /// output: `compact` is idempotent. The regression test
+    /// `compact_preserves_catalog_order_and_is_idempotent` pins both
+    /// properties.
     pub fn compact(&self) -> Vec<u8> {
         let mut pack = format::empty_pack();
         let mut entries = Vec::with_capacity(self.series.len());
@@ -400,6 +451,46 @@ mod tests {
     }
 
     #[test]
+    fn range_chunks_streams_the_same_values() {
+        let (stamps, values, pack) = demo_pack(128);
+        let store = Store::open(pack).unwrap();
+        // Chunked streaming concatenates to exactly the materialised range,
+        // and each chunk is bounded by the segment size.
+        let mut streamed = Vec::new();
+        let mut chunks = 0usize;
+        store
+            .range_chunks("demo", 100..900, |chunk| {
+                assert!(!chunk.is_empty() && chunk.len() <= 128);
+                streamed.extend_from_slice(chunk);
+                chunks += 1;
+            })
+            .unwrap();
+        assert_eq!(streamed, &values[100..900]);
+        assert!(chunks >= 800 / 128, "expected one chunk per overlapped segment");
+        // Empty range: no callback at all.
+        store.range_chunks("demo", 500..500, |_| panic!("no chunks for empty range")).unwrap();
+        // Errors mirror range().
+        assert!(matches!(
+            store.range_chunks("nope", 0..1, |_| {}),
+            Err(StoreError::UnknownSeries(_))
+        ));
+        assert!(matches!(
+            store.range_chunks("demo", 5..2000, |_| {}),
+            Err(StoreError::BadRange { .. })
+        ));
+        // The time-indexed counterpart agrees with range_by_time.
+        let mut by_time = Vec::new();
+        store.range_by_time("demo", stamps[100], stamps[899], &mut by_time).unwrap();
+        let mut streamed_t = Vec::new();
+        store
+            .range_by_time_chunks("demo", stamps[100], stamps[899], |chunk| {
+                streamed_t.extend_from_slice(chunk)
+            })
+            .unwrap();
+        assert_eq!(streamed_t, by_time);
+    }
+
+    #[test]
     fn range_by_time_matches_filter() {
         let (stamps, values, pack) = demo_pack(100);
         let store = Store::open(pack).unwrap();
@@ -471,10 +562,12 @@ mod tests {
         w.ingest("drop", &stamps, &drop_v).unwrap();
         let pack = w.finish().unwrap();
 
-        // Delete one series through an appending writer.
+        // Delete one series through an appending writer. Deleting a series
+        // that is (no longer) present is a typed error, not a silent no-op.
         let mut w = StoreWriter::append_to(&pack, StoreConfig::default()).unwrap();
-        assert!(w.delete_series("drop"));
-        assert!(!w.delete_series("drop"));
+        w.delete_series("drop").unwrap();
+        assert!(matches!(w.delete_series("drop"), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(w.delete_series("never-existed"), Err(StoreError::UnknownSeries(_))));
         let pack2 = w.finish().unwrap();
         let store = Store::open(pack2).unwrap();
         assert_eq!(store.series_names(), vec!["keep"]);
@@ -491,6 +584,59 @@ mod tests {
         }
         // Compacting a compact pack is a fixed point.
         assert_eq!(small.compact(), small.as_bytes());
+    }
+
+    #[test]
+    fn compact_preserves_catalog_order_and_is_idempotent() {
+        // Build a pack whose catalog order ("b", "a", "c") differs from
+        // alphabetical AND whose data-region blob order differs from catalog
+        // order (re-ingesting "b" after deleting it moves its live blobs
+        // *behind* "a"'s and "c"'s while it stays first in no catalog — the
+        // interesting case compact must not reorder).
+        let stamps: Vec<u64> = (0..300).collect();
+        let mk = |salt: i64| -> Vec<i64> { (0..300).map(|k: i64| k * salt % 97).collect() };
+        let cfg = || StoreConfig { segment_points: 64, ..StoreConfig::default() };
+        let mut w = StoreWriter::new(cfg());
+        w.ingest("b", &stamps, &mk(3)).unwrap();
+        w.ingest("a", &stamps, &mk(5)).unwrap();
+        w.ingest("c", &stamps, &mk(7)).unwrap();
+        let pack = w.finish().unwrap();
+
+        let mut w = StoreWriter::append_to(&pack, cfg()).unwrap();
+        w.delete_series("b").unwrap();
+        w.ingest("b", &stamps, &mk(11)).unwrap();
+        let pack = w.finish().unwrap();
+
+        let store = Store::open(pack).unwrap();
+        assert_eq!(store.series_names(), vec!["a", "c", "b"], "re-ingest moves b last");
+        assert!(store.dead_bytes() > 0);
+
+        // Compaction keeps the catalog order and drops the dead bytes…
+        let compacted = store.compact();
+        let small = Store::open(compacted.clone()).unwrap();
+        assert_eq!(small.series_names(), vec!["a", "c", "b"]);
+        assert_eq!(small.dead_bytes(), 0);
+        // …the rewritten data region is laid out in catalog order with
+        // ascending, gap-free offsets…
+        let mut expect_offset = format::HEADER_LEN;
+        for e in small.entries() {
+            for m in e.segments() {
+                assert_eq!(m.data_offset, expect_offset, "frame offset out of order");
+                expect_offset += m.data_len;
+                assert_eq!(m.ts_offset, expect_offset, "ts blob offset out of order");
+                expect_offset += m.ts_len;
+            }
+        }
+        // …every answer survives…
+        for (name, salt) in [("a", 5), ("c", 7), ("b", 11)] {
+            let want = mk(salt);
+            for k in (0..300).step_by(23) {
+                assert_eq!(small.get(name, k).unwrap(), want[k], "{name}[{k}]");
+            }
+        }
+        // …and a just-compacted pack is a fixed point: compacting again is
+        // byte-identical.
+        assert_eq!(small.compact(), compacted, "compact must be idempotent");
     }
 
     #[test]

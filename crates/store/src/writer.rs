@@ -157,15 +157,19 @@ impl StoreWriter {
     }
 
     /// Drops `name` from the catalog. Committed segment bytes stay in the
-    /// pack as dead bytes until [`crate::Store::compact`]. Returns whether
-    /// the series existed.
-    pub fn delete_series(&mut self, name: &str) -> bool {
+    /// pack as dead bytes until [`crate::Store::compact`].
+    ///
+    /// Deleting a series that is not in the catalog is a
+    /// [`StoreError::UnknownSeries`] error, not a silent no-op — a retention
+    /// job that misspells a series name must hear about it, exactly like a
+    /// query for an unknown series would.
+    pub fn delete_series(&mut self, name: &str) -> Result<(), StoreError> {
         match self.series.iter().position(|s| s.name == name) {
             Some(i) => {
                 self.series.remove(i);
-                true
+                Ok(())
             }
-            None => false,
+            None => Err(StoreError::UnknownSeries(name.to_string())),
         }
     }
 

@@ -98,7 +98,7 @@ fn main() {
         StoreConfig { mode: StoreMode::Lossless, ..StoreConfig::default() },
     )
     .expect("reopen for append");
-    writer.delete_series("wind-dir");
+    writer.delete_series("wind-dir").expect("wind-dir is in the catalog");
     let trimmed = writer.finish().expect("seal");
     let trimmed_store =
         Store::open_with(trimmed, StoreOptions::default()).expect("open trimmed");

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Link-checks the repo's hand-written docs: every relative markdown link
+# (`](path)` / `](path#anchor)`) must point at a file or directory that
+# exists, resolved against the linking document's own directory. External
+# (http/https/mailto) and pure-anchor (#…) links are skipped. Exits
+# non-zero listing every broken link. Run from anywhere; CI runs it as the
+# docs job's last step.
+set -u
+cd "$(dirname "$0")/.."
+
+DOCS="README.md ARCHITECTURE.md docs/PROTOCOL.md CHANGES.md ROADMAP.md vendor/README.md"
+status=0
+checked=0
+
+for doc in $DOCS; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc"
+    status=1
+    continue
+  fi
+  dir=$(dirname "$doc")
+  # Pull out `](target)` occurrences; strip the wrapper and any #anchor.
+  # Pure-anchor links (`](#…)`) never match because the target must start
+  # with a non-# character.
+  targets=$(grep -oE '\]\([^)#][^)]*\)' "$doc" | sed -E 's/^\]\(([^)#]+)(#[^)]*)?\)$/\1/' | sort -u)
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ]; then
+      echo "$doc: broken relative link -> $target"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "ok: $checked relative link(s) across docs all resolve"
+else
+  echo "FAIL: broken links found"
+fi
+exit $status

@@ -14,6 +14,10 @@
 //!   ingestion, a checksummed catalog, concurrent zero-copy serving with a
 //!   sharded segment-view cache, and `compact()` — the recommended way to
 //!   serve many series from one file.
+//! * [`serve`] — the network frontend: a multi-threaded HTTP/1.1 query
+//!   server over a [`store`] pack, with keep-alive, batched queries,
+//!   graceful shutdown, and `/stats` latency histograms (protocol spec in
+//!   `docs/PROTOCOL.md`, system picture in `ARCHITECTURE.md`).
 //! * [`succinct`] — bitvectors with rank/select, Elias-Fano sequences, packed
 //!   integer vectors and a wavelet tree; the substrate the layout is built on.
 //! * [`timeseries`] — the `TimeSeries` type, compressor traits, and the 16
@@ -46,6 +50,7 @@
 pub use lossless_baselines as lossless;
 pub use lossy_baselines as lossy;
 pub use neats_core as core;
+pub use neats_serve as serve;
 pub use neats_store as store;
 pub use succinct;
 pub use timeseries;

@@ -1,14 +1,18 @@
 //! Smoke test for the umbrella crate's re-export surface: every facade the
-//! README promises (`neats::core`, `neats::succinct`, `neats::timeseries`,
-//! `neats::lossless`, `neats::lossy`) must be reachable under exactly these
-//! paths and usable end-to-end on a 1k-point series.
+//! README promises (`neats::core`, `neats::store`, `neats::serve`,
+//! `neats::succinct`, `neats::timeseries`, `neats::lossless`,
+//! `neats::lossy`) must be reachable under exactly these paths and usable
+//! end-to-end on a 1k-point series.
 
 use neats::core::NeaTS;
 use neats::lossless::paper_competitors;
 use neats::lossy::Pla;
+use neats::serve::{ServeConfig, Server};
 use neats::store::{Store, StoreConfig, StoreWriter};
 use neats::succinct::{BitVector, EliasFano};
 use neats::timeseries::{CompressedSeries, TimeSeries};
+use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// A 1000-point nonlinear series (trend + seasonality), the README's
 /// running example shape.
@@ -63,6 +67,24 @@ fn umbrella_surface_compresses_and_randomly_accesses() {
     let mut window = Vec::new();
     store.range("readme", 250..260, &mut window).unwrap();
     assert_eq!(window, &values[250..260]);
+
+    // neats::serve — the HTTP frontend serves the same pack over loopback.
+    let serve_store = Arc::new(Store::open(store.as_bytes().to_vec()).unwrap());
+    let server =
+        Server::bind(Arc::clone(&serve_store), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let running = std::thread::spawn(move || server.run());
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.write_all(b"GET /q/readme?idx=499 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let body = response.split("\r\n\r\n").nth(1).unwrap();
+    assert_eq!(body.trim().parse::<i64>().unwrap(), values[499]);
+    handle.shutdown();
+    running.join().unwrap().unwrap();
 
     // neats::succinct — the substrate types are directly usable.
     let bools: Vec<bool> = values.iter().map(|v| v % 2 == 0).collect();
