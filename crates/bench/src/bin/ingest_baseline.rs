@@ -1,0 +1,227 @@
+//! Live-ingestion baseline harness: sustained append throughput under each
+//! WAL fsync policy, seal latency, WAL-replay (recovery) speed, and query
+//! latency percentiles measured *while* a writer is ingesting — written
+//! machine-readable to `BENCH_ingest.json` (sibling of `BENCH_store.json` /
+//! `BENCH_serve.json`).
+//!
+//! Every number describes a verified path: the concurrent-query phase
+//! asserts each sampled answer against the predetermined input before it
+//! is timed into the percentile, and the recovery phase asserts the
+//! replayed state equals what was acknowledged.
+//!
+//! Run with `cargo run --release -p bench --bin ingest_baseline`; scale
+//! with `NEATS_BENCH_N` (points per series) / `NEATS_BENCH_SERIES` /
+//! `NEATS_BENCH_CHUNK` (head chunk size), and redirect with
+//! `NEATS_BENCH_OUT`.
+
+use bench::env_usize;
+use bench::json::Json;
+use neats_ingest::{FsyncPolicy, IngestConfig, Ingestor};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use timeseries::Dataset;
+
+/// Points per append batch (one WAL record, one fsync under `Always`).
+const BATCH: usize = 512;
+
+struct Series {
+    name: String,
+    stamps: Vec<u64>,
+    values: Vec<i64>,
+}
+
+fn gen_series(n: usize, count: usize) -> Vec<Series> {
+    (0..count)
+        .map(|i| {
+            let ds = Dataset::ALL[i % Dataset::ALL.len()];
+            let ts = ds.generate(n);
+            let stamps: Vec<u64> =
+                (0..n as u64).map(|k| 1_700_000_000 + k * 30 + i as u64).collect();
+            Series { name: format!("s{i:02}"), stamps, values: ts.values().to_vec() }
+        })
+        .collect()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neats-ingest-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Appends every series round-robin in `BATCH`-point records and returns
+/// sustained points/s. `flush_at_end` folds the heads into the pack before
+/// the clock stops (the steady-state cost a long-running ingester pays).
+fn append_all(ing: &Ingestor, data: &[Series]) {
+    let n = data[0].values.len();
+    let mut pos = 0usize;
+    while pos < n {
+        let batch = BATCH.min(n - pos);
+        for s in data {
+            ing.append(&s.name, &s.stamps[pos..pos + batch], &s.values[pos..pos + batch])
+                .expect("append");
+        }
+        pos += batch;
+    }
+}
+
+fn ingest_points_per_s(data: &[Series], chunk_points: usize, fsync: FsyncPolicy) -> (f64, PathBuf) {
+    let dir = bench_dir(&format!("{fsync:?}").to_lowercase().replace(['(', ')'], "-"));
+    let cfg = IngestConfig { chunk_points, fsync, ..IngestConfig::default() };
+    let ing = Ingestor::open(&dir, cfg).expect("open ingestor");
+    let total = data.len() * data[0].values.len();
+    let t0 = Instant::now();
+    append_all(&ing, data);
+    let pps = total as f64 / t0.elapsed().as_secs_f64();
+    drop(ing);
+    (pps, dir)
+}
+
+fn main() {
+    let n = env_usize("NEATS_BENCH_N", 1 << 16);
+    let series_count = env_usize("NEATS_BENCH_SERIES", 4);
+    let chunk_points = env_usize("NEATS_BENCH_CHUNK", 4096);
+    let out_path = std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".into());
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    println!(
+        "ingest_baseline — {series_count} series × {n} points, chunk {chunk_points}, \
+         batch {BATCH}, {cores} core(s)"
+    );
+
+    let data = gen_series(n, series_count);
+    let total_points = series_count * n;
+
+    // --- Sustained append throughput per fsync policy. The WAL is the
+    // entire durability story, so the fsync knob is the headline axis.
+    let (pps_always, dir_a) = ingest_points_per_s(&data, chunk_points, FsyncPolicy::Always);
+    let (pps_every64, dir_b) = ingest_points_per_s(&data, chunk_points, FsyncPolicy::EveryN(64));
+    let (pps_never, dir_c) = ingest_points_per_s(&data, chunk_points, FsyncPolicy::Never);
+    println!(
+        "append: always {pps_always:.0} pts/s, every-64 {pps_every64:.0} pts/s, \
+         never {pps_never:.0} pts/s"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    // --- Recovery: reopen the fsync=Never directory (everything is still
+    // in the WAL) and time the replay, asserting the state survived whole.
+    let t0 = Instant::now();
+    let ing = Ingestor::open_default(&dir_c).expect("recover");
+    let replay_s = t0.elapsed().as_secs_f64();
+    for s in &data {
+        assert_eq!(ing.len(&s.name).expect("len"), n, "recovery lost points");
+        assert_eq!(ing.get(&s.name, n - 1).expect("get"), s.values[n - 1]);
+    }
+    let replay_pps = total_points as f64 / replay_s;
+    println!("replay: {total_points} points in {:.1} ms ({replay_pps:.0} pts/s)", replay_s * 1e3);
+
+    // --- Seal latency: fold the fully-chunked heads into the pack. One
+    // seal moves all chunked points of every series, so this is the
+    // worst-case (coldest) seal; steady-state seals move one chunk batch.
+    let t0 = Instant::now();
+    ing.flush().expect("flush");
+    let seal_full_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // Steady-state: append one more chunk per series, seal, repeat.
+    let reps = 4usize;
+    let mut seal_ms = Vec::with_capacity(reps);
+    let extra = chunk_points.min(1 << 12);
+    for r in 0..reps {
+        for s in &data {
+            let base = s.stamps[n - 1] + 1 + (r * extra) as u64 * 30;
+            let stamps: Vec<u64> = (0..extra as u64).map(|k| base + k * 30).collect();
+            let values: Vec<i64> = (0..extra).map(|k| s.values[k % n]).collect();
+            ing.append(&s.name, &stamps, &values).expect("append");
+        }
+        let t0 = Instant::now();
+        ing.flush().expect("seal");
+        seal_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let seal_mean_ms = seal_ms.iter().sum::<f64>() / seal_ms.len() as f64;
+    let seal_max_ms = seal_ms.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "seal:   full {seal_full_ms:.1} ms, steady mean {seal_mean_ms:.2} ms \
+         / max {seal_max_ms:.2} ms ({extra} pts × {series_count} series per seal)"
+    );
+    drop(ing);
+    let _ = std::fs::remove_dir_all(&dir_c);
+
+    // --- Query latency while ingesting: a writer streams the full corpus
+    // (with periodic seals from the chunk cadence) while this thread times
+    // point queries against the predetermined answers.
+    let dir = bench_dir("mixed");
+    let cfg = IngestConfig {
+        chunk_points,
+        seal_points: chunk_points * 2,
+        fsync: FsyncPolicy::Never,
+        ..IngestConfig::default()
+    };
+    let ing = Ingestor::open(&dir, cfg).expect("open ingestor");
+    let stop = AtomicBool::new(false);
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut checked = 0u64;
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            append_all(&ing, &data);
+            ing.flush().expect("final flush");
+            stop.store(true, Ordering::Relaxed);
+        });
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+            x
+        };
+        while !stop.load(Ordering::Relaxed) {
+            let s = &data[(rng() % series_count as u64) as usize];
+            let visible = match ing.len(&s.name) {
+                Ok(v) if v > 0 => v,
+                _ => continue,
+            };
+            let k = (rng() % visible as u64) as usize;
+            let t0 = Instant::now();
+            let got = ing.get(&s.name, k).expect("get under ingest");
+            lat_ns.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(got, s.values[k], "query diverged under ingestion");
+            checked += 1;
+        }
+        writer.join().unwrap();
+    });
+    drop(ing);
+    let _ = std::fs::remove_dir_all(&dir);
+    lat_ns.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat_ns.is_empty() {
+            return 0.0;
+        }
+        let i = ((lat_ns.len() - 1) as f64 * p).round() as usize;
+        lat_ns[i] as f64 / 1e3
+    };
+    let (q_p50_us, q_p99_us, q_max_us) = (pct(0.5), pct(0.99), pct(1.0));
+    println!(
+        "query under ingest: {checked} checked queries, p50 {q_p50_us:.1} µs, \
+         p99 {q_p99_us:.1} µs, max {q_max_us:.1} µs"
+    );
+
+    let artifact = Json::obj(vec![
+        ("bench", Json::Str("ingest".into())),
+        ("schema", Json::Int(1)),
+        ("n_per_series", Json::Int(n as i64)),
+        ("series", Json::Int(series_count as i64)),
+        ("chunk_points", Json::Int(chunk_points as i64)),
+        ("batch_points", Json::Int(BATCH as i64)),
+        ("host_cores", Json::Int(cores as i64)),
+        ("append_pps_fsync_always", Json::Num(pps_always)),
+        ("append_pps_fsync_every64", Json::Num(pps_every64)),
+        ("append_pps_fsync_never", Json::Num(pps_never)),
+        ("replay_points_per_s", Json::Num(replay_pps)),
+        ("replay_ms", Json::Num(replay_s * 1e3)),
+        ("seal_full_ms", Json::Num(seal_full_ms)),
+        ("seal_steady_mean_ms", Json::Num(seal_mean_ms)),
+        ("seal_steady_max_ms", Json::Num(seal_max_ms)),
+        ("queries_under_ingest", Json::Int(checked as i64)),
+        ("query_p50_us", Json::Num(q_p50_us)),
+        ("query_p99_us", Json::Num(q_p99_us)),
+        ("query_max_us", Json::Num(q_max_us)),
+    ]);
+    std::fs::write(&out_path, artifact.render()).expect("write ingest artifact");
+    println!("\nwrote {out_path}");
+}

@@ -17,7 +17,8 @@
 //!                   [--threads T] [--append]
 //! neats store ls    <pack>
 //! neats store query <pack> <series> <index | a..b | @time>...
-//! neats serve       <pack> [--addr HOST:PORT] [--threads T] [--cache N]
+//! neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
+//! neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]
 //! ```
 //!
 //! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
@@ -32,10 +33,18 @@
 //! serves point, index-range, and `@timestamp` lookups zero-copy through
 //! [`neats_store::Store`] — the recommended path when serving many series.
 //!
-//! `serve` mounts a pack behind the multi-threaded HTTP frontend
-//! ([`neats_serve`]): it prints `listening on <addr>` (the actual port when
-//! bound with `:0`) and serves until killed. Endpoints and the wire grammar
-//! are specified in `docs/PROTOCOL.md` at the repository root.
+//! `ingest` appends series into a live ingestion directory
+//! ([`neats_ingest::Ingestor`]): every accepted batch is WAL-logged before
+//! it is acknowledged (`--fsync` picks the durability/throughput point),
+//! and full chunks are sealed into the directory's pack on exit unless
+//! `--no-seal` leaves them in the WAL for the next opener.
+//!
+//! `serve` mounts a pack — or, given a directory, the live ingestor with a
+//! background sealer, which additionally accepts `POST /write` — behind
+//! the multi-threaded HTTP frontend ([`neats_serve`]): it prints
+//! `listening on <addr>` (the actual port when bound with `:0`) and serves
+//! until killed. Endpoints and the wire grammar are specified in
+//! `docs/PROTOCOL.md` at the repository root.
 //!
 //! Input text files contain one decimal value per line (the format the
 //! paper's datasets ship in) or `timestamp,value` CSV lines (timestamps
@@ -43,6 +52,7 @@
 
 #![warn(missing_docs)]
 use neats_core::{ArchiveView, Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
+use neats_ingest::{BackgroundConfig, FsyncPolicy, IngestConfig, Ingestor};
 use neats_serve::{ServeConfig, Server};
 use neats_store::{Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
 use std::path::Path;
@@ -183,9 +193,22 @@ pub enum Command {
         /// Lookup specs: index `K`, half-open range `A..B`, or `@timestamp`.
         specs: Vec<String>,
     },
-    /// Serve a pack over HTTP.
+    /// Append series into a live ingestion directory (WAL + head + pack).
+    Ingest {
+        /// Ingestion directory (created on first use).
+        dir: String,
+        /// Input text files (one series each, named after the file stem).
+        inputs: Vec<String>,
+        /// Fixed-precision digits for values.
+        digits: u8,
+        /// WAL fsync policy.
+        fsync: FsyncPolicy,
+        /// Leave everything in the WAL instead of sealing on exit.
+        no_seal: bool,
+    },
+    /// Serve a pack (read-only) or an ingestion directory (live) over HTTP.
     Serve {
-        /// Pack path.
+        /// Pack path, or an ingestion directory for live serving.
         pack: String,
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
         addr: String,
@@ -233,7 +256,8 @@ pub const USAGE: &str = "usage:
                     [--threads T] [--append]
   neats store ls    <pack>
   neats store query <pack> <series> <index | a..b | @time>...
-  neats serve       <pack> [--addr HOST:PORT] [--threads T] [--cache N]";
+  neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
+  neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -248,6 +272,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut append = false;
     let mut addr: Option<String> = None;
     let mut cache: Option<usize> = None;
+    let mut fsync = FsyncPolicy::Always;
+    let mut no_seal = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -305,9 +331,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .ok_or(CliError("--cache needs a view count (0 disables)".into()))?,
                 );
             }
+            "--fsync" => {
+                i += 1;
+                fsync = match args.get(i).map(String::as_str) {
+                    Some("always") => FsyncPolicy::Always,
+                    Some("never") => FsyncPolicy::Never,
+                    Some(n) => FsyncPolicy::EveryN(n.parse().map_err(|_| {
+                        CliError("--fsync needs always, never, or a record count".into())
+                    })?),
+                    None => return err("--fsync needs always, never, or a record count"),
+                };
+            }
             "--sneats" => sneats = true,
             "--append" => append = true,
             "--exact" => exact = true,
+            "--no-seal" => no_seal = true,
             flag if flag.starts_with("--") => return err(format!("unknown flag {flag}")),
             p => pos.push(p),
         }
@@ -400,6 +438,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             other => err(format!("unknown store subcommand {other:?}\n{USAGE}")),
         },
+        Some("ingest") => {
+            let dir = get_pos(1, "directory")?;
+            if pos.len() < 3 {
+                return err("ingest needs at least one input file");
+            }
+            Ok(Command::Ingest {
+                dir,
+                inputs: pos[2..].iter().map(|s| s.to_string()).collect(),
+                digits,
+                fsync,
+                no_seal,
+            })
+        }
         Some("serve") => Ok(Command::Serve {
             pack: get_pos(1, "pack")?,
             addr: addr.unwrap_or_else(|| "127.0.0.1:8462".to_string()),
@@ -681,21 +732,67 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Serve { pack, addr, threads, cache } => {
-            let store = Store::open_with(
-                std::fs::read(&pack)
-                    .map_err(|e| CliError(format!("{pack}: {e}")))?,
-                StoreOptions { cache_capacity: cache },
-            )
-            .map_err(|e| CliError(format!("{pack}: {e}")))?;
-            let series = store.series_count();
-            let points = store.total_points();
-            let cfg = ServeConfig { threads, ..ServeConfig::default() };
-            let server = Server::bind(std::sync::Arc::new(store), addr.as_str(), cfg)
-                .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+        Command::Ingest { dir, inputs, digits, fsync, no_seal } => {
+            let cfg = IngestConfig { fsync, ..IngestConfig::default() };
+            let ing = Ingestor::open(&dir, cfg).map_err(|e| CliError(format!("{dir}: {e}")))?;
+            let mut total_points = 0usize;
+            for input in &inputs {
+                let name = Path::new(input)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().to_string())
+                    .filter(|s| !s.is_empty())
+                    .ok_or(CliError(format!("{input}: cannot derive a series name")))?;
+                let (stamps, values) = load_series_file(input, digits)?;
+                total_points += values.len();
+                ing.append(&name, &stamps, &values)
+                    .map_err(|e| CliError(format!("{input}: {e}")))?;
+            }
+            if !no_seal {
+                ing.flush().map_err(|e| CliError(format!("{dir}: seal: {e}")))?;
+            }
             writeln!(
                 out,
-                "serving {series} series ({points} points) from {pack} with {} worker(s)",
+                "{} series, {total_points} points ingested into {dir} \
+                 (epoch {}, {} points in the WAL)",
+                inputs.len(),
+                ing.epoch(),
+                ing.head_points(),
+            )?;
+            Ok(())
+        }
+        Command::Serve { pack, addr, threads, cache } => {
+            // A directory serves live (ingestor + background sealer and
+            // POST /write); a file serves the read-only pack.
+            let live = Path::new(&pack).is_dir();
+            let cfg = ServeConfig { threads, ..ServeConfig::default() };
+            let (server, _background, series, points) = if live {
+                let ing = Ingestor::open(
+                    &pack,
+                    IngestConfig { cache_capacity: cache, ..IngestConfig::default() },
+                )
+                .map_err(|e| CliError(format!("{pack}: {e}")))?;
+                let ing = std::sync::Arc::new(ing);
+                let background = ing.start_background(BackgroundConfig::default());
+                let (series, points) = (ing.series_count(), ing.total_points());
+                let server = Server::bind(ing, addr.as_str(), cfg)
+                    .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+                (server, Some(background), series, points)
+            } else {
+                let store = Store::open_with(
+                    std::fs::read(&pack)
+                        .map_err(|e| CliError(format!("{pack}: {e}")))?,
+                    StoreOptions { cache_capacity: cache },
+                )
+                .map_err(|e| CliError(format!("{pack}: {e}")))?;
+                let (series, points) = (store.series_count(), store.total_points());
+                let server = Server::bind(std::sync::Arc::new(store), addr.as_str(), cfg)
+                    .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+                (server, None, series, points)
+            };
+            writeln!(
+                out,
+                "serving {series} series ({points} points) {} {pack} with {} worker(s)",
+                if live { "live from" } else { "from" },
                 server.threads()
             )?;
             // The smoke scripts scrape this exact line for the bound port.
@@ -1117,6 +1214,81 @@ mod tests {
         let lines: Vec<i64> =
             String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_ingest_command() {
+        assert_eq!(
+            parse_args(&argv("ingest data/ a.txt b.csv --digits 2 --fsync never --no-seal"))
+                .unwrap(),
+            Command::Ingest {
+                dir: "data/".into(),
+                inputs: vec!["a.txt".into(), "b.csv".into()],
+                digits: 2,
+                fsync: FsyncPolicy::Never,
+                no_seal: true,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("ingest data in.txt --fsync 16")).unwrap(),
+            Command::Ingest {
+                dir: "data".into(),
+                inputs: vec!["in.txt".into()],
+                digits: 0,
+                fsync: FsyncPolicy::EveryN(16),
+                no_seal: false,
+            }
+        );
+        assert!(parse_args(&argv("ingest data")).is_err()); // no inputs
+        assert!(parse_args(&argv("ingest data in.txt --fsync sometimes")).is_err());
+    }
+
+    #[test]
+    fn ingest_command_end_to_end() {
+        let dir = std::env::temp_dir().join("neats_cli_ingest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("live");
+        let cpu = dir.join("cpu.csv");
+        let mem = dir.join("mem.txt");
+        std::fs::write(&cpu, "1000,5\n1010,6\n1020,4\n").unwrap();
+        std::fs::write(&mem, "7\n8\n9\n10\n").unwrap();
+
+        let mut log = Vec::new();
+        run(
+            parse_args(&argv(&format!(
+                "ingest {} {} {}",
+                data.display(),
+                cpu.display(),
+                mem.display()
+            )))
+            .unwrap(),
+            &mut log,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&log).contains("2 series, 7 points"));
+
+        // A second run appends (later stamps) without sealing: the points
+        // stay in the WAL and still recover on the next open.
+        std::fs::write(&cpu, "2000,11\n2010,12\n").unwrap();
+        run(
+            parse_args(&argv(&format!(
+                "ingest {} {} --no-seal --fsync never",
+                data.display(),
+                cpu.display()
+            )))
+            .unwrap(),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let ing = Ingestor::open_default(&data).unwrap();
+        assert_eq!(ing.len("cpu").unwrap(), 5);
+        assert_eq!(ing.len("mem").unwrap(), 4);
+        assert_eq!(ing.get("cpu", 4).unwrap(), 12);
+        assert_eq!(ing.at_time("cpu", 1010).unwrap(), Some(6));
+        drop(ing);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,1188 @@
+//! The [`Ingestor`]: live appends through the WAL into per-series heads,
+//! generation-swapped sealing and compaction, and the stitched
+//! sealed + head query surface.
+
+use crate::head::Head;
+use crate::manifest::{self, Manifest};
+use crate::wal::{FsyncPolicy, Wal, WalOp};
+use neats_core::NeaTSBuilder;
+use neats_store::{
+    CacheStats, Store, StoreConfig, StoreError, StoreMode, StoreOptions, StoreWriter,
+};
+use std::collections::HashSet;
+use std::fs;
+use std::io::Write;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+use timeseries::TimeSeries;
+
+/// Configuration for an [`Ingestor`].
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// Points per compressed head chunk: the head's raw tail is compressed
+    /// with the SNeaTS streaming pipeline whenever it reaches this size.
+    pub chunk_points: usize,
+    /// Background auto-seal threshold: seal when the compressed (chunked)
+    /// head points across all series reach this count.
+    pub seal_points: usize,
+    /// When WAL appends are forced to disk (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// The compression pipeline for head chunks and sealed segments.
+    pub builder: NeaTSBuilder,
+    /// Segment-view cache capacity of the sealed [`Store`] (see
+    /// [`StoreOptions::cache_capacity`]).
+    pub cache_capacity: usize,
+    /// Background compaction threshold: compact when dead bytes exceed this
+    /// fraction of the pack.
+    pub compact_dead_ratio: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            chunk_points: 4096,
+            seal_points: 16384,
+            fsync: FsyncPolicy::Always,
+            builder: neats_core::NeaTS::builder(),
+            cache_capacity: 256,
+            compact_dead_ratio: 0.5,
+        }
+    }
+}
+
+/// Configuration for [`Ingestor::start_background`].
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundConfig {
+    /// How often the worker checks the seal and compaction thresholds.
+    pub interval: Duration,
+}
+
+impl Default for BackgroundConfig {
+    fn default() -> Self {
+        Self { interval: Duration::from_millis(200) }
+    }
+}
+
+/// One sealed generation: the epoch and its immutable pack view.
+struct Generation {
+    epoch: u64,
+    store: Arc<Store>,
+}
+
+/// Everything readers snapshot: swapped as a unit under the write lock so
+/// one read lock always yields a mutually consistent `(store, heads)`.
+struct Shared {
+    gen: Generation,
+    /// Heads in first-ingest order. Replaced (not mutated in place) at each
+    /// seal, so a reader's snapshot stays internally consistent forever.
+    heads: Vec<(String, Arc<Mutex<Head>>)>,
+    /// Series whose sealed data is hidden pending the next seal.
+    tombstones: HashSet<String>,
+}
+
+impl Shared {
+    fn head(&self, series: &str) -> Option<Arc<Mutex<Head>>> {
+        self.heads.iter().find(|(n, _)| n == series).map(|(_, h)| h.clone())
+    }
+}
+
+/// Mutator-side state, serialised by one mutex: the WAL handle and the
+/// current generation's file names (for cleanup after a swap).
+struct WriterState {
+    wal: Wal,
+    pack_file: String,
+    wal_file: String,
+}
+
+fn lockm<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lockr<'a, T>(l: &'a RwLock<T>) -> RwLockReadGuard<'a, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lockw<'a, T>(l: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Writes `bytes` to `path` and syncs the file and its directory.
+fn write_file_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    if let Some(dir) = path.parent() {
+        let _ = fs::File::open(dir).and_then(|d| d.sync_all());
+    }
+    Ok(())
+}
+
+/// A catalog-style summary of one live series (sealed + head).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSummary {
+    /// The series name.
+    pub name: String,
+    /// Storage mode of the sealed part ([`StoreMode::Lossless`] for
+    /// head-only series — live ingestion is lossless).
+    pub mode: StoreMode,
+    /// Total points, sealed + head.
+    pub points: usize,
+    /// Sealed segments plus head chunks (a non-empty raw tail counts as
+    /// one).
+    pub segments: usize,
+    /// First timestamp (0 for an empty series).
+    pub t_min: u64,
+    /// Last timestamp (0 for an empty series).
+    pub t_max: u64,
+}
+
+/// A live, crash-safe, concurrently-readable ingestion directory.
+///
+/// See the crate docs for the architecture. All mutations (`append`,
+/// `delete`, `seal`, `flush`, `compact`) serialise on one internal writer
+/// mutex; queries never take it and never block on mutations beyond a
+/// brief per-series head lock.
+pub struct Ingestor {
+    dir: PathBuf,
+    cfg: IngestConfig,
+    /// `cfg.builder` pinned to one thread: chunk compression runs on the
+    /// single writer thread (output is thread-count-invariant anyway).
+    builder: NeaTSBuilder,
+    writer: Mutex<WriterState>,
+    shared: RwLock<Shared>,
+    background_errors: AtomicU64,
+}
+
+impl Ingestor {
+    fn store_cfg(&self) -> StoreConfig {
+        StoreConfig {
+            segment_points: neats_store::DEFAULT_SEGMENT_POINTS,
+            builder: self.cfg.builder.clone(),
+            mode: StoreMode::Lossless,
+            threads: 1,
+        }
+    }
+
+    fn store_opts(&self) -> StoreOptions {
+        StoreOptions { cache_capacity: self.cfg.cache_capacity }
+    }
+
+    /// Opens (or initialises) an ingest directory and recovers its state:
+    /// the manifest names the live pack and WAL, the WAL is replayed into
+    /// heads (truncating any torn suffix), and stray files from an
+    /// interrupted seal are removed.
+    pub fn open(dir: impl Into<PathBuf>, cfg: IngestConfig) -> Result<Self, StoreError> {
+        assert!(cfg.chunk_points >= 1, "chunk_points must be at least 1");
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let manifest = match Manifest::read_from(&dir)? {
+            Some(m) => m,
+            None => {
+                // Fresh directory: a sealed empty pack, an empty WAL, and
+                // the manifest committing them as generation 0.
+                let pack_file = manifest::pack_name(0);
+                let wal_file = manifest::wal_name(0);
+                let empty = StoreWriter::new(StoreConfig::default()).finish()?;
+                write_file_durable(&dir.join(&pack_file), &empty)?;
+                drop(Wal::create(dir.join(&wal_file), FsyncPolicy::Always)?);
+                let m = Manifest { epoch: 0, pack: pack_file, wal: wal_file };
+                m.write_to(&dir)?;
+                m
+            }
+        };
+        let pack_bytes = fs::read(dir.join(&manifest.pack))?;
+        let store = Arc::new(Store::open_with(pack_bytes, StoreOptions {
+            cache_capacity: cfg.cache_capacity,
+        })?);
+        let (wal, ops) = Wal::open_replay(dir.join(&manifest.wal), cfg.fsync)?;
+
+        // Replay the WAL into heads. Points at or below a series' sealed
+        // floor are already in the pack (defensive: the commit protocol
+        // rotates the WAL with the pack, so overlap should not occur).
+        let mut heads: Vec<(String, Arc<Mutex<Head>>)> = Vec::new();
+        let mut tombstones: HashSet<String> = HashSet::new();
+        for op in ops {
+            match op {
+                WalOp::Append { series, stamps, values } => {
+                    let arc = match heads.iter().find(|(n, _)| n == &series) {
+                        Some((_, h)) => h.clone(),
+                        None => {
+                            let sealed = (!tombstones.contains(&series))
+                                .then(|| store.series(&series))
+                                .flatten();
+                            let (fi, floor) =
+                                sealed.map(|e| (e.len(), Some(e.t_max()))).unwrap_or((0, None));
+                            let h = Arc::new(Mutex::new(Head::new(fi, floor)));
+                            heads.push((series.clone(), h.clone()));
+                            h
+                        }
+                    };
+                    let mut head = lockm(&arc);
+                    let from = match head.last_stamp() {
+                        Some(f) => stamps.partition_point(|&t| t <= f),
+                        None => 0,
+                    };
+                    if from < stamps.len() {
+                        head.append(&stamps[from..], &values[from..]);
+                    }
+                }
+                WalOp::Delete { series } => {
+                    heads.retain(|(n, _)| n != &series);
+                    if store.series(&series).is_some() {
+                        tombstones.insert(series);
+                    }
+                }
+            }
+        }
+
+        // Remove generation files the manifest does not name (left by a
+        // seal or compact that crashed before its commit point).
+        if let Ok(entries) = fs::read_dir(&dir) {
+            for e in entries.flatten() {
+                let name = e.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if (name.starts_with("pack-") || name.starts_with("wal-"))
+                    && name != manifest.pack
+                    && name != manifest.wal
+                {
+                    let _ = fs::remove_file(e.path());
+                }
+            }
+        }
+
+        let builder = cfg.builder.clone().threads(1);
+        let ing = Self {
+            dir,
+            builder,
+            writer: Mutex::new(WriterState {
+                wal,
+                pack_file: manifest.pack.clone(),
+                wal_file: manifest.wal.clone(),
+            }),
+            shared: RwLock::new(Shared {
+                gen: Generation { epoch: manifest.epoch, store },
+                heads,
+                tombstones,
+            }),
+            background_errors: AtomicU64::new(0),
+            cfg,
+        };
+        // Recovered heads may hold whole chunks' worth of raw points.
+        ing.roll_all_heads();
+        Ok(ing)
+    }
+
+    /// [`Self::open`] with [`IngestConfig::default`].
+    pub fn open_default(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Self::open(dir, IngestConfig::default())
+    }
+
+    /// The directory this ingestor owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configuration the ingestor was opened with.
+    pub fn config(&self) -> &IngestConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Appends points to `series` (creating it on first sight). Timestamps
+    /// must strictly increase within the batch and continue past the
+    /// series' last timestamp. On `Ok`, the batch is in the WAL (durably,
+    /// under [`FsyncPolicy::Always`]) and visible to queries; the batch is
+    /// all-or-nothing. An empty batch is a no-op.
+    pub fn append(
+        &self,
+        series: &str,
+        stamps: &[u64],
+        values: &[i64],
+    ) -> Result<(), StoreError> {
+        if series.is_empty() {
+            return Err(StoreError::EmptyName);
+        }
+        if stamps.len() != values.len() {
+            return Err(StoreError::LengthMismatch {
+                timestamps: stamps.len(),
+                values: values.len(),
+            });
+        }
+        if stamps.is_empty() {
+            return Ok(());
+        }
+        for (i, w) in stamps.windows(2).enumerate() {
+            if w[1] <= w[0] {
+                return Err(StoreError::TimestampOrder {
+                    series: series.to_string(),
+                    index: i + 1,
+                });
+            }
+        }
+
+        let mut w = lockm(&self.writer);
+        // Resolve the ordering floor (and reject lossy sealed series)
+        // before logging anything.
+        let (existing, fi, floor) = {
+            let s = lockr(&self.shared);
+            match s.head(series) {
+                Some(h) => {
+                    let last = lockm(&h).last_stamp();
+                    (Some(h), 0, last)
+                }
+                None => {
+                    let sealed =
+                        (!s.tombstones.contains(series)).then(|| s.gen.store.series(series)).flatten();
+                    if let Some(e) = sealed {
+                        if e.mode() != StoreMode::Lossless {
+                            return Err(StoreError::ModeMismatch { series: series.to_string() });
+                        }
+                        (None, e.len(), Some(e.t_max()))
+                    } else {
+                        (None, 0, None)
+                    }
+                }
+            }
+        };
+        if let Some(f) = floor {
+            if stamps[0] <= f {
+                return Err(StoreError::TimestampOrder { series: series.to_string(), index: 0 });
+            }
+        }
+
+        w.wal.append(&WalOp::Append {
+            series: series.to_string(),
+            stamps: stamps.to_vec(),
+            values: values.to_vec(),
+        })?;
+
+        let arc = match existing {
+            Some(h) => {
+                lockm(&h).append(stamps, values);
+                h
+            }
+            None => {
+                // Build the head fully before publishing it, so readers
+                // never observe an empty phantom series.
+                let mut head = Head::new(fi, floor);
+                head.append(stamps, values);
+                let h = Arc::new(Mutex::new(head));
+                lockw(&self.shared).heads.push((series.to_string(), h.clone()));
+                h
+            }
+        };
+        self.roll_chunks(&arc);
+        Ok(())
+    }
+
+    /// Deletes `series`: sealed data becomes invisible immediately (and is
+    /// dropped from the pack at the next seal), the head is discarded. A
+    /// later [`Self::append`] recreates the series from scratch.
+    pub fn delete(&self, series: &str) -> Result<(), StoreError> {
+        let mut w = lockm(&self.writer);
+        let known = {
+            let s = lockr(&self.shared);
+            s.head(series).is_some()
+                || (!s.tombstones.contains(series) && s.gen.store.series(series).is_some())
+        };
+        if !known {
+            return Err(StoreError::UnknownSeries(series.to_string()));
+        }
+        w.wal.append(&WalOp::Delete { series: series.to_string() })?;
+        let mut s = lockw(&self.shared);
+        s.heads.retain(|(n, _)| n != series);
+        if s.gen.store.series(series).is_some() {
+            s.tombstones.insert(series.to_string());
+        }
+        Ok(())
+    }
+
+    /// Compresses full `chunk_points`-sized slices of `head`'s raw tail into
+    /// chunks. Compression runs outside the head lock, so readers are never
+    /// blocked behind the compressor.
+    fn roll_chunks(&self, head: &Arc<Mutex<Head>>) {
+        loop {
+            let Some(raw) = lockm(head).tail_prefix(self.cfg.chunk_points) else { return };
+            let chunk = self.builder.build(&TimeSeries::from_values(raw));
+            lockm(head).install_chunk(chunk);
+        }
+    }
+
+    fn roll_all_heads(&self) {
+        let heads: Vec<Arc<Mutex<Head>>> =
+            lockr(&self.shared).heads.iter().map(|(_, h)| h.clone()).collect();
+        for h in &heads {
+            self.roll_chunks(h);
+        }
+    }
+
+    /// Seals every compressed head chunk (and pending deletes) into a new
+    /// pack generation: segments move verbatim (no recompression), a
+    /// rotated WAL re-logs only the raw tails, the `MANIFEST` rename
+    /// commits, and the readers' view swaps. Returns the epoch afterwards
+    /// (unchanged if there was nothing to seal).
+    pub fn seal(&self) -> Result<u64, StoreError> {
+        let mut w = lockm(&self.writer);
+        self.seal_locked(&mut w)
+    }
+
+    /// Force-compresses every raw tail into a (possibly short) chunk, then
+    /// seals — afterwards the WAL is empty and every point is in the pack.
+    pub fn flush(&self) -> Result<u64, StoreError> {
+        let mut w = lockm(&self.writer);
+        let heads: Vec<Arc<Mutex<Head>>> =
+            lockr(&self.shared).heads.iter().map(|(_, h)| h.clone()).collect();
+        for h in &heads {
+            self.roll_chunks(h);
+            let raw = {
+                let g = lockm(h);
+                let n = g.tail_len();
+                g.tail_prefix(n)
+            };
+            if let Some(raw) = raw {
+                let chunk = self.builder.build(&TimeSeries::from_values(raw));
+                lockm(h).install_chunk(chunk);
+            }
+        }
+        self.seal_locked(&mut w)
+    }
+
+    fn seal_locked(&self, w: &mut MutexGuard<'_, WriterState>) -> Result<u64, StoreError> {
+        let (epoch, store, heads, tombstones) = {
+            let s = lockr(&self.shared);
+            (
+                s.gen.epoch,
+                s.gen.store.clone(),
+                s.heads.clone(),
+                s.tombstones.iter().cloned().collect::<Vec<_>>(),
+            )
+        };
+        let has_chunks = heads.iter().any(|(_, h)| lockm(h).chunked_len() > 0);
+        if !has_chunks && tombstones.is_empty() {
+            return Ok(epoch);
+        }
+
+        // Build the successor pack: old pack verbatim, minus tombstones,
+        // plus every head chunk as a pre-compressed segment.
+        let mut sw = StoreWriter::append_to(store.as_bytes(), self.store_cfg())?;
+        for name in &tombstones {
+            sw.delete_series(name)?;
+        }
+        for (name, h) in &heads {
+            for (frame, stamps) in lockm(h).sealed_parts() {
+                sw.append_compressed_segment(name, &frame, &stamps)?;
+            }
+        }
+        let pack = sw.finish()?;
+
+        let new_epoch = epoch + 1;
+        let pack_file = manifest::pack_name(new_epoch);
+        let wal_file = manifest::wal_name(new_epoch);
+        write_file_durable(&self.dir.join(&pack_file), &pack)?;
+
+        // The rotated WAL carries exactly the unsealed raw tails.
+        let mut new_wal = Wal::create(self.dir.join(&wal_file), self.cfg.fsync)?;
+        for (name, h) in &heads {
+            let (stamps, values) = lockm(h).tail_parts();
+            if !stamps.is_empty() {
+                new_wal.append(&WalOp::Append { series: name.clone(), stamps, values })?;
+            }
+        }
+        new_wal.sync()?;
+
+        let new_store = Arc::new(Store::open_with(pack, self.store_opts())?);
+
+        // COMMIT POINT: after this rename the new generation is the truth.
+        Manifest { epoch: new_epoch, pack: pack_file.clone(), wal: wal_file.clone() }
+            .write_to(&self.dir)?;
+
+        // Swap the readers' view: new store and fresh trimmed heads
+        // (copy-on-seal — readers holding the old snapshot keep a
+        // consistent old world).
+        {
+            let mut s = lockw(&self.shared);
+            s.gen = Generation { epoch: new_epoch, store: new_store };
+            s.heads = heads
+                .iter()
+                .filter_map(|(n, h)| {
+                    let t = lockm(h).trimmed_after_seal();
+                    (!t.is_empty()).then(|| (n.clone(), Arc::new(Mutex::new(t))))
+                })
+                .collect();
+            s.tombstones.clear();
+        }
+        let old_pack = std::mem::replace(&mut w.pack_file, pack_file);
+        let old_wal = std::mem::replace(&mut w.wal_file, wal_file);
+        w.wal = new_wal;
+        let _ = fs::remove_file(self.dir.join(old_pack));
+        let _ = fs::remove_file(self.dir.join(old_wal));
+        Ok(new_epoch)
+    }
+
+    /// Rewrites the sealed pack dropping dead bytes (see
+    /// [`Store::compact`]), committing it as a new generation. Heads, the
+    /// WAL, and pending tombstones are untouched. Returns the epoch
+    /// afterwards (unchanged when the pack has no dead bytes).
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let mut w = lockm(&self.writer);
+        let (epoch, store) = {
+            let s = lockr(&self.shared);
+            (s.gen.epoch, s.gen.store.clone())
+        };
+        if store.dead_bytes() == 0 {
+            return Ok(epoch);
+        }
+        let bytes = store.compact();
+        let new_epoch = epoch + 1;
+        let pack_file = manifest::pack_name(new_epoch);
+        write_file_durable(&self.dir.join(&pack_file), &bytes)?;
+        let new_store = Arc::new(Store::open_with(bytes, self.store_opts())?);
+        // COMMIT POINT. The WAL carries over unchanged — its Delete records
+        // rebuild pending tombstones if we crash right after this.
+        Manifest { epoch: new_epoch, pack: pack_file.clone(), wal: w.wal_file.clone() }
+            .write_to(&self.dir)?;
+        {
+            let mut s = lockw(&self.shared);
+            s.gen = Generation { epoch: new_epoch, store: new_store };
+        }
+        let old_pack = std::mem::replace(&mut w.pack_file, pack_file);
+        let _ = fs::remove_file(self.dir.join(old_pack));
+        Ok(new_epoch)
+    }
+
+    // ------------------------------------------------------------------
+    // Query path
+    // ------------------------------------------------------------------
+
+    /// One consistent `(store, head)` snapshot for a series.
+    fn snap(&self, series: &str) -> Result<(Arc<Store>, Option<Arc<Mutex<Head>>>), StoreError> {
+        let s = lockr(&self.shared);
+        let head = s.head(series);
+        let visible =
+            !s.tombstones.contains(series) && s.gen.store.series(series).is_some();
+        if head.is_none() && !visible {
+            return Err(StoreError::UnknownSeries(series.to_string()));
+        }
+        Ok((s.gen.store.clone(), head))
+    }
+
+    /// Splits `range` against a snapshot: the sealed subrange (to run on
+    /// the store) and the head values (copied out under the head lock).
+    /// Checks `range` against the total series length.
+    #[allow(clippy::type_complexity)]
+    fn split_range(
+        &self,
+        series: &str,
+        range: &Range<usize>,
+    ) -> Result<(Arc<Store>, Option<Range<usize>>, Vec<i64>), StoreError> {
+        let (store, head) = self.snap(series)?;
+        let (sealed_len, total, head_vals) = match &head {
+            Some(h) => {
+                let g = lockm(h);
+                let sealed_len = g.first_index;
+                let total = sealed_len + g.len();
+                if range.start > range.end || range.end > total {
+                    return Err(StoreError::BadRange {
+                        start: range.start,
+                        end: range.end,
+                        len: total,
+                    });
+                }
+                let mut vals = Vec::new();
+                if range.end > sealed_len {
+                    let lo = range.start.max(sealed_len) - sealed_len;
+                    g.values_range(lo, range.end - sealed_len, &mut vals);
+                }
+                (sealed_len, total, vals)
+            }
+            None => {
+                let total = store.series(series).map(|e| e.len()).unwrap_or(0);
+                if range.start > range.end || range.end > total {
+                    return Err(StoreError::BadRange {
+                        start: range.start,
+                        end: range.end,
+                        len: total,
+                    });
+                }
+                (total, total, Vec::new())
+            }
+        };
+        let _ = total;
+        let sealed = (range.start < sealed_len)
+            .then(|| range.start..range.end.min(sealed_len));
+        Ok((store, sealed, head_vals))
+    }
+
+    /// The value at series-global position `idx`.
+    pub fn get(&self, series: &str, idx: usize) -> Result<i64, StoreError> {
+        let (store, head) = self.snap(series)?;
+        match &head {
+            Some(h) => {
+                let g = lockm(h);
+                if idx < g.first_index {
+                    drop(g);
+                    store.get(series, idx)
+                } else if idx - g.first_index < g.len() {
+                    Ok(g.value(idx - g.first_index))
+                } else {
+                    Err(StoreError::OutOfRange { index: idx, len: g.first_index + g.len() })
+                }
+            }
+            None => store.get(series, idx),
+        }
+    }
+
+    /// The timestamp of the point at series-global position `idx`.
+    pub fn timestamp(&self, series: &str, idx: usize) -> Result<u64, StoreError> {
+        let (store, head) = self.snap(series)?;
+        match &head {
+            Some(h) => {
+                let g = lockm(h);
+                if idx < g.first_index {
+                    drop(g);
+                    store.timestamp(series, idx)
+                } else if idx - g.first_index < g.len() {
+                    Ok(g.stamp(idx - g.first_index))
+                } else {
+                    Err(StoreError::OutOfRange { index: idx, len: g.first_index + g.len() })
+                }
+            }
+            None => store.timestamp(series, idx),
+        }
+    }
+
+    /// Total points in `series`, sealed + head.
+    pub fn len(&self, series: &str) -> Result<usize, StoreError> {
+        let (store, head) = self.snap(series)?;
+        Ok(match &head {
+            Some(h) => {
+                let g = lockm(h);
+                g.first_index + g.len()
+            }
+            None => store.series(series).map(|e| e.len()).unwrap_or(0),
+        })
+    }
+
+    /// The value recorded exactly at timestamp `t`, if any.
+    pub fn at_time(&self, series: &str, t: u64) -> Result<Option<i64>, StoreError> {
+        let (store, head) = self.snap(series)?;
+        if let Some(h) = &head {
+            let g = lockm(h);
+            match g.first_stamp() {
+                Some(first) if t >= first => return Ok(g.index_of_time(t).map(|k| g.value(k))),
+                _ => {
+                    if g.first_index == 0 {
+                        // No sealed data visible for this series.
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+        store.at_time(series, t)
+    }
+
+    /// Appends the values at series-global positions `range` to `out`.
+    pub fn range(
+        &self,
+        series: &str,
+        range: Range<usize>,
+        out: &mut Vec<i64>,
+    ) -> Result<(), StoreError> {
+        self.range_chunks(series, range, |chunk| out.extend_from_slice(chunk))
+    }
+
+    /// Streams the values at series-global positions `range` to `f` in
+    /// bounded chunks — sealed segments first (via
+    /// [`Store::range_chunks`]), then the head part as one chunk.
+    pub fn range_chunks(
+        &self,
+        series: &str,
+        range: Range<usize>,
+        mut f: impl FnMut(&[i64]),
+    ) -> Result<(), StoreError> {
+        let (store, sealed, head_vals) = self.split_range(series, &range)?;
+        if let Some(r) = sealed {
+            store.range_chunks(series, r, &mut f)?;
+        }
+        if !head_vals.is_empty() {
+            f(&head_vals);
+        }
+        Ok(())
+    }
+
+    /// Appends all `(timestamp, value)` pairs with timestamp in
+    /// `[t_lo, t_hi]` to `out`.
+    pub fn range_by_time(
+        &self,
+        series: &str,
+        t_lo: u64,
+        t_hi: u64,
+        out: &mut Vec<(u64, i64)>,
+    ) -> Result<(), StoreError> {
+        self.range_by_time_chunks(series, t_lo, t_hi, |chunk| out.extend_from_slice(chunk))
+    }
+
+    /// Streams all `(timestamp, value)` pairs with timestamp in
+    /// `[t_lo, t_hi]` to `f` in bounded chunks, sealed part first. Sealed
+    /// and head timestamps are disjoint (head stamps are strictly above the
+    /// sealed floor), so the concatenation is time-ordered.
+    pub fn range_by_time_chunks(
+        &self,
+        series: &str,
+        t_lo: u64,
+        t_hi: u64,
+        mut f: impl FnMut(&[(u64, i64)]),
+    ) -> Result<(), StoreError> {
+        let (store, head) = self.snap(series)?;
+        if t_hi < t_lo {
+            return Ok(());
+        }
+        let (pairs, sealed_visible) = match &head {
+            Some(h) => {
+                let g = lockm(h);
+                let a = g.lower_bound(t_lo);
+                let b = g.count_leq(t_hi);
+                let mut vals = Vec::new();
+                if b > a {
+                    g.values_range(a, b, &mut vals);
+                }
+                let pairs: Vec<(u64, i64)> =
+                    (a..b).map(|k| (g.stamp(k), vals[k - a])).collect();
+                (pairs, g.first_index > 0)
+            }
+            None => (Vec::new(), true),
+        };
+        if sealed_visible {
+            store.range_by_time_chunks(series, t_lo, t_hi, &mut f)?;
+        }
+        if !pairs.is_empty() {
+            f(&pairs);
+        }
+        Ok(())
+    }
+
+    /// Exact sum over `range` (as `i128`), sealed part pushed down to the
+    /// store's per-segment aggregates.
+    pub fn sum(&self, series: &str, range: Range<usize>) -> Result<i128, StoreError> {
+        let (store, sealed, head_vals) = self.split_range(series, &range)?;
+        let mut acc = 0i128;
+        if let Some(r) = sealed {
+            acc += store.sum(series, r)?;
+        }
+        acc += head_vals.iter().map(|&v| v as i128).sum::<i128>();
+        Ok(acc)
+    }
+
+    /// Exact minimum and maximum over `range` (`None` for an empty range).
+    pub fn min_max(
+        &self,
+        series: &str,
+        range: Range<usize>,
+    ) -> Result<Option<(i64, i64)>, StoreError> {
+        let (store, sealed, head_vals) = self.split_range(series, &range)?;
+        let mut acc: Option<(i64, i64)> = None;
+        if let Some(r) = sealed {
+            acc = store.min_max(series, r)?;
+        }
+        for &v in &head_vals {
+            acc = Some(match acc {
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                None => (v, v),
+            });
+        }
+        Ok(acc)
+    }
+
+    /// All live series names, sorted. (Sorted rather than catalog order:
+    /// a series' catalog position depends on *when* its first chunk was
+    /// sealed, so insertion order would not survive recovery; sorted order
+    /// is deterministic across seals, compactions, and reopens.)
+    pub fn series_names(&self) -> Vec<String> {
+        let s = lockr(&self.shared);
+        let mut names: Vec<String> = s
+            .gen
+            .store
+            .series_names()
+            .into_iter()
+            .filter(|n| !s.tombstones.contains(*n))
+            .map(str::to_string)
+            .collect();
+        for (n, _) in &s.heads {
+            if !names.iter().any(|x| x == n) {
+                names.push(n.clone());
+            }
+        }
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of live series.
+    pub fn series_count(&self) -> usize {
+        self.series_names().len()
+    }
+
+    /// Catalog-style summaries of every live series, sorted by name (the
+    /// same order as [`Self::series_names`]).
+    pub fn series_summaries(&self) -> Vec<SeriesSummary> {
+        let s = lockr(&self.shared);
+        let mut out = Vec::new();
+        for e in s.gen.store.entries() {
+            if s.tombstones.contains(e.name()) {
+                continue;
+            }
+            let mut sum = SeriesSummary {
+                name: e.name().to_string(),
+                mode: e.mode(),
+                points: e.len(),
+                segments: e.segments().len(),
+                t_min: e.t_min(),
+                t_max: e.t_max(),
+            };
+            if let Some(h) = s.head(e.name()) {
+                let g = lockm(&h);
+                sum.points += g.len();
+                sum.segments += g.chunk_count() + usize::from(g.tail_len() > 0);
+                if !g.is_empty() {
+                    sum.t_max = g.stamp(g.len() - 1);
+                }
+            }
+            out.push(sum);
+        }
+        for (n, h) in &s.heads {
+            if out.iter().any(|x| &x.name == n) {
+                continue;
+            }
+            let g = lockm(h);
+            let (t_min, t_max) = if g.is_empty() {
+                (0, 0)
+            } else {
+                (g.stamp(0), g.stamp(g.len() - 1))
+            };
+            out.push(SeriesSummary {
+                name: n.clone(),
+                mode: StoreMode::Lossless,
+                points: g.len(),
+                segments: g.chunk_count() + usize::from(g.tail_len() > 0),
+                t_min,
+                t_max,
+            });
+        }
+        out.sort_unstable_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Total points across all live series, sealed + head.
+    pub fn total_points(&self) -> usize {
+        self.series_summaries().iter().map(|s| s.points).sum()
+    }
+
+    /// Points currently held in heads (not yet sealed).
+    pub fn head_points(&self) -> usize {
+        let s = lockr(&self.shared);
+        s.heads.iter().map(|(_, h)| lockm(h).len()).sum()
+    }
+
+    /// The current generation counter.
+    pub fn epoch(&self) -> u64 {
+        lockr(&self.shared).gen.epoch
+    }
+
+    /// Segment-view cache counters of the sealed store.
+    pub fn cache_stats(&self) -> CacheStats {
+        lockr(&self.shared).gen.store.cache_stats()
+    }
+
+    /// Current WAL length in bytes.
+    pub fn wal_len(&self) -> u64 {
+        lockm(&self.writer).wal.len()
+    }
+
+    /// Dead bytes in the sealed pack (reclaimable by [`Self::compact`]).
+    pub fn dead_bytes(&self) -> usize {
+        lockr(&self.shared).gen.store.dead_bytes()
+    }
+
+    /// Errors swallowed by the background worker so far.
+    pub fn background_errors(&self) -> u64 {
+        self.background_errors.load(Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Background worker
+    // ------------------------------------------------------------------
+
+    /// Starts a background thread that periodically seals (once chunked
+    /// head points reach `cfg.seal_points`, or a delete is pending) and
+    /// compacts (once dead bytes exceed `cfg.compact_dead_ratio` of the
+    /// pack). The worker stops when the returned handle drops.
+    pub fn start_background(self: &Arc<Self>, cfg: BackgroundConfig) -> BackgroundHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let me = Arc::clone(self);
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                // Sleep in small quanta so handle drop is prompt.
+                let woke = Instant::now();
+                while woke.elapsed() < cfg.interval {
+                    if flag.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10).min(cfg.interval));
+                }
+                let (chunked, pending_delete, dead_ratio) = {
+                    let s = lockr(&me.shared);
+                    let chunked: usize =
+                        s.heads.iter().map(|(_, h)| lockm(h).chunked_len()).sum();
+                    let pack_len = s.gen.store.as_bytes().len().max(1);
+                    (
+                        chunked,
+                        !s.tombstones.is_empty(),
+                        s.gen.store.dead_bytes() as f64 / pack_len as f64,
+                    )
+                };
+                if (chunked >= me.cfg.seal_points || pending_delete) && me.seal().is_err() {
+                    me.background_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                if dead_ratio > me.cfg.compact_dead_ratio && me.compact().is_err() {
+                    me.background_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        BackgroundHandle { stop, thread: Some(thread) }
+    }
+}
+
+/// Stops the background worker when dropped (joining its thread).
+pub struct BackgroundHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BackgroundHandle {
+    /// Stops the worker and waits for it to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BackgroundHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn ingestor_is_send_and_sync() {
+        assert_send_sync::<Ingestor>();
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("neats-ingestor-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn small_cfg() -> IngestConfig {
+        IngestConfig { chunk_points: 64, seal_points: 128, ..IngestConfig::default() }
+    }
+
+    #[test]
+    fn lifecycle_append_seal_reopen() {
+        let dir = tmp_dir("lifecycle");
+        let stamps: Vec<u64> = (0..500u64).map(|i| 10 + i * 3).collect();
+        let values: Vec<i64> = (0..500).map(|k: i64| k * k % 211 - 40).collect();
+        {
+            let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+            for chunk in 0..10 {
+                let r = chunk * 50..(chunk + 1) * 50;
+                ing.append("s", &stamps[r.clone()], &values[r]).unwrap();
+            }
+            assert_eq!(ing.len("s").unwrap(), 500);
+            // Everything answers before any seal…
+            assert_eq!(ing.get("s", 499).unwrap(), values[499]);
+            let e0 = ing.epoch();
+            let e1 = ing.seal().unwrap();
+            assert_eq!(e1, e0 + 1);
+            // …and identically after: 7 full 64-chunks sealed, 52 in head.
+            assert_eq!(ing.head_points(), 500 - 448);
+            let mut out = Vec::new();
+            ing.range("s", 0..500, &mut out).unwrap();
+            assert_eq!(out, values);
+            assert_eq!(ing.at_time("s", stamps[470]).unwrap(), Some(values[470]));
+            assert_eq!(ing.timestamp("s", 460).unwrap(), stamps[460]);
+            let want: i128 = values[100..480].iter().map(|&v| v as i128).sum();
+            assert_eq!(ing.sum("s", 100..480).unwrap(), want);
+        }
+        // Reopen: the tail comes back from the WAL.
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        assert_eq!(ing.len("s").unwrap(), 500);
+        let mut out = Vec::new();
+        ing.range("s", 0..500, &mut out).unwrap();
+        assert_eq!(out, values);
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delete_hides_then_seal_drops() {
+        let dir = tmp_dir("delete");
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        ing.append("a", &[1, 2, 3], &[10, 20, 30]).unwrap();
+        ing.append("b", &[1, 2], &[7, 8]).unwrap();
+        ing.flush().unwrap(); // both sealed
+        assert_eq!(ing.series_names(), vec!["a", "b"]);
+        ing.delete("a").unwrap();
+        assert!(matches!(ing.get("a", 0), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(ing.delete("a"), Err(StoreError::UnknownSeries(_))));
+        assert_eq!(ing.series_names(), vec!["b"]);
+        // Re-ingest from scratch: fresh index space, any timestamps.
+        ing.append("a", &[1], &[99]).unwrap();
+        assert_eq!(ing.get("a", 0).unwrap(), 99);
+        assert_eq!(ing.len("a").unwrap(), 1);
+        let epoch = ing.seal().unwrap();
+        assert!(epoch >= 2);
+        assert_eq!(ing.get("a", 0).unwrap(), 99);
+        assert_eq!(ing.get("b", 1).unwrap(), 8);
+        drop(ing);
+        // Survives reopen.
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        assert_eq!(ing.get("a", 0).unwrap(), 99);
+        assert_eq!(ing.len("a").unwrap(), 1);
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_validation() {
+        let dir = tmp_dir("validation");
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        assert!(matches!(ing.append("", &[1], &[1]), Err(StoreError::EmptyName)));
+        assert!(matches!(
+            ing.append("s", &[1, 2], &[1]),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ing.append("s", &[5, 5], &[1, 2]),
+            Err(StoreError::TimestampOrder { index: 1, .. })
+        ));
+        ing.append("s", &[], &[]).unwrap(); // no-op, creates nothing
+        assert!(ing.series_names().is_empty());
+        ing.append("s", &[10], &[1]).unwrap();
+        assert!(matches!(
+            ing.append("s", &[10], &[2]),
+            Err(StoreError::TimestampOrder { index: 0, .. })
+        ));
+        // The floor persists across a seal.
+        ing.flush().unwrap();
+        assert!(matches!(
+            ing.append("s", &[10], &[2]),
+            Err(StoreError::TimestampOrder { index: 0, .. })
+        ));
+        ing.append("s", &[11], &[2]).unwrap();
+        assert!(matches!(ing.get("nope", 0), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(
+            ing.get("s", 2),
+            Err(StoreError::OutOfRange { index: 2, len: 2 })
+        ));
+        assert!(matches!(
+            ing.range("s", 0..3, &mut Vec::new()),
+            Err(StoreError::BadRange { .. })
+        ));
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_reclaims_after_delete_seal() {
+        let dir = tmp_dir("compact");
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        let stamps: Vec<u64> = (0..200).collect();
+        let values: Vec<i64> = (0..200).map(|k: i64| k % 31).collect();
+        ing.append("keep", &stamps, &values).unwrap();
+        ing.append("drop", &stamps, &values).unwrap();
+        ing.flush().unwrap();
+        ing.delete("drop").unwrap();
+        ing.seal().unwrap();
+        assert!(ing.dead_bytes() > 0);
+        let e = ing.epoch();
+        assert_eq!(ing.compact().unwrap(), e + 1);
+        assert_eq!(ing.dead_bytes(), 0);
+        assert_eq!(ing.compact().unwrap(), e + 1, "no-op when nothing dead");
+        let mut out = Vec::new();
+        ing.range("keep", 0..200, &mut out).unwrap();
+        assert_eq!(out, values);
+        drop(ing);
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        assert_eq!(ing.series_names(), vec!["keep"]);
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_worker_seals_and_compacts() {
+        let dir = tmp_dir("background");
+        let cfg = IngestConfig {
+            chunk_points: 32,
+            seal_points: 64,
+            compact_dead_ratio: 0.01,
+            ..IngestConfig::default()
+        };
+        let ing = Arc::new(Ingestor::open(&dir, cfg).unwrap());
+        let handle =
+            ing.start_background(BackgroundConfig { interval: Duration::from_millis(20) });
+        let stamps: Vec<u64> = (0..256).collect();
+        let values: Vec<i64> = (0..256).map(|k: i64| k * 7 % 97).collect();
+        ing.append("s", &stamps, &values).unwrap();
+        let t0 = Instant::now();
+        while ing.epoch() == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(ing.epoch() > 0, "background seal never ran");
+        let mut out = Vec::new();
+        ing.range("s", 0..256, &mut out).unwrap();
+        assert_eq!(out, values);
+        handle.stop();
+        assert_eq!(ing.background_errors(), 0);
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summaries_cover_sealed_and_head() {
+        let dir = tmp_dir("summaries");
+        let ing = Ingestor::open(&dir, small_cfg()).unwrap();
+        let stamps: Vec<u64> = (0..100u64).map(|i| 5 + i).collect();
+        let values: Vec<i64> = (0..100).collect();
+        ing.append("s", &stamps, &values).unwrap();
+        ing.seal().unwrap(); // 64 sealed, 36 in head
+        let sums = ing.series_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].points, 100);
+        assert_eq!(sums[0].t_min, 5);
+        assert_eq!(sums[0].t_max, 104);
+        assert_eq!(ing.total_points(), 100);
+        assert_eq!(ing.series_count(), 1);
+        drop(ing);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

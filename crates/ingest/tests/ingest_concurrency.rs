@@ -1,0 +1,287 @@
+//! Concurrency stress: one writer thread streams a predetermined point
+//! sequence into live series — with frequent seals, flushes, compactions,
+//! and delete churn forcing generation swaps — while 4–8 scoped reader
+//! threads hammer point / range / time / aggregate queries.
+//!
+//! The oracle is **prefix-closedness**: appends only extend a series, so
+//! whatever length `L` a reader observes, every answer over `0..L` must
+//! equal the predetermined sequence's prefix — regardless of how much is
+//! sealed vs in the head at that instant, and across any number of
+//! generation swaps mid-flight. Lengths must also be monotone per reader.
+
+use neats_ingest::{BackgroundConfig, FsyncPolicy, IngestConfig, Ingestor};
+use neats_store::StoreError;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The full predetermined life of one oracle series.
+struct Plan {
+    name: String,
+    stamps: Vec<u64>,
+    values: Vec<i64>,
+}
+
+fn plans() -> Vec<Plan> {
+    let mk = |name: &str, seed: u64, n: usize| {
+        let mut x = seed | 1;
+        let mut rng = move || {
+            x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+            x
+        };
+        let mut t = 1_000u64 * (seed % 7);
+        let mut v = (seed % 100) as i64 - 50;
+        let mut stamps = Vec::with_capacity(n);
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += 1 + rng() % 13;
+            v += (rng() % 61) as i64 - 30;
+            stamps.push(t);
+            values.push(v);
+        }
+        Plan { name: name.to_string(), stamps, values }
+    };
+    vec![
+        mk("walk", 1, 6000),
+        mk("trend", 2, 6000),
+        mk("burst", 3, 6000),
+    ]
+}
+
+/// Reader loop: random queries against whatever prefix is visible, every
+/// answer checked against the plan. Returns the number of checked queries.
+fn hammer(ing: &Ingestor, plans: &[Plan], tid: u64, stop: &AtomicBool) -> u64 {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ tid.wrapping_mul(0xA076_1D64_78BD_642F);
+    let mut rng = move || {
+        x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+        x
+    };
+    let mut checked = 0u64;
+    let mut last_len = vec![0usize; plans.len()];
+    let mut buf = Vec::new();
+    let mut tbuf = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let pi = (rng() % plans.len() as u64) as usize;
+        let p = &plans[pi];
+        // The visible prefix: may lag the writer, never exceeds the plan,
+        // never shrinks from this reader's perspective.
+        let n = match ing.len(&p.name) {
+            Ok(n) => n,
+            Err(StoreError::UnknownSeries(_)) => continue, // not created yet
+            Err(e) => panic!("len({}): {e}", p.name),
+        };
+        assert!(n <= p.values.len(), "phantom points: {n} > plan");
+        assert!(n >= last_len[pi], "length went backwards: {n} < {}", last_len[pi]);
+        last_len[pi] = n;
+        if n == 0 {
+            continue;
+        }
+        let a = (rng() % n as u64) as usize;
+        let len = (rng() % 500).min((n - a) as u64) as usize;
+        match rng() % 6 {
+            0 => {
+                assert_eq!(ing.get(&p.name, a).unwrap(), p.values[a], "get({}, {a})", p.name);
+            }
+            1 => {
+                buf.clear();
+                ing.range(&p.name, a..a + len, &mut buf).unwrap();
+                assert_eq!(buf, &p.values[a..a + len], "range({}, {a}..+{len})", p.name);
+            }
+            2 => {
+                let want: i128 = p.values[a..a + len].iter().map(|&v| v as i128).sum();
+                assert_eq!(ing.sum(&p.name, a..a + len).unwrap(), want, "sum({})", p.name);
+            }
+            3 => {
+                let want = p.values[a..a + len].iter().fold(
+                    None,
+                    |acc: Option<(i64, i64)>, &v| {
+                        Some(acc.map_or((v, v), |(lo, hi)| (lo.min(v), hi.max(v))))
+                    },
+                );
+                assert_eq!(ing.min_max(&p.name, a..a + len).unwrap(), want);
+            }
+            4 => {
+                assert_eq!(ing.timestamp(&p.name, a).unwrap(), p.stamps[a]);
+                assert_eq!(ing.at_time(&p.name, p.stamps[a]).unwrap(), Some(p.values[a]));
+            }
+            _ => {
+                // A time window fully inside the visible prefix. The upper
+                // bound is exclusive-ish: stop one stamp short of the last
+                // visible point so concurrent appends cannot extend it.
+                if len == 0 {
+                    continue;
+                }
+                let b = a + len - 1;
+                tbuf.clear();
+                ing.range_by_time(&p.name, p.stamps[a], p.stamps[b], &mut tbuf).unwrap();
+                let want: Vec<(u64, i64)> = (a..=b).map(|k| (p.stamps[k], p.values[k])).collect();
+                assert_eq!(tbuf, want, "range_by_time({})", p.name);
+            }
+        }
+        checked += 1;
+    }
+    checked
+}
+
+/// Writer loop: feed the plans in small interleaved batches with explicit
+/// seal/flush/compact churn, plus delete/recreate noise on a side series
+/// the readers never touch (it gives compaction real dead bytes).
+fn write_everything(ing: &Ingestor, plans: &[Plan]) {
+    let mut pos = vec![0usize; plans.len()];
+    let mut x = 0xA5A5_5A5A_1234_5678u64;
+    let mut rng = move || {
+        x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+        x
+    };
+    let mut churn_round = 0u64;
+    loop {
+        let mut progressed = false;
+        for (pi, p) in plans.iter().enumerate() {
+            if pos[pi] >= p.values.len() {
+                continue;
+            }
+            progressed = true;
+            let batch = (1 + rng() % 120).min((p.values.len() - pos[pi]) as u64) as usize;
+            let r = pos[pi]..pos[pi] + batch;
+            ing.append(&p.name, &p.stamps[r.clone()], &p.values[r]).unwrap();
+            pos[pi] += batch;
+        }
+        if !progressed {
+            break;
+        }
+        match rng() % 10 {
+            0 | 1 => {
+                ing.seal().unwrap();
+            }
+            2 => {
+                ing.flush().unwrap();
+            }
+            3 => {
+                // Delete churn on the side series: sealed via flush so the
+                // delete leaves dead bytes, then compact reclaims them
+                // mid-flight.
+                churn_round += 1;
+                let t0 = churn_round * 1_000_000;
+                ing.append("churn", &[t0, t0 + 1, t0 + 2], &[1, 2, 3]).unwrap();
+                ing.flush().unwrap();
+                ing.delete("churn").unwrap();
+                ing.seal().unwrap();
+                ing.compact().unwrap();
+            }
+            _ => {}
+        }
+    }
+    ing.flush().unwrap();
+}
+
+#[test]
+fn readers_stay_consistent_while_ingesting() {
+    let dir: PathBuf = std::env::temp_dir()
+        .join(format!("neats-iconc-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cfg = IngestConfig {
+        chunk_points: 256,
+        seal_points: 1024,
+        fsync: FsyncPolicy::Never, // throughput: this test is about memory safety
+        cache_capacity: 4,         // tiny cache → constant eviction churn
+        ..IngestConfig::default()
+    };
+    let plans = plans();
+    let ing = Ingestor::open(&dir, cfg.clone()).unwrap();
+
+    for readers in [4usize, 8] {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| write_everything(&ing, &plans));
+            let handles: Vec<_> = (0..readers)
+                .map(|tid| {
+                    let (ing, plans, stop) = (&ing, &plans, &stop);
+                    scope.spawn(move || hammer(ing, plans, tid as u64 + 1, stop))
+                })
+                .collect();
+            writer.join().unwrap();
+            stop.store(true, Ordering::Relaxed);
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert!(total > 0, "readers must have checked something");
+        });
+        // Reset for the next round: wipe and re-ingest from scratch.
+        if readers == 4 {
+            for p in &plans {
+                ing.delete(&p.name).unwrap();
+            }
+            ing.seal().unwrap();
+            ing.compact().unwrap();
+            assert_eq!(ing.total_points(), 0);
+        }
+    }
+
+    // Final state equals the full plans — and survives recovery.
+    drop(ing);
+    let ing = Ingestor::open(&dir, cfg).unwrap();
+    for p in &plans {
+        assert_eq!(ing.len(&p.name).unwrap(), p.values.len());
+        let mut got = Vec::new();
+        ing.range(&p.name, 0..p.values.len(), &mut got).unwrap();
+        assert_eq!(got, p.values, "{} after recovery", p.name);
+    }
+    drop(ing);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The background sealer running during reads: same prefix-closed oracle,
+/// with seals triggered by the worker rather than the writer.
+#[test]
+fn background_sealer_during_reads() {
+    let dir: PathBuf = std::env::temp_dir()
+        .join(format!("neats-iconc-bg-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let cfg = IngestConfig {
+        chunk_points: 128,
+        seal_points: 256,
+        fsync: FsyncPolicy::Never,
+        compact_dead_ratio: 0.05,
+        ..IngestConfig::default()
+    };
+    let plans = &plans()[..2];
+    let ing = Arc::new(Ingestor::open(&dir, cfg).unwrap());
+    let handle = ing.start_background(BackgroundConfig { interval: Duration::from_millis(5) });
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let w = {
+            let ing = Arc::clone(&ing);
+            scope.spawn(move || {
+                let mut pos = 0usize;
+                while pos < plans[0].values.len() {
+                    let batch = 73.min(plans[0].values.len() - pos);
+                    for p in plans {
+                        let r = pos..pos + batch;
+                        ing.append(&p.name, &p.stamps[r.clone()], &p.values[r]).unwrap();
+                    }
+                    pos += batch;
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|tid| {
+                let (ing, stop) = (&ing, &stop);
+                scope.spawn(move || hammer(ing, plans, 100 + tid, stop))
+            })
+            .collect();
+        w.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    });
+    handle.stop();
+    assert_eq!(ing.background_errors(), 0);
+    assert!(ing.epoch() > 0, "the background worker must have sealed");
+    for p in plans {
+        assert_eq!(ing.len(&p.name).unwrap(), p.values.len());
+    }
+    drop(ing);
+    fs::remove_dir_all(&dir).unwrap();
+}

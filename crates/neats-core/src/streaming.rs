@@ -88,22 +88,75 @@ impl NeaTSWriter {
         self.buffer = Vec::with_capacity(self.chunk_size);
     }
 
+    /// Compresses the buffered tail into a chunk *now*, forcing a chunk
+    /// boundary (a no-op when nothing is buffered). The resulting chunk may
+    /// be shorter than the configured chunk size.
+    ///
+    /// This is the **head-flush** hook live-ingestion layers need: a mutable
+    /// in-memory head can keep a writer hot and flush it on demand (before a
+    /// seal, a shutdown, or a consistency point) without giving the writer
+    /// up, unlike [`Self::finish`].
+    pub fn flush(&mut self) {
+        if !self.buffer.is_empty() {
+            self.flush_chunk();
+        }
+    }
+
+    /// The chunks compressed so far (everything ingested except the
+    /// [`Self::buffered`] tail). All but the last may only be full chunks;
+    /// short chunks appear where [`Self::flush`] forced a boundary.
+    pub fn chunks(&self) -> &[NeaTSCompressed] {
+        &self.chunks
+    }
+
+    /// The raw, not-yet-compressed tail (always shorter than the chunk
+    /// size unless a flush is pending).
+    pub fn buffered(&self) -> &[i64] {
+        &self.buffer
+    }
+
+    /// The value at ingestion position `k`, served from the compressed
+    /// chunks or the raw tail — random access into a *live* writer.
+    ///
+    /// # Panics
+    /// If `k >= self.len()`.
+    pub fn value_at(&self, k: usize) -> i64 {
+        let mut base = 0usize;
+        for c in &self.chunks {
+            if k < base + c.len() {
+                return c.get(k - base);
+            }
+            base += c.len();
+        }
+        self.buffer[k - base]
+    }
+
     /// Compresses any buffered tail and returns the queryable result.
     pub fn finish(mut self) -> ChunkedNeaTS {
         if !self.buffer.is_empty() {
             self.flush_chunk();
         }
-        let n = self.chunks.iter().map(|c| c.len()).sum();
-        ChunkedNeaTS { chunks: self.chunks, chunk_size: self.chunk_size, n }
+        // Cumulative chunk start positions; chunks may have uneven lengths
+        // when `flush` forced boundaries, so lookups use these offsets
+        // rather than assuming a uniform chunk size.
+        let mut starts = Vec::with_capacity(self.chunks.len() + 1);
+        let mut n = 0usize;
+        for c in &self.chunks {
+            starts.push(n);
+            n += c.len();
+        }
+        ChunkedNeaTS { chunks: self.chunks, starts, n }
     }
 }
 
 /// A sequence of independently-compressed NeaTS chunks behaving as one
-/// compressed series.
+/// compressed series. Chunk lengths may be uneven (a [`NeaTSWriter::flush`]
+/// forces a boundary wherever the buffer happens to end).
 #[derive(Clone, Debug)]
 pub struct ChunkedNeaTS {
     chunks: Vec<NeaTSCompressed>,
-    chunk_size: usize,
+    /// `starts[i]` = series position of chunk `i`'s first value.
+    starts: Vec<usize>,
     n: usize,
 }
 
@@ -116,6 +169,12 @@ impl ChunkedNeaTS {
     /// Access to an individual chunk (e.g. for re-compaction policies).
     pub fn chunk(&self, i: usize) -> &NeaTSCompressed {
         &self.chunks[i]
+    }
+
+    /// Index of the chunk holding series position `k` (caller checks
+    /// `k < len`).
+    fn chunk_of(&self, k: usize) -> usize {
+        self.starts.partition_point(|&s| s <= k) - 1
     }
 }
 
@@ -130,7 +189,8 @@ impl CompressedSeries for ChunkedNeaTS {
 
     fn get(&self, k: usize) -> i64 {
         debug_assert!(k < self.n);
-        self.chunks[k / self.chunk_size].get(k % self.chunk_size)
+        let ci = self.chunk_of(k);
+        self.chunks[ci].get(k - self.starts[ci])
     }
 
     fn decompress(&self) -> Vec<i64> {
@@ -148,12 +208,13 @@ impl CompressedSeries for ChunkedNeaTS {
         debug_assert!(start + count <= self.n);
         let end = start + count;
         let mut k = start;
+        let mut ci = self.chunk_of(start);
         while k < end {
-            let ci = k / self.chunk_size;
-            let base = ci * self.chunk_size;
+            let base = self.starts[ci];
             let to = (base + self.chunks[ci].len()).min(end);
             self.chunks[ci].scan_range(k - base, to - k, out);
             k = to;
+            ci += 1;
         }
     }
 }
@@ -239,6 +300,48 @@ mod tests {
             })
             .collect();
         assert!(sizes.windows(2).all(|p| p[0] == p[1]), "sizes differ across threads: {sizes:?}");
+    }
+
+    #[test]
+    fn flush_forces_short_chunks_and_keeps_queries_exact() {
+        let values = stream(3000, 7);
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 1024);
+        for (k, &v) in values.iter().enumerate() {
+            w.push(v);
+            if k == 99 || k == 1499 {
+                w.flush(); // short chunks at 100 and (1500 - 1024 =) 476 points
+            }
+        }
+        w.flush();
+        w.flush(); // idempotent on an empty buffer
+        assert!(w.buffered().is_empty());
+        let lens: Vec<usize> = w.chunks().iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![100, 1024, 376, 1024, 476]);
+
+        // Random access into the live writer and into the finished store
+        // both see the exact stream despite the uneven boundaries.
+        for k in [0usize, 99, 100, 1123, 1499, 1500, 2999] {
+            assert_eq!(w.value_at(k), values[k], "value_at({k})");
+        }
+        let c = w.finish();
+        assert_eq!(c.decompress(), values);
+        for k in [0usize, 99, 100, 1123, 1499, 1500, 2999] {
+            assert_eq!(c.get(k), values[k], "get({k})");
+        }
+        let mut out = Vec::new();
+        c.scan_range(50, 2000, &mut out);
+        assert_eq!(out, &values[50..2050]);
+    }
+
+    #[test]
+    fn value_at_reads_compressed_chunks_and_raw_tail() {
+        let mut w = NeaTSWriter::new(NeaTS::builder(), 8);
+        w.extend(0..20);
+        assert_eq!(w.chunks().len(), 2);
+        assert_eq!(w.buffered(), &[16, 17, 18, 19]);
+        for k in 0..20 {
+            assert_eq!(w.value_at(k), k as i64);
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Request routing: the four endpoints, the query grammar shared by single
+//! Request routing: the five endpoints, the query grammar shared by single
 //! and batched queries, and the JSON renderers.
 //!
 //! The full request/response grammar, status-code contract, and batch frame
@@ -6,16 +6,18 @@
 //! integration test mirrors its examples verbatim.
 
 use crate::http::{Method, Request, Response};
+use crate::source::{mode_eps, Source};
 use crate::stats::{Endpoint, ServerStats};
-use neats_store::{Store, StoreError, StoreMode};
+use neats_ingest::Ingestor;
+use neats_store::StoreError;
 use std::io::Write as _;
 use std::time::Instant;
 
 /// Routes one parsed request, recording latency and error counters for the
 /// endpoint it lands on.
-pub fn handle(store: &Store, stats: &ServerStats, threads: usize, req: &Request) -> Response {
+pub fn handle(src: &Source, stats: &ServerStats, threads: usize, req: &Request) -> Response {
     let t0 = Instant::now();
-    let (endpoint, resp) = route(store, stats, threads, req);
+    let (endpoint, resp) = route(src, stats, threads, req);
     match endpoint {
         Some(e) => stats.record(e, resp.status, t0.elapsed().as_nanos() as u64),
         None => {
@@ -26,21 +28,24 @@ pub fn handle(store: &Store, stats: &ServerStats, threads: usize, req: &Request)
 }
 
 fn route(
-    store: &Store,
+    src: &Source,
     stats: &ServerStats,
     threads: usize,
     req: &Request,
 ) -> (Option<Endpoint>, Response) {
     match (req.method, req.path.as_str()) {
-        (Method::Get, "/series") => (Some(Endpoint::Series), series_json(store)),
-        (Method::Get, "/stats") => (Some(Endpoint::Stats), stats_json(store, stats, threads)),
+        (Method::Get, "/series") => (Some(Endpoint::Series), series_json(src)),
+        (Method::Get, "/stats") => (Some(Endpoint::Stats), stats_json(src, stats, threads)),
         (Method::Get, path) if path.starts_with("/q/") => {
             let series = &path[3..];
-            (Some(Endpoint::Query), single_query(store, series, &req.query))
+            (Some(Endpoint::Query), single_query(src, series, &req.query))
         }
-        (Method::Post, "/q") => (Some(Endpoint::Batch), batch_query(store, &req.body)),
+        (Method::Post, "/q") => (Some(Endpoint::Batch), batch_query(src, &req.body)),
+        (Method::Post, "/write") => (Some(Endpoint::Write), write_batch(src, &req.body)),
         // Known paths under the wrong method get a 405, unknown paths a 404.
-        (_, "/series" | "/stats" | "/q") | (Method::Post, _) if known_path(&req.path) => {
+        (_, "/series" | "/stats" | "/q" | "/write") | (Method::Post, _)
+            if known_path(&req.path) =>
+        {
             (None, Response::error(405, "method not allowed"))
         }
         _ => (None, Response::error(404, "no such endpoint")),
@@ -48,12 +53,13 @@ fn route(
 }
 
 fn known_path(path: &str) -> bool {
-    path == "/series" || path == "/stats" || path == "/q" || path.starts_with("/q/")
+    path == "/series" || path == "/stats" || path == "/q" || path == "/write"
+        || path.starts_with("/q/")
 }
 
 /// `GET /q/<series>?idx=K | idx=A..B | t=T | t=A..B`.
-fn single_query(store: &Store, series: &str, query: &str) -> Response {
-    match run_query(store, series, query) {
+fn single_query(src: &Source, series: &str, query: &str) -> Response {
+    match run_query(src, series, query) {
         Ok((body, _)) => Response::text(body),
         Err((status, reason)) => Response::error(status, &reason),
     }
@@ -61,7 +67,7 @@ fn single_query(store: &Store, series: &str, query: &str) -> Response {
 
 /// `POST /q` — one query per line: `<series> <spec>`. Every query is
 /// answered inside one 200 frame; see `docs/PROTOCOL.md` for the framing.
-fn batch_query(store: &Store, body: &[u8]) -> Response {
+fn batch_query(src: &Source, body: &[u8]) -> Response {
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "batch body is not UTF-8");
     };
@@ -78,7 +84,7 @@ fn batch_query(store: &Store, body: &[u8]) -> Response {
         // name is everything before the *last* space — names with spaces
         // need no escaping in batch lines.
         match line.rsplit_once(' ') {
-            Some((series, spec)) => match run_query(store, series.trim(), spec.trim()) {
+            Some((series, spec)) => match run_query(src, series.trim(), spec.trim()) {
                 Ok((payload, lines)) => {
                     let _ = writeln!(out, "#{i} ok {lines}");
                     out.extend_from_slice(&payload);
@@ -96,11 +102,100 @@ fn batch_query(store: &Store, body: &[u8]) -> Response {
     Response::text(out)
 }
 
+/// `POST /write` — one point per line: `<series> <timestamp> <value>`.
+/// Live sources only; a pack answers 405. Consecutive lines of the same
+/// series are batched into one append (one WAL record, one fsync under
+/// the default policy), and each batch is acknowledged with one frame:
+/// `#i ok <points>` once the batch is durable per the ingestor's fsync
+/// policy, or `#i err <status> <reason>` if it was rejected whole. The
+/// frame list ends with `#done <batches>`.
+fn write_batch(src: &Source, body: &[u8]) -> Response {
+    let Some(ing) = src.live() else {
+        return Response::error(405, "read-only pack (serve an ingest directory to write)");
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return Response::error(400, "write body is not UTF-8");
+    };
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    let mut cur: Option<(String, Vec<u64>, Vec<i64>)> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_write_line(line) {
+            Ok((series, t, v)) => {
+                if let Some((name, stamps, values)) = &mut cur {
+                    if name == series {
+                        stamps.push(t);
+                        values.push(v);
+                        continue;
+                    }
+                }
+                if let Some(batch) = cur.take() {
+                    flush_write_batch(ing, batch, &mut out, &mut n);
+                }
+                cur = Some((series.to_string(), vec![t], vec![v]));
+            }
+            Err(reason) => {
+                if let Some(batch) = cur.take() {
+                    flush_write_batch(ing, batch, &mut out, &mut n);
+                }
+                let i = n;
+                n += 1;
+                let _ = writeln!(out, "#{i} err 400 {reason}");
+            }
+        }
+    }
+    if let Some(batch) = cur.take() {
+        flush_write_batch(ing, batch, &mut out, &mut n);
+    }
+    let _ = writeln!(out, "#done {n}");
+    Response::text(out)
+}
+
+/// Parses one write line: `<series> <timestamp> <value>`. The timestamp
+/// and value never contain spaces, so the series name is everything before
+/// the last two fields — names with spaces need no escaping.
+fn parse_write_line(line: &str) -> Result<(&str, u64, i64), String> {
+    let malformed = || format!("malformed write line {line:?} (want: <series> <t> <v>)");
+    let (rest, v) = line.rsplit_once(' ').ok_or_else(malformed)?;
+    let (series, t) = rest.trim_end().rsplit_once(' ').ok_or_else(malformed)?;
+    let t: u64 = t.parse().map_err(|_| format!("bad timestamp {t:?}"))?;
+    let v: i64 = v.parse().map_err(|_| format!("bad value {v:?}"))?;
+    let series = series.trim();
+    if series.is_empty() {
+        return Err(malformed());
+    }
+    Ok((series, t, v))
+}
+
+/// Appends one batch and emits its acknowledgement frame.
+fn flush_write_batch(
+    ing: &Ingestor,
+    (series, stamps, values): (String, Vec<u64>, Vec<i64>),
+    out: &mut Vec<u8>,
+    n: &mut usize,
+) {
+    let i = *n;
+    *n += 1;
+    match ing.append(&series, &stamps, &values) {
+        Ok(()) => {
+            let _ = writeln!(out, "#{i} ok {}", stamps.len());
+        }
+        Err(e) => {
+            let (status, reason) = store_err(e);
+            let _ = writeln!(out, "#{i} err {status} {reason}");
+        }
+    }
+}
+
 /// Runs one query spec (`idx=K`, `idx=A..B`, `t=T`, `t=A..B`) against
 /// `series`, returning the rendered payload and its line count, or the
 /// status + reason it fails with.
 pub(crate) fn run_query(
-    store: &Store,
+    src: &Source,
     series: &str,
     spec: &str,
 ) -> Result<(Vec<u8>, usize), (u16, String)> {
@@ -114,21 +209,20 @@ pub(crate) fn run_query(
             if let Some((a, b)) = val.split_once("..") {
                 let a = parse_num(a, "range start")?;
                 let b = parse_num(b, "range end")?;
-                store
-                    .range_chunks(series, a..b, |chunk| {
-                        // Rendered straight from the zero-copy segment
-                        // views: the decoded-value buffer stays one segment
-                        // long (the text body still accumulates in full for
-                        // Content-Length framing).
-                        for v in chunk {
-                            let _ = writeln!(body, "{v}");
-                        }
-                        lines += chunk.len();
-                    })
-                    .map_err(store_err)?;
+                src.range_chunks(series, a..b, |chunk| {
+                    // Rendered straight from the zero-copy segment
+                    // views: the decoded-value buffer stays one segment
+                    // long (the text body still accumulates in full for
+                    // Content-Length framing).
+                    for v in chunk {
+                        let _ = writeln!(body, "{v}");
+                    }
+                    lines += chunk.len();
+                })
+                .map_err(store_err)?;
             } else {
                 let k = parse_num(val, "index")?;
-                let v = store.get(series, k).map_err(store_err)?;
+                let v = src.get(series, k).map_err(store_err)?;
                 let _ = writeln!(body, "{v}");
                 lines = 1;
             }
@@ -137,17 +231,16 @@ pub(crate) fn run_query(
             if let Some((a, b)) = val.split_once("..") {
                 let a = parse_num(a, "time range start")?;
                 let b = parse_num(b, "time range end")?;
-                store
-                    .range_by_time_chunks(series, a, b, |chunk| {
-                        for (t, v) in chunk {
-                            let _ = writeln!(body, "{t},{v}");
-                        }
-                        lines += chunk.len();
-                    })
-                    .map_err(store_err)?;
+                src.range_by_time_chunks(series, a, b, |chunk| {
+                    for (t, v) in chunk {
+                        let _ = writeln!(body, "{t},{v}");
+                    }
+                    lines += chunk.len();
+                })
+                .map_err(store_err)?;
             } else {
                 let t = parse_num(val, "timestamp")?;
-                match store.at_time(series, t).map_err(store_err)? {
+                match src.at_time(series, t).map_err(store_err)? {
                     Some(v) => {
                         let _ = writeln!(body, "{v}");
                         lines = 1;
@@ -179,43 +272,54 @@ fn store_err(e: StoreError) -> (u16, String) {
     (status, e.to_string())
 }
 
-/// `GET /series`: the catalog as a JSON array.
-fn series_json(store: &Store) -> Response {
+/// `GET /series`: the catalog as a JSON array (catalog order for a pack,
+/// name-sorted for a live source — see [`Source::summaries`]).
+fn series_json(src: &Source) -> Response {
+    let summaries = src.summaries();
     let mut out = String::from("[");
-    for (i, e) in store.entries().iter().enumerate() {
+    for (i, e) in summaries.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let eps = match e.mode() {
-            StoreMode::Lossless => 0,
-            StoreMode::Lossy { eps } => eps,
-        };
         out.push_str(&format!(
             "\n  {{\"name\": {}, \"mode\": \"{}\", \"eps\": {}, \"points\": {}, \
              \"segments\": {}, \"t_min\": {}, \"t_max\": {}}}",
-            json_string(e.name()),
-            e.mode().name(),
-            eps,
-            e.len(),
-            e.segments().len(),
-            e.t_min(),
-            e.t_max(),
+            json_string(&e.name),
+            e.mode.name(),
+            mode_eps(e.mode),
+            e.points,
+            e.segments,
+            e.t_min,
+            e.t_max,
         ));
     }
-    out.push_str(if store.entries().is_empty() { "]\n" } else { "\n]\n" });
+    out.push_str(if summaries.is_empty() { "]\n" } else { "\n]\n" });
     Response::json(out)
 }
 
 /// `GET /stats`: cache counters, connection counters, and per-endpoint
-/// latency percentiles.
-fn stats_json(store: &Store, stats: &ServerStats, threads: usize) -> Response {
+/// latency percentiles — plus the live write-path gauges when serving an
+/// ingest directory.
+fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
     use std::sync::atomic::Ordering::Relaxed;
-    let cache = store.cache_stats();
+    let cache = src.cache_stats();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"uptime_s\": {:.3},\n", stats.uptime_s()));
     out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"series\": {},\n", store.series_count()));
-    out.push_str(&format!("  \"points\": {},\n", store.total_points()));
+    out.push_str(&format!("  \"series\": {},\n", src.series_count()));
+    out.push_str(&format!("  \"points\": {},\n", src.total_points()));
+    out.push_str(&format!("  \"live\": {},\n", src.is_live()));
+    if let Some(ing) = src.live() {
+        out.push_str(&format!(
+            "  \"ingest\": {{\"epoch\": {}, \"head_points\": {}, \"wal_bytes\": {}, \
+             \"dead_bytes\": {}, \"background_errors\": {}}},\n",
+            ing.epoch(),
+            ing.head_points(),
+            ing.wal_len(),
+            ing.dead_bytes(),
+            ing.background_errors(),
+        ));
+    }
     out.push_str(&format!(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
         cache.hits,
@@ -275,27 +379,50 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neats_store::{StoreConfig, StoreWriter};
+    use neats_ingest::{IngestConfig, Ingestor};
+    use neats_store::{Store, StoreConfig, StoreWriter};
+    use std::sync::Arc;
 
-    fn demo_store() -> Store {
+    fn demo_store() -> Arc<Store> {
         let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
         let stamps: Vec<u64> = (0..500u64).map(|i| 1_000 + i * 3).collect();
         let values: Vec<i64> = (0..500).map(|k: i64| k * k % 211 - 17).collect();
         w.ingest("cpu", &stamps, &values).unwrap();
-        Store::open(w.finish().unwrap()).unwrap()
+        Arc::new(Store::open(w.finish().unwrap()).unwrap())
+    }
+
+    fn get(path: &str, query: &str) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            query: query.into(),
+            keep_alive: true,
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &[u8]) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.into(),
+            query: String::new(),
+            keep_alive: true,
+            body: body.to_vec(),
+        }
     }
 
     #[test]
     fn query_grammar_answers_match_store() {
         let store = demo_store();
-        let (body, lines) = run_query(&store, "cpu", "idx=7").unwrap();
+        let src = Source::from(Arc::clone(&store));
+        let (body, lines) = run_query(&src, "cpu", "idx=7").unwrap();
         assert_eq!(lines, 1);
         assert_eq!(
             String::from_utf8(body).unwrap().trim().parse::<i64>().unwrap(),
             store.get("cpu", 7).unwrap()
         );
 
-        let (body, lines) = run_query(&store, "cpu", "idx=10..200").unwrap();
+        let (body, lines) = run_query(&src, "cpu", "idx=10..200").unwrap();
         assert_eq!(lines, 190);
         let got: Vec<i64> = String::from_utf8(body)
             .unwrap()
@@ -307,13 +434,13 @@ mod tests {
         assert_eq!(got, want);
 
         let t = store.timestamp("cpu", 42).unwrap();
-        let (body, _) = run_query(&store, "cpu", &format!("t={t}")).unwrap();
+        let (body, _) = run_query(&src, "cpu", &format!("t={t}")).unwrap();
         assert_eq!(
             String::from_utf8(body).unwrap().trim().parse::<i64>().unwrap(),
             store.get("cpu", 42).unwrap()
         );
 
-        let (body, lines) = run_query(&store, "cpu", "t=1000..1300").unwrap();
+        let (body, lines) = run_query(&src, "cpu", "t=1000..1300").unwrap();
         let mut want = Vec::new();
         store.range_by_time("cpu", 1000, 1300, &mut want).unwrap();
         assert_eq!(lines, want.len());
@@ -330,32 +457,26 @@ mod tests {
 
     #[test]
     fn query_grammar_statuses() {
-        let store = demo_store();
-        assert_eq!(run_query(&store, "nope", "idx=0").unwrap_err().0, 404);
-        assert_eq!(run_query(&store, "cpu", "idx=99999").unwrap_err().0, 400);
-        assert_eq!(run_query(&store, "cpu", "idx=9..2").unwrap_err().0, 400);
-        assert_eq!(run_query(&store, "cpu", "t=1").unwrap_err().0, 404); // gap
-        assert_eq!(run_query(&store, "cpu", "frob=1").unwrap_err().0, 400);
-        assert_eq!(run_query(&store, "cpu", "idx").unwrap_err().0, 400);
-        assert_eq!(run_query(&store, "cpu", "idx=banana").unwrap_err().0, 400);
+        let src = Source::from(demo_store());
+        assert_eq!(run_query(&src, "nope", "idx=0").unwrap_err().0, 404);
+        assert_eq!(run_query(&src, "cpu", "idx=99999").unwrap_err().0, 400);
+        assert_eq!(run_query(&src, "cpu", "idx=9..2").unwrap_err().0, 400);
+        assert_eq!(run_query(&src, "cpu", "t=1").unwrap_err().0, 404); // gap
+        assert_eq!(run_query(&src, "cpu", "frob=1").unwrap_err().0, 400);
+        assert_eq!(run_query(&src, "cpu", "idx").unwrap_err().0, 400);
+        assert_eq!(run_query(&src, "cpu", "idx=banana").unwrap_err().0, 400);
         // An inverted time range is simply empty, like range_by_time.
-        let (body, lines) = run_query(&store, "cpu", "t=300..200").unwrap();
+        let (body, lines) = run_query(&src, "cpu", "t=300..200").unwrap();
         assert!(body.is_empty());
         assert_eq!(lines, 0);
     }
 
     #[test]
     fn batch_frame_shape() {
-        let store = demo_store();
+        let src = Source::from(demo_store());
         let stats = ServerStats::new();
-        let req = Request {
-            method: Method::Post,
-            path: "/q".into(),
-            query: String::new(),
-            keep_alive: true,
-            body: b"cpu idx=3\nnope idx=0\n\ncpu idx=0..2\nmalformed\n".to_vec(),
-        };
-        let resp = handle(&store, &stats, 1, &req);
+        let req = post("/q", b"cpu idx=3\nnope idx=0\n\ncpu idx=0..2\nmalformed\n");
+        let resp = handle(&src, &stats, 1, &req);
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.starts_with("#0 ok 1\n"), "{text}");
@@ -367,51 +488,85 @@ mod tests {
 
     #[test]
     fn routing_and_counters() {
-        let store = demo_store();
+        let src = Source::from(demo_store());
         let stats = ServerStats::new();
-        let get = |path: &str, query: &str| Request {
-            method: Method::Get,
-            path: path.into(),
-            query: query.into(),
-            keep_alive: true,
-            body: Vec::new(),
-        };
-        assert_eq!(handle(&store, &stats, 2, &get("/series", "")).status, 200);
-        assert_eq!(handle(&store, &stats, 2, &get("/q/cpu", "idx=1")).status, 200);
-        assert_eq!(handle(&store, &stats, 2, &get("/q/none", "idx=1")).status, 404);
-        assert_eq!(handle(&store, &stats, 2, &get("/frob", "")).status, 404);
-        let stats_resp = handle(&store, &stats, 2, &get("/stats", ""));
+        assert_eq!(handle(&src, &stats, 2, &get("/series", "")).status, 200);
+        assert_eq!(handle(&src, &stats, 2, &get("/q/cpu", "idx=1")).status, 200);
+        assert_eq!(handle(&src, &stats, 2, &get("/q/none", "idx=1")).status, 404);
+        assert_eq!(handle(&src, &stats, 2, &get("/frob", "")).status, 404);
+        let stats_resp = handle(&src, &stats, 2, &get("/stats", ""));
         assert_eq!(stats_resp.status, 200);
         let text = String::from_utf8(stats_resp.body).unwrap();
         assert!(text.contains("\"threads\": 2"), "{text}");
         assert!(text.contains("\"query\": {\"requests\": 2, \"errors\": 1"), "{text}");
-        // POST to a GET-only path is a 405.
-        let post = Request {
-            method: Method::Post,
-            path: "/series".into(),
-            query: String::new(),
-            keep_alive: true,
-            body: Vec::new(),
-        };
-        assert_eq!(handle(&store, &stats, 2, &post).status, 405);
+        assert!(text.contains("\"live\": false"), "{text}");
+        // POST to a GET-only path is a 405, as is writing to a pack.
+        assert_eq!(handle(&src, &stats, 2, &post("/series", b"")).status, 405);
+        assert_eq!(handle(&src, &stats, 2, &post("/write", b"cpu 1 2\n")).status, 405);
+        assert_eq!(handle(&src, &stats, 2, &get("/write", "")).status, 405);
     }
 
     #[test]
     fn series_json_lists_catalog() {
-        let store = demo_store();
+        let src = Source::from(demo_store());
         let stats = ServerStats::new();
-        let req = Request {
-            method: Method::Get,
-            path: "/series".into(),
-            query: String::new(),
-            keep_alive: true,
-            body: Vec::new(),
-        };
-        let resp = handle(&store, &stats, 1, &req);
+        let resp = handle(&src, &stats, 1, &get("/series", ""));
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"name\": \"cpu\""), "{text}");
         assert!(text.contains("\"points\": 500"), "{text}");
         assert!(text.contains("\"mode\": \"lossless\""), "{text}");
+    }
+
+    #[test]
+    fn write_endpoint_appends_to_a_live_source() {
+        let dir = std::env::temp_dir().join(format!("neats-serve-write-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ing = Ingestor::open(&dir, IngestConfig::default()).unwrap();
+        let src = Source::from(ing);
+        let stats = ServerStats::new();
+
+        // Three batches: cpu×2 (consecutive lines coalesce), mem×1, then a
+        // stale cpu point (timestamp went backwards) and a malformed line.
+        let body = b"cpu 1000 5\ncpu 1001 6\nmem 500 -3\ncpu 900 1\nbroken\n";
+        let resp = handle(&src, &stats, 1, &post("/write", body));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.starts_with("#0 ok 2\n"), "{text}");
+        assert!(text.contains("#1 ok 1\n"), "{text}");
+        assert!(text.contains("#2 err 400"), "{text}");
+        assert!(text.contains("#3 err 400 malformed write line"), "{text}");
+        assert!(text.ends_with("#done 4\n"), "{text}");
+
+        // The accepted points serve immediately through the query grammar.
+        let (body, _) = run_query(&src, "cpu", "idx=0..2").unwrap();
+        assert_eq!(String::from_utf8(body).unwrap(), "5\n6\n");
+        let (body, _) = run_query(&src, "mem", "t=500").unwrap();
+        assert_eq!(String::from_utf8(body).unwrap(), "-3\n");
+
+        // /series and /stats reflect the live state.
+        let text =
+            String::from_utf8(handle(&src, &stats, 1, &get("/series", "")).body).unwrap();
+        assert!(text.contains("\"name\": \"cpu\""), "{text}");
+        assert!(text.contains("\"name\": \"mem\""), "{text}");
+        let text = String::from_utf8(handle(&src, &stats, 1, &get("/stats", "")).body).unwrap();
+        assert!(text.contains("\"live\": true"), "{text}");
+        assert!(text.contains("\"head_points\": 3"), "{text}");
+        assert!(text.contains("\"write\": {\"requests\": 1"), "{text}");
+        drop(src);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_line_parser() {
+        assert_eq!(parse_write_line("cpu 12 -3").unwrap(), ("cpu", 12, -3));
+        assert_eq!(
+            parse_write_line("with space 12 3").unwrap(),
+            ("with space", 12, 3)
+        );
+        assert!(parse_write_line("cpu 12").is_err());
+        assert!(parse_write_line("cpu x 3").is_err());
+        assert!(parse_write_line("cpu 12 x").is_err());
+        assert!(parse_write_line(" 12 3").is_err());
     }
 
     #[test]

@@ -12,7 +12,14 @@
 //! | `GET /series` | the catalog, as JSON |
 //! | `GET /q/<series>?idx=K` \| `?idx=A..B` \| `?t=T` \| `?t=A..B` | one query, plain text |
 //! | `POST /q` | many queries (one per body line), one framed response |
+//! | `POST /write` | live point ingestion (one `<series> <t> <v>` per line) |
 //! | `GET /stats` | cache hit rate + per-endpoint latency percentiles, JSON |
+//!
+//! The server mounts a [`Source`]: either a read-only packfile
+//! ([`neats_store::Store`], the original mode — `POST /write` answers 405)
+//! or a live ingestion directory ([`neats_ingest::Ingestor`]), where
+//! queries span sealed + head state and writes are crash-safe through the
+//! WAL.
 //!
 //! The exact request/response grammar, status codes, and batch frame format
 //! are specified in `docs/PROTOCOL.md` at the repository root, with `curl`
@@ -80,8 +87,10 @@
 mod handler;
 mod http;
 mod server;
+mod source;
 mod stats;
 
 pub use http::{Limits, Method, Request, Response};
 pub use server::{ServeConfig, Server, ServerHandle, THREADS_ENV};
+pub use source::Source;
 pub use stats::{Endpoint, EndpointStats, ServerStats};

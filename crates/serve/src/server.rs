@@ -25,10 +25,10 @@
 //! joined.
 
 use crate::http::{Conn, HttpError, Limits, ReadOutcome, Response};
+use crate::source::Source;
 use crate::stats::ServerStats;
 use crate::{handler, http};
 use neats_core::parallel::{effective_threads_env, Queue};
-use neats_store::Store;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -77,7 +77,7 @@ struct Shared {
 /// cheap to clone across threads.
 pub struct Server {
     listener: TcpListener,
-    store: Arc<Store>,
+    source: Source,
     shared: Arc<Shared>,
     addr: SocketAddr,
     threads: usize,
@@ -125,9 +125,11 @@ impl ServerHandle {
 
 impl Server {
     /// Binds a listener on `addr` (use port 0 for an ephemeral port) over
-    /// `store`. The worker count is resolved at [`Self::run`].
+    /// `source` — an `Arc<Store>` (read-only pack) or an
+    /// `Arc<neats_ingest::Ingestor>` (live directory; enables
+    /// `POST /write`). The worker count is resolved at [`Self::run`].
     pub fn bind(
-        store: Arc<Store>,
+        source: impl Into<Source>,
         addr: impl ToSocketAddrs,
         mut cfg: ServeConfig,
     ) -> std::io::Result<Server> {
@@ -140,7 +142,7 @@ impl Server {
         let threads = effective_threads_env(cfg.threads, THREADS_ENV);
         Ok(Server {
             listener,
-            store,
+            source: source.into(),
             shared: Arc::new(Shared { shutdown: AtomicBool::new(false), stats: ServerStats::new() }),
             addr,
             threads,
@@ -166,7 +168,7 @@ impl Server {
     /// Serves until shutdown: the calling thread runs the accept loop, the
     /// worker pool handles connections. Returns after the drain completes.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, store, shared, addr: _, threads, cfg } = self;
+        let Server { listener, source, shared, addr: _, threads, cfg } = self;
         let queue: Queue<TcpStream> = Queue::new();
         let limits = Limits {
             max_header_bytes: cfg.max_header_bytes,
@@ -177,7 +179,7 @@ impl Server {
             for _ in 0..threads {
                 s.spawn(|| {
                     while let Some(conn) = queue.pop() {
-                        serve_connection(&store, &shared, &cfg, &limits, threads, conn);
+                        serve_connection(&source, &shared, &cfg, &limits, threads, conn);
                     }
                 });
             }
@@ -229,7 +231,7 @@ impl Server {
 
 /// Serves one connection for its whole keep-alive lifetime.
 fn serve_connection(
-    store: &Store,
+    source: &Source,
     shared: &Shared,
     cfg: &ServeConfig,
     limits: &Limits,
@@ -250,7 +252,7 @@ fn serve_connection(
                 // fixed — a dead worker would shrink capacity forever); the
                 // panicking request gets a 500 and its connection closes.
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    handler::handle(store, &shared.stats, threads, &req)
+                    handler::handle(source, &shared.stats, threads, &req)
                 }));
                 let (resp, close_after) = match result {
                     Ok(resp) => (resp, false),

@@ -14,13 +14,21 @@ pub enum Endpoint {
     Query,
     /// `POST /q` — batched queries.
     Batch,
+    /// `POST /write` — live ingestion (live sources only).
+    Write,
     /// `GET /stats`.
     Stats,
 }
 
 impl Endpoint {
     /// All endpoints, in `/stats` render order.
-    pub const ALL: [Endpoint; 4] = [Endpoint::Series, Endpoint::Query, Endpoint::Batch, Endpoint::Stats];
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Series,
+        Endpoint::Query,
+        Endpoint::Batch,
+        Endpoint::Write,
+        Endpoint::Stats,
+    ];
 
     /// The key this endpoint renders under in the `/stats` JSON.
     pub fn key(self) -> &'static str {
@@ -28,6 +36,7 @@ impl Endpoint {
             Endpoint::Series => "series",
             Endpoint::Query => "query",
             Endpoint::Batch => "batch",
+            Endpoint::Write => "write",
             Endpoint::Stats => "stats",
         }
     }
@@ -37,7 +46,8 @@ impl Endpoint {
             Endpoint::Series => 0,
             Endpoint::Query => 1,
             Endpoint::Batch => 2,
-            Endpoint::Stats => 3,
+            Endpoint::Write => 3,
+            Endpoint::Stats => 4,
         }
     }
 }
@@ -86,7 +96,7 @@ pub struct ServerStats {
     /// be visible on `/stats`, and a panicking handler never reaches the
     /// per-endpoint recording path.
     pub panics: AtomicU64,
-    endpoints: [EndpointStats; 4],
+    endpoints: [EndpointStats; 5],
 }
 
 impl ServerStats {
@@ -100,6 +110,7 @@ impl ServerStats {
             unrouted: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             endpoints: [
+                EndpointStats::new(),
                 EndpointStats::new(),
                 EndpointStats::new(),
                 EndpointStats::new(),

@@ -3,7 +3,7 @@
 use crate::format::{self, SegmentMeta, SeriesEntry, StoreMode};
 use crate::StoreError;
 use neats_core::parallel::{effective_threads, parallel_map_indexed};
-use neats_core::NeaTSBuilder;
+use neats_core::{ArchiveFlavor, ArchiveView, NeaTSBuilder};
 use succinct::{crc64, EliasFano, Wire, WireWriter};
 use timeseries::TimeSeries;
 
@@ -44,13 +44,21 @@ struct WriterSeries {
     mode: StoreMode,
     /// Segments already present in the base bytes (append mode).
     committed: Vec<SegmentMeta>,
+    /// Pre-compressed `(frame, stamps)` segments accepted by
+    /// [`StoreWriter::append_compressed_segment`], emitted between the
+    /// committed segments and any raw pending batch.
+    pending_sealed: Vec<(Vec<u8>, Vec<u64>)>,
     pending_t: Vec<u64>,
     pending_v: Vec<i64>,
 }
 
 impl WriterSeries {
     fn last_timestamp(&self) -> Option<u64> {
-        self.pending_t.last().copied().or_else(|| self.committed.last().map(|m| m.t_max))
+        self.pending_t
+            .last()
+            .copied()
+            .or_else(|| self.pending_sealed.last().and_then(|(_, t)| t.last().copied()))
+            .or_else(|| self.committed.last().map(|m| m.t_max))
     }
 }
 
@@ -91,6 +99,7 @@ impl StoreWriter {
                 name: e.name,
                 mode: e.mode,
                 committed: e.segments,
+                pending_sealed: Vec::new(),
                 pending_t: Vec::new(),
                 pending_v: Vec::new(),
             })
@@ -137,6 +146,7 @@ impl StoreWriter {
                     name: name.to_string(),
                     mode: self.cfg.mode,
                     committed: Vec::new(),
+                    pending_sealed: Vec::new(),
                     pending_t: Vec::new(),
                     pending_v: Vec::new(),
                 });
@@ -153,6 +163,79 @@ impl StoreWriter {
         }
         s.pending_t.extend_from_slice(timestamps);
         s.pending_v.extend_from_slice(values);
+        Ok(())
+    }
+
+    /// Appends one **pre-compressed** segment to `name` (creating the series
+    /// on first sight): `frame` must be a self-contained container frame as
+    /// produced by the compressors' `to_bytes` — e.g. a chunk a live head
+    /// already compressed with the streaming writer — and `stamps` its
+    /// per-point timestamps. The frame is validated (it must open, its point
+    /// count must equal `stamps.len()`, and its flavor must match the
+    /// series mode) and then carried into the pack verbatim at
+    /// [`Self::finish`], skipping re-compression.
+    ///
+    /// Pre-compressed segments land *between* the committed segments and any
+    /// raw pending batch, so for a given series all calls to this method
+    /// must precede calls to [`Self::ingest`] within one writer — a sealed
+    /// chunk arriving after raw points would otherwise reorder the series.
+    pub fn append_compressed_segment(
+        &mut self,
+        name: &str,
+        frame: &[u8],
+        stamps: &[u64],
+    ) -> Result<(), StoreError> {
+        if name.is_empty() {
+            return Err(StoreError::EmptyName);
+        }
+        let view = ArchiveView::open(frame)?;
+        if view.len() != stamps.len() {
+            return Err(StoreError::LengthMismatch {
+                timestamps: stamps.len(),
+                values: view.len(),
+            });
+        }
+        if stamps.is_empty() {
+            return Err(StoreError::Corrupt("pre-compressed segment has no points"));
+        }
+        let slot = match self.series.iter().position(|s| s.name == name) {
+            Some(i) => {
+                if self.series[i].mode != self.cfg.mode {
+                    return Err(StoreError::ModeMismatch { series: name.to_string() });
+                }
+                i
+            }
+            None => {
+                self.series.push(WriterSeries {
+                    name: name.to_string(),
+                    mode: self.cfg.mode,
+                    committed: Vec::new(),
+                    pending_sealed: Vec::new(),
+                    pending_t: Vec::new(),
+                    pending_v: Vec::new(),
+                });
+                self.series.len() - 1
+            }
+        };
+        let flavor_ok = match self.cfg.mode {
+            StoreMode::Lossless => view.flavor() == ArchiveFlavor::Lossless,
+            StoreMode::Lossy { .. } => view.flavor() == ArchiveFlavor::Lossy,
+        };
+        if !flavor_ok {
+            return Err(StoreError::ModeMismatch { series: name.to_string() });
+        }
+        let s = &mut self.series[slot];
+        if !s.pending_t.is_empty() {
+            return Err(StoreError::Corrupt("pre-compressed segment after raw pending batch"));
+        }
+        let mut last = s.last_timestamp();
+        for (i, &t) in stamps.iter().enumerate() {
+            if last.map(|p| t <= p).unwrap_or(false) {
+                return Err(StoreError::TimestampOrder { series: name.to_string(), index: i });
+            }
+            last = Some(t);
+        }
+        s.pending_sealed.push((frame.to_vec(), stamps.to_vec()));
         Ok(())
     }
 
@@ -229,6 +312,36 @@ impl StoreWriter {
                 segments: s.committed.clone(),
             })
             .collect();
+        // Pre-compressed segments land first, between each series' committed
+        // segments and its freshly-compressed batch segments (the order
+        // `append_compressed_segment` promises).
+        for (si, s) in series.iter().enumerate() {
+            for (frame, stamps) in &s.pending_sealed {
+                let entry = &mut entries[si];
+                let first_index = entry.len();
+                let data_offset = base.len();
+                base.extend_from_slice(frame);
+                let base_t = stamps[0];
+                let rebased: Vec<u64> = stamps.iter().map(|&x| x - base_t).collect();
+                let mut w = WireWriter::new();
+                w.u64(base_t);
+                EliasFano::new(&rebased).write(&mut w);
+                let ts_blob = w.finish();
+                let ts_offset = base.len();
+                base.extend_from_slice(&ts_blob);
+                entry.segments.push(SegmentMeta {
+                    data_offset,
+                    data_len: frame.len(),
+                    ts_offset,
+                    ts_len: ts_blob.len(),
+                    ts_crc: crc64(&ts_blob),
+                    first_index,
+                    count: stamps.len(),
+                    t_min: stamps[0],
+                    t_max: *stamps.last().expect("non-empty sealed segment"),
+                });
+            }
+        }
         for (task, (frame, ts_blob)) in tasks.iter().zip(&blobs) {
             let entry = &mut entries[task.series];
             let first_index = entry.len();
@@ -305,6 +418,88 @@ mod tests {
         assert_eq!(segs.iter().map(|m| m.count()).collect::<Vec<_>>(), vec![100, 100, 50]);
         assert_eq!(segs[1].first_index(), 100);
         assert_eq!(segs[2].t_min(), 200);
+    }
+
+    #[test]
+    fn pre_compressed_segments_roundtrip() {
+        use crate::Store;
+
+        // Compress two chunks out-of-band (as a live head would)…
+        let v1: Vec<i64> = (0..100).map(|k| k * 3).collect();
+        let v2: Vec<i64> = (0..60).map(|k| 300 + k).collect();
+        let f1 = neats_core::NeaTS::compress(&TimeSeries::from_values(v1.clone())).to_bytes();
+        let f2 = neats_core::NeaTS::compress(&TimeSeries::from_values(v2.clone())).to_bytes();
+        let t1: Vec<u64> = (0..100).map(|i| 10 + i * 2).collect();
+        let t2: Vec<u64> = (0..60).map(|i| 1000 + i * 5).collect();
+
+        // …then hand them to the writer, followed by a raw tail batch.
+        let mut w = StoreWriter::new(StoreConfig::default());
+        w.append_compressed_segment("s", &f1, &t1).unwrap();
+        w.append_compressed_segment("s", &f2, &t2).unwrap();
+        w.ingest("s", &[2000, 2001], &[7, 8]).unwrap();
+        let store = Store::open(w.finish().unwrap()).unwrap();
+
+        let mut expect = v1;
+        expect.extend(&v2);
+        expect.extend([7, 8]);
+        assert_eq!(store.series("s").unwrap().len(), expect.len());
+        let mut got = Vec::new();
+        store.range("s", 0..expect.len(), &mut got).unwrap();
+        assert_eq!(got, expect);
+        assert_eq!(store.at_time("s", 1000).unwrap(), Some(300));
+        assert_eq!(store.timestamp("s", 161).unwrap(), 2001);
+    }
+
+    #[test]
+    fn pre_compressed_segment_validation() {
+        let values: Vec<i64> = (0..50).collect();
+        let frame = neats_core::NeaTS::compress(&TimeSeries::from_values(values)).to_bytes();
+        let stamps: Vec<u64> = (0..50).collect();
+
+        let mut w = StoreWriter::new(StoreConfig::default());
+        assert!(matches!(
+            w.append_compressed_segment("", &frame, &stamps),
+            Err(StoreError::EmptyName)
+        ));
+        // Count mismatch between frame and stamps.
+        assert!(matches!(
+            w.append_compressed_segment("s", &frame, &stamps[..49]),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        // Garbage frame bytes.
+        assert!(w.append_compressed_segment("s", &frame[..frame.len() - 1], &stamps).is_err());
+        // Non-increasing stamps.
+        let mut bad = stamps.clone();
+        bad[10] = bad[9];
+        assert!(matches!(
+            w.append_compressed_segment("s", &frame, &bad),
+            Err(StoreError::TimestampOrder { index: 10, .. })
+        ));
+        w.append_compressed_segment("s", &frame, &stamps).unwrap();
+        // The next segment must continue past the last stamp.
+        assert!(matches!(
+            w.append_compressed_segment("s", &frame, &stamps),
+            Err(StoreError::TimestampOrder { index: 0, .. })
+        ));
+        // A lossy frame cannot enter a lossless store.
+        let ts = TimeSeries::from_values((0..50).map(|k| k * k).collect::<Vec<i64>>());
+        let lossy = neats_core::NeaTS::builder().build_lossy(&ts, 16).to_bytes();
+        let next: Vec<u64> = (100..150).collect();
+        assert!(matches!(
+            w.append_compressed_segment("s", &lossy, &next),
+            Err(StoreError::ModeMismatch { .. })
+        ));
+        // Raw points pending ⇒ no more sealed segments for that series.
+        w.ingest("s", &[100], &[1]).unwrap();
+        assert!(matches!(
+            w.append_compressed_segment("s", &frame, &[200]),
+            Err(StoreError::LengthMismatch { .. })
+        ));
+        let next: Vec<u64> = (200..250).collect();
+        assert!(matches!(
+            w.append_compressed_segment("s", &frame, &next),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]

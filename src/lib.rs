@@ -14,10 +14,15 @@
 //!   ingestion, a checksummed catalog, concurrent zero-copy serving with a
 //!   sharded segment-view cache, and `compact()` — the recommended way to
 //!   serve many series from one file.
+//! * [`ingest`] — the live write path: a crash-safe per-series write-ahead
+//!   log, in-memory mutable heads fed by the SNeaTS streaming compressor,
+//!   background sealing into pack segments, and generation-swapped reads so
+//!   queries never block on writers.
 //! * [`serve`] — the network frontend: a multi-threaded HTTP/1.1 query
-//!   server over a [`store`] pack, with keep-alive, batched queries,
-//!   graceful shutdown, and `/stats` latency histograms (protocol spec in
-//!   `docs/PROTOCOL.md`, system picture in `ARCHITECTURE.md`).
+//!   server over a [`store`] pack or a live [`ingest`] directory, with
+//!   keep-alive, batched queries, a write endpoint, graceful shutdown, and
+//!   `/stats` latency histograms (protocol spec in `docs/PROTOCOL.md`,
+//!   system picture in `ARCHITECTURE.md`).
 //! * [`succinct`] — bitvectors with rank/select, Elias-Fano sequences, packed
 //!   integer vectors and a wavelet tree; the substrate the layout is built on.
 //! * [`timeseries`] — the `TimeSeries` type, compressor traits, and the 16
@@ -50,6 +55,7 @@
 pub use lossless_baselines as lossless;
 pub use lossy_baselines as lossy;
 pub use neats_core as core;
+pub use neats_ingest as ingest;
 pub use neats_serve as serve;
 pub use neats_store as store;
 pub use succinct;
