@@ -12,11 +12,19 @@
 //! reported, so the throughput figures can never describe a server that
 //! answers wrongly.
 //!
+//! A second sweep measures overload behaviour: connection-per-request
+//! clients at 1× and 4× the worker count, with admission control (the
+//! worker-queue shed watermark) on and off. It asserts the robustness
+//! contract — under 4× saturation with shedding on, requests are shed with
+//! 503s while the p99 of *admitted* requests stays within
+//! `NEATS_BENCH_OVERLOAD_FACTOR` (default 50) of the unsaturated p99.
+//!
 //! Run with `cargo run --release -p bench --bin serve_baseline`; scale with
 //! `NEATS_BENCH_N` (points per series) / `NEATS_BENCH_SERIES` /
 //! `NEATS_BENCH_QUERIES` (queries per cell) / `NEATS_BENCH_CLIENTS`, sweep
 //! with `NEATS_BENCH_SERVE_THREADS` / `NEATS_BENCH_BATCH`
-//! (comma-separated), and redirect with `NEATS_BENCH_OUT`.
+//! (comma-separated), size the overload window with
+//! `NEATS_BENCH_OVERLOAD_MS`, and redirect with `NEATS_BENCH_OUT`.
 
 use bench::json::Json;
 use bench::{env_usize, env_usize_list, query_indices};
@@ -128,9 +136,151 @@ fn main() {
         }
     }
 
+    // --- Overload sweep: offered load × shedding on/off.
+    //
+    // Connection-per-request clients (a keep-alive client would be owned by
+    // one worker forever and never experience admission) hammer the server
+    // for a fixed wall-clock window at 1× and 4× the worker count. With
+    // shedding ON the worker queue is capped at a small watermark, so
+    // admitted requests never sit behind a deep backlog; with shedding OFF
+    // the caps are effectively infinite and saturation shows up as queueing
+    // delay in the admitted tail. Shed responses (503 or a reset under
+    // pressure) are counted, not timed.
+    let overload_ms = env_usize("NEATS_BENCH_OVERLOAD_MS", 1000);
+    let overload_factor = env_usize("NEATS_BENCH_OVERLOAD_FACTOR", 50);
+    let ov_threads = thread_sweep.last().copied().unwrap_or(2).max(1);
+    struct OverloadCell {
+        load_x: usize,
+        shedding: bool,
+        ok: u64,
+        shed: u64,
+        errors: u64,
+        p50_us: f64,
+        p99_us: f64,
+    }
+    let mut ov_cells: Vec<OverloadCell> = Vec::new();
+    for &load_x in &[1usize, 4] {
+        for &shedding in &[true, false] {
+            let store = Arc::new(Store::open(pack.clone()).expect("open server store"));
+            let cfg = ServeConfig {
+                threads: ov_threads,
+                queue_watermark: if shedding { 2 } else { 1 << 20 },
+                max_connections: if shedding { 0 } else { 1 << 20 },
+                ..ServeConfig::default()
+            };
+            let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).expect("bind");
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let running = std::thread::spawn(move || server.run());
+
+            let latency = AtomicHistogram::new();
+            let ok = std::sync::atomic::AtomicU64::new(0);
+            let shed = std::sync::atomic::AtomicU64::new(0);
+            let errors = std::sync::atomic::AtomicU64::new(0);
+            let deadline = Instant::now() + std::time::Duration::from_millis(overload_ms as u64);
+            std::thread::scope(|s| {
+                for c in 0..ov_threads * load_x {
+                    let (latency, ok, shed, errors) = (&latency, &ok, &shed, &errors);
+                    let (names, pidx) = (&names, &pidx);
+                    s.spawn(move || {
+                        let mut q = c;
+                        while Instant::now() < deadline {
+                            let k = pidx[q % pidx.len()];
+                            let target = format!("/q/{}?idx={k}", names[q % names.len()]);
+                            q = q.wrapping_add(1);
+                            let t0 = Instant::now();
+                            match oneshot_get(addr, &target) {
+                                Some(200) => {
+                                    latency.record(t0.elapsed().as_nanos() as u64);
+                                    ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                Some(503) => {
+                                    shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                                _ => {
+                                    errors.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            handle.shutdown();
+            running.join().expect("server thread").expect("server run");
+
+            let snap = latency.snapshot();
+            let cell = OverloadCell {
+                load_x,
+                shedding,
+                ok: ok.into_inner(),
+                shed: shed.into_inner(),
+                errors: errors.into_inner(),
+                p50_us: snap.quantile(0.5) as f64 / 1e3,
+                p99_us: snap.quantile(0.99) as f64 / 1e3,
+            };
+            println!(
+                "overload {}× load, shedding {:>3}: {:>7} ok, {:>6} shed, {:>4} errors, \
+                 admitted p50 {:>7.1} µs, p99 {:>8.1} µs",
+                cell.load_x,
+                if shedding { "on" } else { "off" },
+                cell.ok,
+                cell.shed,
+                cell.errors,
+                cell.p50_us,
+                cell.p99_us,
+            );
+            ov_cells.push(cell);
+        }
+    }
+
+    // The robustness acceptance gate: under 4× saturation with shedding on,
+    // the p99 of *admitted* requests must stay within a (generous, CI-noise
+    // tolerant) factor of the unsaturated p99 — overload is absorbed by
+    // shedding, not by the latency of the requests the server accepted. A
+    // 500 µs floor keeps the ratio meaningful when the baseline is microseconds.
+    let p99_base = ov_cells
+        .iter()
+        .find(|c| c.load_x == 1 && c.shedding)
+        .map(|c| c.p99_us)
+        .unwrap_or(0.0);
+    let hot = ov_cells.iter().find(|c| c.load_x == 4 && c.shedding).expect("4x cell");
+    assert!(hot.shed > 0, "4× saturation with shedding on must shed ({} ok)", hot.ok);
+    assert!(hot.ok > 0, "shedding must not starve admission entirely");
+    let bound = overload_factor as f64 * p99_base.max(500.0);
+    assert!(
+        hot.p99_us <= bound,
+        "admitted p99 under 4× saturation regressed: {:.1} µs > {bound:.1} µs \
+         (baseline {p99_base:.1} µs × factor {overload_factor})",
+        hot.p99_us,
+    );
+
+    let overload_json = Json::obj(vec![
+        ("threads", Json::Int(ov_threads as i64)),
+        ("duration_ms", Json::Int(overload_ms as i64)),
+        (
+            "cells",
+            Json::Arr(
+                ov_cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("load_x", Json::Int(c.load_x as i64)),
+                            ("shedding", Json::Bool(c.shedding)),
+                            ("ok", Json::Int(c.ok as i64)),
+                            ("shed", Json::Int(c.shed as i64)),
+                            ("errors", Json::Int(c.errors as i64)),
+                            ("p50_us", Json::Num(c.p50_us)),
+                            ("p99_us", Json::Num(c.p99_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
     let artifact = Json::obj(vec![
         ("bench", Json::Str("serve".into())),
-        ("schema", Json::Int(1)),
+        ("schema", Json::Int(2)),
         ("n_per_series", Json::Int(n as i64)),
         ("series", Json::Int(series_count as i64)),
         ("queries_per_cell", Json::Int(queries as i64)),
@@ -138,6 +288,7 @@ fn main() {
         ("host_cores", Json::Int(cores as i64)),
         ("pack_bytes", Json::Int(pack.len() as i64)),
         ("cells", Json::Arr(cells)),
+        ("overload", overload_json),
     ]);
     std::fs::write(&out_path, artifact.render()).expect("write serve artifact");
     println!("\nwrote {out_path}");
@@ -187,6 +338,21 @@ fn client_loop(
         latency.record(t0.elapsed().as_nanos() as u64);
         assert_eq!(got, expect, "server answer diverged from the store oracle");
     }
+}
+
+/// One connection-per-request `GET` for the overload sweep: returns the
+/// status code, or `None` when the connection failed or was reset (an
+/// acceptable outcome under deliberate overload — it is counted, not timed).
+fn oneshot_get(addr: SocketAddr, target: &str) -> Option<u16> {
+    let mut s = TcpStream::connect(addr).ok()?;
+    s.set_nodelay(true).ok();
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30))).ok()?;
+    s.write_all(format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes())
+        .ok()?;
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).ok()?;
+    let text = String::from_utf8_lossy(&buf);
+    text.split(' ').nth(1)?.parse().ok()
 }
 
 /// Reads one HTTP response (status must be 200) and returns its body.

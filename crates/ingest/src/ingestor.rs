@@ -58,12 +58,42 @@ impl Default for IngestConfig {
 pub struct BackgroundConfig {
     /// How often the worker checks the seal and compaction thresholds.
     pub interval: Duration,
+    /// First retry delay after the ingestor enters degraded mode (the
+    /// schedule doubles per failed retry, with jitter).
+    pub retry_base: Duration,
+    /// Cap on the degraded-mode retry delay.
+    pub retry_cap: Duration,
 }
 
 impl Default for BackgroundConfig {
     fn default() -> Self {
-        Self { interval: Duration::from_millis(200) }
+        Self {
+            interval: Duration::from_millis(200),
+            retry_base: Duration::from_millis(100),
+            retry_cap: Duration::from_secs(5),
+        }
     }
+}
+
+/// What tripped degraded mode — each kind has its own recovery action in
+/// [`Ingestor::try_recover`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultKind {
+    /// A WAL append failed: the file may carry a torn tail past the last
+    /// acknowledged record. Recovery truncates it ([`Wal::repair`]) —
+    /// which needs no free space, so it works under `ENOSPC` too.
+    WalAppend,
+    /// A seal (or flush) failed partway: the old generation is still the
+    /// committed truth. Recovery retries the seal; its stepwise file
+    /// writes recreate any strays from the failed attempt.
+    Seal,
+}
+
+/// The typed read-only state: why writes are rejected, and what the
+/// background worker should retry.
+struct DegradedState {
+    kind: FaultKind,
+    reason: String,
 }
 
 /// One sealed generation: the epoch and its immutable pack view.
@@ -109,13 +139,15 @@ fn lockw<'a, T>(l: &'a RwLock<T>) -> RwLockWriteGuard<'a, T> {
     l.write().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Writes `bytes` to `path` and syncs the file and its directory.
+/// Writes `bytes` to `path` and syncs the file and its directory. The
+/// directory sync must succeed for the write to count as durable — a new
+/// file whose directory entry never reaches disk vanishes on power loss.
 fn write_file_durable(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let mut f = fs::File::create(path)?;
     f.write_all(bytes)?;
     f.sync_all()?;
     if let Some(dir) = path.parent() {
-        let _ = fs::File::open(dir).and_then(|d| d.sync_all());
+        manifest::sync_dir(dir)?;
     }
     Ok(())
 }
@@ -154,6 +186,11 @@ pub struct Ingestor {
     writer: Mutex<WriterState>,
     shared: RwLock<Shared>,
     background_errors: AtomicU64,
+    /// `Some` while in read-only degraded mode (entered on WAL-append or
+    /// seal I/O failures, cleared by a successful recovery). The flag
+    /// mirrors `is_some()` so the append fast path never takes the lock.
+    degraded: Mutex<Option<DegradedState>>,
+    degraded_flag: AtomicBool,
 }
 
 impl Ingestor {
@@ -268,6 +305,8 @@ impl Ingestor {
                 tombstones,
             }),
             background_errors: AtomicU64::new(0),
+            degraded: Mutex::new(None),
+            degraded_flag: AtomicBool::new(false),
             cfg,
         };
         // Recovered heads may hold whole chunks' worth of raw points.
@@ -317,6 +356,11 @@ impl Ingestor {
         if stamps.is_empty() {
             return Ok(());
         }
+        // Fast-fail before any validation work; the authoritative check
+        // happens again under the writer lock below.
+        if self.degraded_flag.load(Ordering::SeqCst) {
+            return Err(self.degraded_error());
+        }
         for (i, w) in stamps.windows(2).enumerate() {
             if w[1] <= w[0] {
                 return Err(StoreError::TimestampOrder {
@@ -327,6 +371,12 @@ impl Ingestor {
         }
 
         let mut w = lockm(&self.writer);
+        // Degraded mode is entered and cleared under this lock, so this
+        // check is the authoritative one: while the mode holds, nothing
+        // touches the WAL and acknowledged data cannot be disturbed.
+        if self.degraded_flag.load(Ordering::SeqCst) {
+            return Err(self.degraded_error());
+        }
         // Resolve the ordering floor (and reject lossy sealed series)
         // before logging anything.
         let (existing, fi, floor) = {
@@ -356,11 +406,18 @@ impl Ingestor {
             }
         }
 
-        w.wal.append(&WalOp::Append {
+        // The WAL append precedes every head mutation, so a failure here
+        // leaves the in-memory state exactly equal to the acknowledged
+        // state: flip to degraded (read-only) and reject the batch. The
+        // file may carry a torn tail; `try_recover` truncates it.
+        if let Err(e) = w.wal.append(&WalOp::Append {
             series: series.to_string(),
             stamps: stamps.to_vec(),
             values: values.to_vec(),
-        })?;
+        }) {
+            self.enter_degraded(FaultKind::WalAppend, &e);
+            return Err(self.degraded_error());
+        }
 
         let arc = match existing {
             Some(h) => {
@@ -394,7 +451,13 @@ impl Ingestor {
         if !known {
             return Err(StoreError::UnknownSeries(series.to_string()));
         }
-        w.wal.append(&WalOp::Delete { series: series.to_string() })?;
+        if self.degraded_flag.load(Ordering::SeqCst) {
+            return Err(self.degraded_error());
+        }
+        if let Err(e) = w.wal.append(&WalOp::Delete { series: series.to_string() }) {
+            self.enter_degraded(FaultKind::WalAppend, &e);
+            return Err(self.degraded_error());
+        }
         let mut s = lockw(&self.shared);
         s.heads.retain(|(n, _)| n != series);
         if s.gen.store.series(series).is_some() {
@@ -430,6 +493,7 @@ impl Ingestor {
     pub fn seal(&self) -> Result<u64, StoreError> {
         let mut w = lockm(&self.writer);
         self.seal_locked(&mut w)
+            .inspect_err(|e| self.enter_degraded(FaultKind::Seal, e))
     }
 
     /// Force-compresses every raw tail into a (possibly short) chunk, then
@@ -451,6 +515,7 @@ impl Ingestor {
             }
         }
         self.seal_locked(&mut w)
+            .inspect_err(|e| self.enter_degraded(FaultKind::Seal, e))
     }
 
     fn seal_locked(&self, w: &mut MutexGuard<'_, WriterState>) -> Result<u64, StoreError> {
@@ -484,6 +549,9 @@ impl Ingestor {
         let new_epoch = epoch + 1;
         let pack_file = manifest::pack_name(new_epoch);
         let wal_file = manifest::wal_name(new_epoch);
+        if neats_core::failpoint::triggered("seal.pack") {
+            return Err(neats_core::failpoint::io_error("seal.pack").into());
+        }
         write_file_durable(&self.dir.join(&pack_file), &pack)?;
 
         // The rotated WAL carries exactly the unsealed raw tails.
@@ -522,6 +590,10 @@ impl Ingestor {
         w.wal = new_wal;
         let _ = fs::remove_file(self.dir.join(old_pack));
         let _ = fs::remove_file(self.dir.join(old_wal));
+        // A committed seal is a full recovery whatever tripped degraded
+        // mode: the WAL was rotated fresh (no torn tail can survive) and
+        // every pending chunk and tombstone is now in the pack.
+        self.clear_degraded();
         Ok(new_epoch)
     }
 
@@ -913,6 +985,76 @@ impl Ingestor {
         self.background_errors.load(Ordering::Relaxed)
     }
 
+    /// Segments of the current sealed generation that failed validation
+    /// and are quarantined (see [`StoreError::Quarantined`]).
+    pub fn quarantined_count(&self) -> usize {
+        lockr(&self.shared).gen.store.quarantined_count()
+    }
+
+    // ------------------------------------------------------------------
+    // Degraded mode
+    // ------------------------------------------------------------------
+
+    fn enter_degraded(&self, kind: FaultKind, e: &StoreError) {
+        let mut g = lockm(&self.degraded);
+        *g = Some(DegradedState { kind, reason: e.to_string() });
+        self.degraded_flag.store(true, Ordering::SeqCst);
+    }
+
+    fn clear_degraded(&self) {
+        *lockm(&self.degraded) = None;
+        self.degraded_flag.store(false, Ordering::SeqCst);
+    }
+
+    fn degraded_error(&self) -> StoreError {
+        StoreError::Degraded {
+            reason: lockm(&self.degraded)
+                .as_ref()
+                .map_or_else(|| "i/o fault".to_string(), |s| s.reason.clone()),
+        }
+    }
+
+    /// Whether the ingestor is in read-only degraded mode: an I/O fault
+    /// (WAL append or seal) was hit, reads keep serving, and
+    /// [`Self::append`] / [`Self::delete`] fail with
+    /// [`StoreError::Degraded`] until a recovery succeeds.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_flag.load(Ordering::SeqCst)
+    }
+
+    /// The fault description while degraded, `None` when healthy.
+    pub fn degraded_reason(&self) -> Option<String> {
+        lockm(&self.degraded).as_ref().map(|s| s.reason.clone())
+    }
+
+    /// Attempts to leave degraded mode with the recovery action matching
+    /// the recorded fault: truncate the WAL's torn tail after a failed
+    /// append, or retry the seal after a failed one. Returns `Ok(true)` on
+    /// recovery (or when already healthy); on `Err` the ingestor stays
+    /// degraded for the next retry. The background worker calls this on a
+    /// capped exponential backoff; it is also safe to call directly.
+    pub fn try_recover(&self) -> Result<bool, StoreError> {
+        let kind = match *lockm(&self.degraded) {
+            Some(ref s) => s.kind,
+            None => return Ok(true),
+        };
+        match kind {
+            FaultKind::WalAppend => {
+                let mut w = lockm(&self.writer);
+                w.wal.repair()?;
+                self.clear_degraded();
+                Ok(true)
+            }
+            FaultKind::Seal => {
+                // `seal` re-enters degraded (refreshing the reason) when
+                // the retry fails, and clears it at the commit point.
+                self.seal()?;
+                self.clear_degraded();
+                Ok(true)
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Background worker
     // ------------------------------------------------------------------
@@ -920,12 +1062,18 @@ impl Ingestor {
     /// Starts a background thread that periodically seals (once chunked
     /// head points reach `cfg.seal_points`, or a delete is pending) and
     /// compacts (once dead bytes exceed `cfg.compact_dead_ratio` of the
-    /// pack). The worker stops when the returned handle drops.
+    /// pack). While the ingestor is degraded, the worker instead retries
+    /// [`Self::try_recover`] on a capped exponential backoff with jitter
+    /// (`cfg.retry_base` / `cfg.retry_cap`) — it never dies on an I/O
+    /// error, and degraded mode clears automatically once a retry
+    /// succeeds. The worker stops when the returned handle drops.
     pub fn start_background(self: &Arc<Self>, cfg: BackgroundConfig) -> BackgroundHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let me = Arc::clone(self);
         let flag = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
+            let mut backoff = neats_core::Backoff::new(cfg.retry_base, cfg.retry_cap);
+            let mut next_retry = Instant::now();
             while !flag.load(Ordering::Relaxed) {
                 // Sleep in small quanta so handle drop is prompt.
                 let woke = Instant::now();
@@ -935,6 +1083,21 @@ impl Ingestor {
                     }
                     std::thread::sleep(Duration::from_millis(10).min(cfg.interval));
                 }
+                if me.is_degraded() {
+                    // Degraded: don't hammer a failing disk — retry
+                    // recovery on the backoff schedule only.
+                    if Instant::now() >= next_retry {
+                        match me.try_recover() {
+                            Ok(_) => backoff.reset(),
+                            Err(_) => {
+                                me.background_errors.fetch_add(1, Ordering::Relaxed);
+                                next_retry = Instant::now() + backoff.next_delay();
+                            }
+                        }
+                    }
+                    continue;
+                }
+                backoff.reset();
                 let (chunked, pending_delete, dead_ratio) = {
                     let s = lockr(&me.shared);
                     let chunked: usize =
@@ -948,6 +1111,9 @@ impl Ingestor {
                 };
                 if (chunked >= me.cfg.seal_points || pending_delete) && me.seal().is_err() {
                     me.background_errors.fetch_add(1, Ordering::Relaxed);
+                    // The failed seal tripped degraded mode; schedule the
+                    // first recovery retry without delay.
+                    next_retry = Instant::now();
                 }
                 if dead_ratio > me.cfg.compact_dead_ratio && me.compact().is_err() {
                     me.background_errors.fetch_add(1, Ordering::Relaxed);
@@ -1149,7 +1315,7 @@ mod tests {
         };
         let ing = Arc::new(Ingestor::open(&dir, cfg).unwrap());
         let handle =
-            ing.start_background(BackgroundConfig { interval: Duration::from_millis(20) });
+            ing.start_background(BackgroundConfig { interval: Duration::from_millis(20), ..Default::default() });
         let stamps: Vec<u64> = (0..256).collect();
         let values: Vec<i64> = (0..256).map(|k: i64| k * 7 % 97).collect();
         ing.append("s", &stamps, &values).unwrap();

@@ -55,13 +55,19 @@ pub fn wal_name(epoch: u64) -> String {
 
 /// Best-effort `fsync` of a directory so a rename or create is durable.
 pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
-    // Directory fsync is a POSIX-ism; opening may fail on exotic
-    // filesystems, in which case the rename is still ordered by the
-    // file-level syncs around it.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    if neats_core::failpoint::triggered("dir.sync") {
+        return Err(neats_core::failpoint::io_error("dir.sync"));
     }
-    Ok(())
+    // Directory fsync is a POSIX-ism; *opening* may fail on exotic
+    // filesystems, in which case the rename is still ordered by the
+    // file-level syncs around it. A failed `sync_all` on an opened
+    // directory handle is a real durability fault though — a rename that
+    // never reaches the directory block can roll back on power loss — so
+    // it must propagate to the caller instead of being swallowed.
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
 }
 
 impl Manifest {
@@ -112,6 +118,9 @@ impl Manifest {
     /// Atomically installs this manifest in `dir` (tmp + fsync + rename +
     /// directory fsync). On return the new generation is committed.
     pub fn write_to(&self, dir: &Path) -> Result<(), StoreError> {
+        if neats_core::failpoint::triggered("manifest.commit") {
+            return Err(neats_core::failpoint::io_error("manifest.commit").into());
+        }
         let tmp = dir.join(MANIFEST_TMP);
         {
             let mut f = File::create(&tmp)?;
@@ -119,6 +128,9 @@ impl Manifest {
             f.sync_all()?;
         }
         fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        // The rename is the commit point, but it is only durable once the
+        // directory block carrying it is on disk — a swallowed error here
+        // would ack a generation that can vanish on power loss.
         sync_dir(dir)?;
         Ok(())
     }

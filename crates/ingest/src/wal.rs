@@ -216,6 +216,9 @@ impl Wal {
     /// Creates (truncating) a fresh WAL at `path`: header written and
     /// synced, along with the containing directory.
     pub fn create(path: impl Into<PathBuf>, policy: FsyncPolicy) -> Result<Self, StoreError> {
+        if neats_core::failpoint::triggered("wal.create") {
+            return Err(neats_core::failpoint::io_error("wal.create").into());
+        }
         let path = path.into();
         let mut file =
             OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
@@ -255,6 +258,9 @@ impl Wal {
     /// Appends one record, then syncs according to the policy. On success
     /// the operation is in the OS (and, under `Always`, on disk).
     pub fn append(&mut self, op: &WalOp) -> Result<(), StoreError> {
+        if neats_core::failpoint::triggered("wal.append") {
+            return Err(neats_core::failpoint::io_error("wal.append").into());
+        }
         let rec = encode_record(op);
         self.file.write_all(&rec)?;
         self.len += rec.len() as u64;
@@ -273,6 +279,26 @@ impl Wal {
 
     /// Forces everything appended so far to disk.
     pub fn sync(&mut self) -> Result<(), StoreError> {
+        if neats_core::failpoint::triggered("wal.sync") {
+            return Err(neats_core::failpoint::io_error("wal.sync").into());
+        }
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Repairs the file after a failed [`Self::append`]: truncates any
+    /// partially written tail back to the last acknowledged record and
+    /// re-syncs. `self.len` only advances after a fully successful write,
+    /// so truncating to it is always safe — and because truncation needs
+    /// no free space, this works even when the failure was `ENOSPC`.
+    pub fn repair(&mut self) -> Result<(), StoreError> {
+        if neats_core::failpoint::triggered("wal.repair") {
+            return Err(neats_core::failpoint::io_error("wal.repair").into());
+        }
+        self.file.set_len(self.len)?;
+        use std::io::Seek;
+        self.file.seek(std::io::SeekFrom::Start(self.len))?;
         self.file.sync_all()?;
         self.unsynced = 0;
         Ok(())

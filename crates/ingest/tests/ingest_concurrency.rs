@@ -246,7 +246,7 @@ fn background_sealer_during_reads() {
     };
     let plans = &plans()[..2];
     let ing = Arc::new(Ingestor::open(&dir, cfg).unwrap());
-    let handle = ing.start_background(BackgroundConfig { interval: Duration::from_millis(5) });
+    let handle = ing.start_background(BackgroundConfig { interval: Duration::from_millis(5), ..Default::default() });
 
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {

@@ -38,6 +38,8 @@
 
 #![warn(missing_docs)]
 pub mod aggregate;
+pub mod backoff;
+pub mod failpoint;
 pub mod fit;
 pub mod histogram;
 pub mod layout;
@@ -51,6 +53,8 @@ pub mod variants;
 pub mod view;
 
 pub use aggregate::Estimate;
+pub use backoff::Backoff;
+pub use failpoint::FailpointFile;
 pub use fit::{Fragment, Kind, Params};
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use layout::{NeaTSCompressed, RankMode};

@@ -18,6 +18,9 @@ use std::time::Instant;
 pub fn handle(src: &Source, stats: &ServerStats, threads: usize, req: &Request) -> Response {
     let t0 = Instant::now();
     let (endpoint, resp) = route(src, stats, threads, req);
+    if resp.status == 503 {
+        stats.degraded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
     match endpoint {
         Some(e) => stats.record(e, resp.status, t0.elapsed().as_nanos() as u64),
         None => {
@@ -113,6 +116,12 @@ fn write_batch(src: &Source, body: &[u8]) -> Response {
     let Some(ing) = src.live() else {
         return Response::error(405, "read-only pack (serve an ingest directory to write)");
     };
+    // A degraded ingestor keeps serving reads but rejects writes up front —
+    // better one cheap 503 than a half-processed batch hitting the same
+    // fault mid-way.
+    if let Some(reason) = ing.degraded_reason() {
+        return Response::error(503, &format!("ingest degraded (read-only): {reason}"));
+    }
     let Ok(text) = std::str::from_utf8(body) else {
         return Response::error(400, "write body is not UTF-8");
     };
@@ -267,6 +276,10 @@ fn store_err(e: StoreError) -> (u16, String) {
         StoreError::OutOfRange { .. } | StoreError::BadRange { .. } => 400,
         // A corrupt segment surfacing at query time is a server-side fault.
         StoreError::Corrupt(_) | StoreError::Wire(_) => 500,
+        StoreError::Io(_) => 500,
+        // Temporary server-side conditions: retry later (503 responses
+        // carry `Retry-After` automatically).
+        StoreError::Degraded { .. } | StoreError::Quarantined { .. } => 503,
         _ => 400,
     };
     (status, e.to_string())
@@ -312,14 +325,16 @@ fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
     if let Some(ing) = src.live() {
         out.push_str(&format!(
             "  \"ingest\": {{\"epoch\": {}, \"head_points\": {}, \"wal_bytes\": {}, \
-             \"dead_bytes\": {}, \"background_errors\": {}}},\n",
+             \"dead_bytes\": {}, \"background_errors\": {}, \"degraded\": {}}},\n",
             ing.epoch(),
             ing.head_points(),
             ing.wal_len(),
             ing.dead_bytes(),
             ing.background_errors(),
+            ing.is_degraded(),
         ));
     }
+    out.push_str(&format!("  \"quarantined\": {},\n", src.quarantined_count()));
     out.push_str(&format!(
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
         cache.hits,
@@ -329,12 +344,16 @@ fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
     ));
     out.push_str(&format!(
         "  \"connections\": {{\"accepted\": {}, \"active\": {}, \"protocol_errors\": {}, \
-         \"unrouted\": {}, \"panics\": {}}},\n",
+         \"unrouted\": {}, \"panics\": {}, \"shed\": {}, \"timeouts\": {}, \
+         \"degraded\": {}}},\n",
         stats.accepted.load(Relaxed),
         stats.active.load(Relaxed),
         stats.protocol_errors.load(Relaxed),
         stats.unrouted.load(Relaxed),
         stats.panics.load(Relaxed),
+        stats.shed.load(Relaxed),
+        stats.timeouts.load(Relaxed),
+        stats.degraded.load(Relaxed),
     ));
     out.push_str("  \"endpoints\": {");
     for (i, e) in Endpoint::ALL.iter().enumerate() {

@@ -26,6 +26,11 @@ pub struct Limits {
     /// stalls longer (e.g. a truncated body) is answered 408 and the
     /// connection closed.
     pub request_timeout: std::time::Duration,
+    /// Maximum time a keep-alive connection may sit idle *between*
+    /// requests before it is answered 408 and closed — without this, a
+    /// slowloris-style client could pin a worker forever by simply never
+    /// sending its next request.
+    pub idle_timeout: std::time::Duration,
 }
 
 /// The request methods the server routes.
@@ -143,7 +148,9 @@ impl Conn {
         limits: &Limits,
         should_abort: &dyn Fn() -> bool,
     ) -> Result<Option<usize>, HttpError> {
-        let mut started_at: Option<Instant> = if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let mut started_at: Option<Instant> =
+            if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let idle_since = Instant::now();
         loop {
             if let Some(end) = find_head_end(&self.buf) {
                 // The limit applies even when the oversized head arrived in
@@ -187,9 +194,13 @@ impl Conn {
                     if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
                 {
                     match started_at {
-                        // Idle between requests: wait indefinitely, but let
-                        // a shutting-down server close the connection.
+                        // Idle between requests: wait up to the idle
+                        // deadline, and let a shutting-down server close
+                        // the connection immediately.
                         None if should_abort() => return Ok(None),
+                        None if idle_since.elapsed() > limits.idle_timeout => {
+                            return Err(HttpError::new(408, "idle connection timed out"));
+                        }
                         None => {}
                         Some(t0) if t0.elapsed() > limits.request_timeout => {
                             return Err(HttpError::new(408, "request head timed out"));
@@ -395,26 +406,43 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Seconds for a `Retry-After` header (emitted when `Some`); set on
+    /// every 503 so shed/degraded clients know to back off briefly.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
     /// A 200 with a plain-text body.
     pub fn text(body: Vec<u8>) -> Self {
-        Self { status: 200, content_type: "text/plain; charset=utf-8", body }
+        Self { status: 200, content_type: "text/plain; charset=utf-8", body, retry_after: None }
     }
 
     /// A 200 with a JSON body.
     pub fn json(body: String) -> Self {
-        Self { status: 200, content_type: "application/json", body: body.into_bytes() }
+        Self {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
     }
 
-    /// An error response with a one-line plain-text body.
+    /// An error response with a one-line plain-text body. A 503 (the
+    /// overload/degraded status) always carries `Retry-After: 1` — every
+    /// path that sheds or rejects tells the client when to come back.
     pub fn error(status: u16, reason: &str) -> Self {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
             body: format!("{reason}\n").into_bytes(),
+            retry_after: (status == 503).then_some(1),
         }
+    }
+
+    /// Overrides the `Retry-After` seconds.
+    pub fn with_retry_after(mut self, secs: u32) -> Self {
+        self.retry_after = Some(secs);
+        self
     }
 }
 
@@ -430,6 +458,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -441,12 +470,17 @@ pub fn write_response(
     resp: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let retry_after = match resp.retry_after {
+        Some(secs) => format!("Retry-After: {secs}\r\n"),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         resp.status,
         reason_phrase(resp.status),
         resp.content_type,
         resp.body.len(),
+        retry_after,
         if keep_alive { "keep-alive" } else { "close" },
     );
     // Two writes instead of concatenating — a large range body would

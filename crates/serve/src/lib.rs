@@ -91,6 +91,8 @@ mod source;
 mod stats;
 
 pub use http::{Limits, Method, Request, Response};
-pub use server::{ServeConfig, Server, ServerHandle, THREADS_ENV};
+pub use server::{
+    ServeConfig, Server, ServerHandle, MAX_CONNS_ENV, SHED_WATERMARK_ENV, THREADS_ENV,
+};
 pub use source::Source;
 pub use stats::{Endpoint, EndpointStats, ServerStats};

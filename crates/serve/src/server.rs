@@ -29,14 +29,19 @@ use crate::source::Source;
 use crate::stats::ServerStats;
 use crate::{handler, http};
 use neats_core::parallel::{effective_threads_env, Queue};
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Environment variable naming the default worker-thread count.
 pub const THREADS_ENV: &str = "NEATS_SERVE_THREADS";
+/// Environment variable naming the default connection cap.
+pub const MAX_CONNS_ENV: &str = "NEATS_SERVE_MAX_CONNS";
+/// Environment variable naming the default worker-queue shed watermark.
+pub const SHED_WATERMARK_ENV: &str = "NEATS_SERVE_SHED_WATERMARK";
 
 /// Server tuning knobs. `Default` matches the documented configuration
 /// table in the README.
@@ -53,6 +58,18 @@ pub struct ServeConfig {
     /// Poll tick at which blocked reads re-check the shutdown flag; bounds
     /// how long shutdown waits for idle keep-alive connections.
     pub poll_interval: Duration,
+    /// Maximum time a keep-alive connection may sit idle between requests
+    /// before it is closed with a 408.
+    pub idle_timeout: Duration,
+    /// Maximum connections held open at once (`0` = automatic:
+    /// [`MAX_CONNS_ENV`], else 1024). Connections beyond the cap are shed
+    /// at accept time with a canned `503 + Retry-After`.
+    pub max_connections: usize,
+    /// Worker-queue depth above which new connections are shed (`0` =
+    /// automatic: [`SHED_WATERMARK_ENV`], else `4 × threads`, capped at
+    /// 64). A deep queue means every worker is busy and new arrivals would
+    /// only wait — shedding keeps latency flat for admitted requests.
+    pub queue_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -63,12 +80,35 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             request_timeout: Duration::from_secs(5),
             poll_interval: Duration::from_millis(50),
+            idle_timeout: Duration::from_secs(60),
+            max_connections: 0,
+            queue_watermark: 0,
         }
     }
 }
 
+/// `0` means automatic: the environment variable, else `fallback`.
+fn resolve_knob(configured: usize, env: &str, fallback: usize) -> usize {
+    if configured != 0 {
+        return configured;
+    }
+    std::env::var(env)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n != 0)
+        .unwrap_or(fallback)
+}
+
 struct Shared {
     shutdown: AtomicBool,
+    /// Set by the accept loop on exit; [`ServerHandle::shutdown`] retries
+    /// its wake-up connect until this flips (a single connect can race the
+    /// loop and be missed).
+    accept_exited: AtomicBool,
+    /// Connections currently owned by the server (queued or being served).
+    open_conns: AtomicU64,
+    /// Connections accepted but not yet popped by a worker.
+    queued: AtomicU64,
     stats: ServerStats,
 }
 
@@ -97,11 +137,12 @@ impl ServerHandle {
     /// return. Idempotent.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Best-effort prompt wake of the accept loop with a throwaway
-        // connection (the loop also polls the flag, so a failed connect —
-        // full backlog, wildcard-bind quirks — only delays shutdown by one
-        // poll tick, never hangs it). An unspecified bind address is not
-        // connectable; aim at loopback on the same port instead.
+        // Wake the accept loop with a throwaway connection. A single
+        // connect can be missed — the loop may accept it *before* it
+        // observes the flag (dropping it as a regular connection) and then
+        // block again — so retry with backoff until the loop confirms it
+        // exited. The loop also polls the flag on a short tick, so the
+        // bounded retry window is belt-and-braces, never a hang.
         let mut target = self.addr;
         if target.ip().is_unspecified() {
             match &mut target {
@@ -109,7 +150,15 @@ impl ServerHandle {
                 SocketAddr::V6(a) => a.set_ip(std::net::Ipv6Addr::LOCALHOST),
             }
         }
-        let _ = TcpStream::connect_timeout(&target, Duration::from_millis(100));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        let mut pause = Duration::from_millis(1);
+        while !self.shared.accept_exited.load(Ordering::SeqCst)
+            && std::time::Instant::now() < deadline
+        {
+            let _ = TcpStream::connect_timeout(&target, Duration::from_millis(100));
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(Duration::from_millis(50));
+        }
     }
 
     /// Whether shutdown has been requested.
@@ -143,7 +192,13 @@ impl Server {
         Ok(Server {
             listener,
             source: source.into(),
-            shared: Arc::new(Shared { shutdown: AtomicBool::new(false), stats: ServerStats::new() }),
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                accept_exited: AtomicBool::new(false),
+                open_conns: AtomicU64::new(0),
+                queued: AtomicU64::new(0),
+                stats: ServerStats::new(),
+            }),
             addr,
             threads,
             cfg,
@@ -174,11 +229,16 @@ impl Server {
             max_header_bytes: cfg.max_header_bytes,
             max_body_bytes: cfg.max_body_bytes,
             request_timeout: cfg.request_timeout,
+            idle_timeout: cfg.idle_timeout,
         };
+        let max_conns = resolve_knob(cfg.max_connections, MAX_CONNS_ENV, 1024) as u64;
+        let watermark =
+            resolve_knob(cfg.queue_watermark, SHED_WATERMARK_ENV, (4 * threads).min(64)) as u64;
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
                     while let Some(conn) = queue.pop() {
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
                         serve_connection(&source, &shared, &cfg, &limits, threads, conn);
                     }
                 });
@@ -207,7 +267,21 @@ impl Server {
                         if conn.set_nonblocking(false).is_err() {
                             continue;
                         }
+                        // Admission control: past the connection cap or the
+                        // queue watermark, every worker is saturated and an
+                        // admitted connection would only queue — answer a
+                        // canned 503 now so the client can back off, and
+                        // admitted requests keep their flat latency.
+                        if shared.open_conns.load(Ordering::Relaxed) >= max_conns
+                            || shared.queued.load(Ordering::Relaxed) >= watermark
+                        {
+                            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                            shed_connection(conn);
+                            continue;
+                        }
                         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                        shared.open_conns.fetch_add(1, Ordering::Relaxed);
+                        shared.queued.fetch_add(1, Ordering::Relaxed);
                         if !queue.push(conn) {
                             break;
                         }
@@ -223,9 +297,37 @@ impl Server {
                     }
                 }
             }
+            shared.accept_exited.store(true, Ordering::SeqCst);
             queue.close();
         });
         Ok(())
+    }
+}
+
+/// Sheds one connection at accept time with a canned raw `503` (no parsing,
+/// no allocation beyond the accepted socket — shedding must stay cheap under
+/// exactly the load that triggers it). Best-effort: a slow or gone client
+/// gets dropped after a short write timeout.
+fn shed_connection(conn: TcpStream) {
+    const SHED_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
+        Content-Type: text/plain\r\n\
+        Content-Length: 9\r\n\
+        Retry-After: 1\r\n\
+        Connection: close\r\n\
+        \r\n\
+        overload\n";
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut conn = conn;
+    let _ = conn.write_all(SHED_RESPONSE);
+    let _ = conn.flush();
+    // Drain whatever request bytes already arrived (one non-blocking read —
+    // this runs on the accept thread and must never stall). Closing a
+    // socket with unread data sends an RST that can discard the 503 before
+    // the client reads it; the drain makes the common case — a small
+    // request that landed before accept — deliver the response cleanly.
+    if conn.set_nonblocking(true).is_ok() {
+        let mut sink = [0u8; 4096];
+        let _ = std::io::Read::read(&mut conn, &mut sink);
     }
 }
 
@@ -273,6 +375,10 @@ fn serve_connection(
             Ok(ReadOutcome::Closed) => break,
             Err(HttpError { status, reason }) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if status == 408 {
+                    // Slow-drip or idle deadline — the slowloris defenses.
+                    shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
                 let _ = http::write_response(
                     conn.stream(),
                     &Response::error(status, &reason),
@@ -283,4 +389,5 @@ fn serve_connection(
         }
     }
     shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+    shared.open_conns.fetch_sub(1, Ordering::Relaxed);
 }

@@ -149,6 +149,15 @@ impl Source {
             Source::Live(i) => i.cache_stats(),
         }
     }
+
+    /// Number of quarantined segments (failed validation on load; isolated
+    /// so the rest of the store keeps serving).
+    pub fn quarantined_count(&self) -> usize {
+        match self {
+            Source::Pack(s) => s.quarantined_count(),
+            Source::Live(i) => i.quarantined_count(),
+        }
+    }
 }
 
 /// Used by `/series` to render the `eps` field.

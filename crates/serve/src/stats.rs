@@ -96,6 +96,15 @@ pub struct ServerStats {
     /// be visible on `/stats`, and a panicking handler never reaches the
     /// per-endpoint recording path.
     pub panics: AtomicU64,
+    /// Connections shed at accept time (connection cap or worker-queue
+    /// watermark exceeded) with a canned `503 + Retry-After`.
+    pub shed: AtomicU64,
+    /// Requests answered 408: header/body slow-drip or idle keep-alive
+    /// deadlines (the slowloris defenses).
+    pub timeouts: AtomicU64,
+    /// Requests answered 503 by a handler — the source was degraded
+    /// (read-only ingest) or quarantined when the request arrived.
+    pub degraded: AtomicU64,
     endpoints: [EndpointStats; 5],
 }
 
@@ -109,6 +118,9 @@ impl ServerStats {
             protocol_errors: AtomicU64::new(0),
             unrouted: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             endpoints: [
                 EndpointStats::new(),
                 EndpointStats::new(),

@@ -48,6 +48,7 @@ pub struct HttpResponse {
     pub status: u16,
     pub body: String,
     pub keep_alive: bool,
+    pub retry_after: Option<u32>,
 }
 
 /// A minimal blocking HTTP/1.1 client over one connection (keep-alive:
@@ -143,11 +144,13 @@ impl Client {
             .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut retry_after = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
             match name.trim().to_ascii_lowercase().as_str() {
                 "content-length" => content_length = value.trim().parse().expect("content length"),
                 "connection" => keep_alive = value.trim().eq_ignore_ascii_case("keep-alive"),
+                "retry-after" => retry_after = value.trim().parse().ok(),
                 _ => {}
             }
         }
@@ -160,6 +163,6 @@ impl Client {
         }
         let body = String::from_utf8(self.buf[..content_length].to_vec()).expect("body utf8");
         self.buf.drain(..content_length);
-        HttpResponse { status, body, keep_alive }
+        HttpResponse { status, body, keep_alive, retry_after }
     }
 }

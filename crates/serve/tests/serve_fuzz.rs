@@ -71,6 +71,7 @@ fn malformed_inputs_never_panic_the_server() {
         max_body_bytes: 4096,
         request_timeout: Duration::from_millis(300),
         poll_interval: Duration::from_millis(20),
+        ..ServeConfig::default()
     };
     let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).unwrap();
     let addr = server.local_addr();

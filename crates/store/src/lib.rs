@@ -133,6 +133,23 @@ pub enum StoreError {
     EmptyName,
     /// An underlying I/O failure (path-based open/write helpers only).
     Io(String),
+    /// A segment failed CRC/structural validation on load and is
+    /// quarantined: queries touching it fail with this error while every
+    /// other segment and series keeps serving. Sticky for the lifetime of
+    /// the [`Store`] value (a reopen revalidates).
+    Quarantined {
+        /// The series whose segment is quarantined.
+        series: String,
+        /// The segment index within that series.
+        segment: usize,
+    },
+    /// The write path is in read-only *degraded* mode after an I/O fault
+    /// (`ENOSPC`, injected failpoint, …): reads keep serving, writes are
+    /// rejected with this error until a background retry succeeds.
+    Degraded {
+        /// Human-readable description of the fault that tripped the mode.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -158,6 +175,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::EmptyName => write!(f, "series name must be non-empty"),
             StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StoreError::Quarantined { series, segment } => {
+                write!(f, "series {series:?} segment {segment} is quarantined (failed validation)")
+            }
+            StoreError::Degraded { reason } => {
+                write!(f, "ingest degraded (read-only): {reason}")
+            }
         }
     }
 }

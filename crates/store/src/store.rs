@@ -5,10 +5,10 @@ use crate::format::{self, SegmentMeta, SeriesEntry};
 use crate::segment::SegmentView;
 use crate::StoreError;
 use neats_core::Estimate;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Options for [`Store::open_with`].
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +40,11 @@ pub struct Store {
     index: HashMap<String, usize>,
     catalog_offset: usize,
     cache: SegmentCache,
+    /// Segments that failed validation on load, keyed like the cache:
+    /// sticky for this `Store` value so one bad segment fails fast instead
+    /// of re-running (and re-failing) its checksum on every query, while
+    /// every other segment keeps serving.
+    quarantined: Mutex<HashSet<(u32, u32)>>,
 }
 
 impl Store {
@@ -63,6 +68,7 @@ impl Store {
             index,
             catalog_offset,
             cache: SegmentCache::new(options.cache_capacity),
+            quarantined: Mutex::new(HashSet::new()),
         })
     }
 
@@ -121,11 +127,65 @@ impl Store {
         }
     }
 
-    /// Opens (or fetches from cache) segment `seg` of series `si`.
+    /// Opens (or fetches from cache) segment `seg` of series `si`. A
+    /// segment that fails validation is quarantined: this and every later
+    /// query touching it get [`StoreError::Quarantined`] without re-running
+    /// the checksum, and all other segments keep serving.
     fn open_segment(&self, si: usize, seg: usize) -> Result<Arc<SegmentView>, StoreError> {
+        let key = (si as u32, seg as u32);
+        if self.quarantined.lock().expect("quarantine lock").contains(&key) {
+            return Err(self.quarantine_error(si, seg));
+        }
         let meta = &self.series[si].segments()[seg];
-        self.cache
-            .get_or_open((si as u32, seg as u32), || SegmentView::open(&self.data, meta))
+        let opened = self.cache.get_or_open(key, || {
+            if neats_core::failpoint::triggered("store.open_segment") {
+                return Err(StoreError::Corrupt("injected failpoint: store.open_segment"));
+            }
+            SegmentView::open(&self.data, meta)
+        });
+        match opened {
+            Ok(view) => Ok(view),
+            Err(StoreError::Corrupt(_) | StoreError::Wire(_)) => {
+                self.quarantined.lock().expect("quarantine lock").insert(key);
+                Err(self.quarantine_error(si, seg))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn quarantine_error(&self, si: usize, seg: usize) -> StoreError {
+        StoreError::Quarantined { series: self.series[si].name().to_string(), segment: seg }
+    }
+
+    /// Number of quarantined segments (segments that failed validation on
+    /// load and now fail fast; see [`StoreError::Quarantined`]).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.lock().expect("quarantine lock").len()
+    }
+
+    /// The quarantined segments, as `(series name, segment index)` pairs
+    /// in deterministic order.
+    pub fn quarantined(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .quarantined
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .map(|&(si, seg)| (self.series[si as usize].name().to_string(), seg as usize))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Lifts every quarantine, so the next query revalidates the segment
+    /// (useful after a transient fault; a genuinely corrupt segment fails
+    /// validation again and returns to quarantine). Returns how many
+    /// entries were cleared.
+    pub fn clear_quarantine(&self) -> usize {
+        let mut q = self.quarantined.lock().expect("quarantine lock");
+        let n = q.len();
+        q.clear();
+        n
     }
 
     /// Index of the segment of `s` covering point `idx` (caller checks
@@ -661,5 +721,68 @@ mod tests {
         assert_eq!(out, all);
         assert_eq!(store.timestamp("s", 250).unwrap(), 250);
         assert_eq!(store.at_time("s", 250).unwrap(), Some(v2[50]));
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_not_fatal() {
+        let stamps: Vec<u64> = (0..512u64).map(|i| 1_000 + i * 3).collect();
+        let va: Vec<i64> = (0..512).map(|k: i64| k * k % 91).collect();
+        let vb: Vec<i64> = (0..512).map(|k: i64| 7 - k).collect();
+        let mut w = StoreWriter::new(StoreConfig { segment_points: 128, ..Default::default() });
+        w.ingest("a", &stamps, &va).unwrap();
+        w.ingest("b", &stamps, &vb).unwrap();
+        let mut pack = w.finish().unwrap();
+
+        // Flip one byte inside segment 2 of series "a": the pack still
+        // opens (segment blobs are validated lazily), but that segment's
+        // checksum can no longer pass.
+        let (bad_off, bad_first) = {
+            let probe = Store::open(pack.clone()).unwrap();
+            let m = &probe.series("a").unwrap().segments()[2];
+            (m.data_offset + m.data_len / 2, m.first_index)
+        };
+        pack[bad_off] ^= 0x40;
+        let store = Store::open(pack).unwrap();
+
+        // A query into the bad segment quarantines it — typed, per-segment.
+        let hit = store.get("a", bad_first + 1);
+        assert_eq!(
+            hit,
+            Err(StoreError::Quarantined { series: "a".into(), segment: 2 }),
+            "expected a quarantine, got {hit:?}"
+        );
+        assert_eq!(store.quarantined_count(), 1);
+        assert_eq!(store.quarantined(), vec![("a".to_string(), 2)]);
+
+        // Repeats fail fast with the same error (no revalidation churn).
+        assert!(matches!(
+            store.get("a", bad_first),
+            Err(StoreError::Quarantined { segment: 2, .. })
+        ));
+        // A range crossing the bad segment reports the quarantine too.
+        let mut out = Vec::new();
+        assert!(matches!(
+            store.range("a", 0..512, &mut out),
+            Err(StoreError::Quarantined { .. })
+        ));
+
+        // Every other segment of "a" and the whole of "b" keep serving.
+        out.clear();
+        store.range("a", 0..128, &mut out).unwrap();
+        assert_eq!(out, &va[0..128]);
+        assert_eq!(store.get("a", 500).unwrap(), va[500]);
+        out.clear();
+        store.range("b", 0..512, &mut out).unwrap();
+        assert_eq!(out, vb);
+
+        // Lifting the quarantine forces a revalidation; genuinely corrupt
+        // bytes fail again and the segment returns to quarantine.
+        assert_eq!(store.clear_quarantine(), 1);
+        assert_eq!(store.quarantined_count(), 0);
+        assert!(matches!(
+            store.get("a", bad_first),
+            Err(StoreError::Quarantined { segment: 2, .. })
+        ));
+        assert_eq!(store.quarantined_count(), 1);
     }
 }
