@@ -19,17 +19,28 @@
 //! 503s while the p99 of *admitted* requests stays within
 //! `NEATS_BENCH_OVERLOAD_FACTOR` (default 50) of the unsaturated p99.
 //!
+//! A third sweep (Linux only — it drives the epoll reactor) is the C10K
+//! measurement the reactor exists for: `NEATS_BENCH_IDLE_CONNS` (default
+//! up to 10 000, clamped to the process fd limit) mostly-idle keep-alive
+//! connections are parked on the server while a handful of active clients
+//! issue timed point queries, across the `NEATS_BENCH_SERVE_THREADS` shard
+//! counts. The gate: the active clients' p99 at the largest connection
+//! count stays within `NEATS_BENCH_IDLE_FACTOR` (default 25) of the
+//! smallest — idle connections must cost a slab entry, not latency.
+//!
 //! Run with `cargo run --release -p bench --bin serve_baseline`; scale with
 //! `NEATS_BENCH_N` (points per series) / `NEATS_BENCH_SERIES` /
 //! `NEATS_BENCH_QUERIES` (queries per cell) / `NEATS_BENCH_CLIENTS`, sweep
-//! with `NEATS_BENCH_SERVE_THREADS` / `NEATS_BENCH_BATCH`
-//! (comma-separated), size the overload window with
-//! `NEATS_BENCH_OVERLOAD_MS`, and redirect with `NEATS_BENCH_OUT`.
+//! with `NEATS_BENCH_SERVE_THREADS` / `NEATS_BENCH_BATCH` /
+//! `NEATS_BENCH_IDLE_CONNS` (comma-separated), size the overload window
+//! with `NEATS_BENCH_OVERLOAD_MS`, and redirect with `NEATS_BENCH_OUT`.
+//! The 10 000-connection default needs ~20 000 fds in this one process —
+//! run under `ulimit -n 65536` (or let the clamp shrink the sweep).
 
 use bench::json::Json;
 use bench::{env_usize, env_usize_list, query_indices};
 use neats_core::AtomicHistogram;
-use neats_serve::{ServeConfig, Server};
+use neats_serve::{ReactorMode, ServeConfig, Server};
 use neats_store::{Store, StoreConfig, StoreWriter};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -45,7 +56,9 @@ fn main() {
     let thread_sweep = env_usize_list("NEATS_BENCH_SERVE_THREADS", &[1, 2]);
     let batch_sweep = env_usize_list("NEATS_BENCH_BATCH", &[1, 16]);
     let out_path = std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     println!(
         "serve_baseline — {series_count} series × {n} points, {queries} queries/cell, \
          {clients} client(s), threads {thread_sweep:?} × batch {batch_sweep:?}, {cores} core(s)"
@@ -79,7 +92,10 @@ fn main() {
     for &threads in &thread_sweep {
         for &batch in &batch_sweep {
             let store = Arc::new(Store::open(pack.clone()).expect("open server store"));
-            let cfg = ServeConfig { threads, ..ServeConfig::default() };
+            let cfg = ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            };
             let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).expect("bind");
             let addr = server.local_addr();
             let handle = server.handle();
@@ -99,9 +115,7 @@ fn main() {
                     s.spawn(move || {
                         let first = c * per_client;
                         let last = (first + per_client).min(requests_total);
-                        client_loop(
-                            addr, names, oracle, sidx, pidx, batch, first, last, latency,
-                        );
+                        client_loop(addr, names, oracle, sidx, pidx, batch, first, last, latency);
                     });
                 }
             });
@@ -243,8 +257,15 @@ fn main() {
         .find(|c| c.load_x == 1 && c.shedding)
         .map(|c| c.p99_us)
         .unwrap_or(0.0);
-    let hot = ov_cells.iter().find(|c| c.load_x == 4 && c.shedding).expect("4x cell");
-    assert!(hot.shed > 0, "4× saturation with shedding on must shed ({} ok)", hot.ok);
+    let hot = ov_cells
+        .iter()
+        .find(|c| c.load_x == 4 && c.shedding)
+        .expect("4x cell");
+    assert!(
+        hot.shed > 0,
+        "4× saturation with shedding on must shed ({} ok)",
+        hot.ok
+    );
     assert!(hot.ok > 0, "shedding must not starve admission entirely");
     let bound = overload_factor as f64 * p99_base.max(500.0);
     assert!(
@@ -278,9 +299,159 @@ fn main() {
         ),
     ]);
 
+    // --- Idle keep-alive sweep (the C10K cell): park `conns` keep-alive
+    // connections, then measure active-client latency through the crowd.
+    let idle_sweep_req = env_usize_list("NEATS_BENCH_IDLE_CONNS", &[100, 1_000, 10_000]);
+    let idle_factor = env_usize("NEATS_BENCH_IDLE_FACTOR", 25);
+    // Every parked connection costs two fds in this process (client + server
+    // end); clamp the sweep so the harness degrades instead of dying with
+    // EMFILE on small limits (CI runners default to 1024).
+    let fd_budget = fd_soft_limit().saturating_sub(128) / 2;
+    let mut idle_sweep: Vec<usize> = idle_sweep_req
+        .iter()
+        .map(|&c| c.min(fd_budget).max(1))
+        .collect();
+    idle_sweep.dedup();
+    if idle_sweep != idle_sweep_req {
+        println!(
+            "idle sweep clamped to {idle_sweep:?} (fd budget {fd_budget}); \
+             raise `ulimit -n` for the full {idle_sweep_req:?}"
+        );
+    }
+    let mut idle_cells = Vec::new();
+    let mut idle_p99: Vec<(usize, f64)> = Vec::new();
+    if cfg!(target_os = "linux") {
+        for &threads in &thread_sweep {
+            for &conns in &idle_sweep {
+                let store = Arc::new(Store::open(pack.clone()).expect("open server store"));
+                let cfg = ServeConfig {
+                    threads,
+                    reactor: ReactorMode::Reactor,
+                    // This sweep measures multiplexing, not admission
+                    // control: every parked connection must be admitted.
+                    max_connections: conns + clients + 64,
+                    queue_watermark: 1 << 20,
+                    ..ServeConfig::default()
+                };
+                let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).expect("bind");
+                let addr = server.local_addr();
+                let shards = server.shards();
+                let handle = server.handle();
+                let running = std::thread::spawn(move || server.run());
+
+                // Park the idle crowd: each connection completes one priming
+                // request (so the server has committed to keep-alive) and
+                // then goes silent, holding its slab entry.
+                let connectors = 16usize.min(conns.max(1));
+                let per_connector = conns.div_ceil(connectors);
+                let parked: Vec<TcpStream> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..connectors)
+                        .map(|c| {
+                            let names = &names;
+                            s.spawn(move || {
+                                let mine =
+                                    per_connector.min(conns - (c * per_connector).min(conns));
+                                (0..mine)
+                                    .map(|_| park_one(addr, &names[0]))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("connector"))
+                        .collect()
+                });
+                assert_eq!(
+                    parked.len(),
+                    conns,
+                    "every idle connection must be admitted"
+                );
+
+                // Timed phase: a handful of active keep-alive clients issue
+                // point queries through the parked crowd.
+                let reqs_total = queries.max(1);
+                let per_client = reqs_total.div_ceil(clients.max(1));
+                let latency = AtomicHistogram::new();
+                let t0 = Instant::now();
+                std::thread::scope(|s| {
+                    for c in 0..clients.max(1) {
+                        let (latency, names, oracle, sidx, pidx) =
+                            (&latency, &names, &oracle, &sidx, &pidx);
+                        s.spawn(move || {
+                            let first = c * per_client;
+                            let last = (first + per_client).min(reqs_total);
+                            client_loop(addr, names, oracle, sidx, pidx, 1, first, last, latency);
+                        });
+                    }
+                });
+                let wall = t0.elapsed().as_secs_f64();
+                drop(parked);
+                handle.shutdown();
+                running.join().expect("server thread").expect("server run");
+
+                let snap = latency.snapshot();
+                let (p50, p99, max) = (
+                    snap.quantile(0.5) as f64 / 1e3,
+                    snap.quantile(0.99) as f64 / 1e3,
+                    snap.max() as f64 / 1e3,
+                );
+                let reqs_per_s = snap.count() as f64 / wall;
+                println!(
+                    "idle {conns:>6} conns × {shards} shard(s): {reqs_per_s:>8.0} req/s \
+                     through the crowd, p50 {p50:>7.1} µs, p99 {p99:>8.1} µs"
+                );
+                idle_p99.push((conns, p99));
+                idle_cells.push(Json::obj(vec![
+                    ("conns", Json::Int(conns as i64)),
+                    ("shards", Json::Int(shards as i64)),
+                    ("active_clients", Json::Int(clients as i64)),
+                    ("reqs_per_s", Json::Num(reqs_per_s)),
+                    ("p50_us", Json::Num(p50)),
+                    ("p99_us", Json::Num(p99)),
+                    ("max_us", Json::Num(max)),
+                ]));
+            }
+        }
+
+        // The C10K acceptance gate: p99 through the largest parked crowd
+        // stays within a (CI-noise tolerant) factor of the smallest — a
+        // 500 µs floor keeps the ratio meaningful at microsecond baselines.
+        let min_conns = idle_sweep.iter().copied().min().unwrap_or(0);
+        let max_conns = idle_sweep.iter().copied().max().unwrap_or(0);
+        if min_conns < max_conns {
+            let base = idle_p99
+                .iter()
+                .filter(|(c, _)| *c == min_conns)
+                .map(|(_, p)| *p)
+                .fold(f64::INFINITY, f64::min);
+            let worst = idle_p99
+                .iter()
+                .filter(|(c, _)| *c == max_conns)
+                .map(|(_, p)| *p)
+                .fold(0.0, f64::max);
+            let bound = idle_factor as f64 * base.max(500.0);
+            assert!(
+                worst <= bound,
+                "p99 through {max_conns} idle conns regressed: {worst:.1} µs > {bound:.1} µs \
+                 (baseline {base:.1} µs at {min_conns} conns × factor {idle_factor})"
+            );
+        }
+    } else {
+        println!("idle keep-alive sweep skipped: the reactor needs epoll (Linux)");
+    }
+    let idle_json = Json::obj(vec![
+        (
+            "conns_sweep",
+            Json::Arr(idle_sweep.iter().map(|&c| Json::Int(c as i64)).collect()),
+        ),
+        ("factor_bound", Json::Int(idle_factor as i64)),
+        ("cells", Json::Arr(idle_cells)),
+    ]);
+
     let artifact = Json::obj(vec![
         ("bench", Json::Str("serve".into())),
-        ("schema", Json::Int(2)),
+        ("schema", Json::Int(3)),
         ("n_per_series", Json::Int(n as i64)),
         ("series", Json::Int(series_count as i64)),
         ("queries_per_cell", Json::Int(queries as i64)),
@@ -289,6 +460,7 @@ fn main() {
         ("pack_bytes", Json::Int(pack.len() as i64)),
         ("cells", Json::Arr(cells)),
         ("overload", overload_json),
+        ("idle", idle_json),
     ]);
     std::fs::write(&out_path, artifact.render()).expect("write serve artifact");
     println!("\nwrote {out_path}");
@@ -314,7 +486,9 @@ fn client_loop(
     }
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(30))).expect("timeout");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
     let mut leftover: Vec<u8> = Vec::new();
     for r in first..last {
         // Build the batch body and the expected answers.
@@ -324,7 +498,10 @@ fn client_loop(
             let q = (r * batch + b) % sidx.len();
             let (s, k) = (sidx[q], pidx[q]);
             body.push_str(&format!("{} idx={}\n", names[s], k));
-            expect.push_str(&format!("#{b} ok 1\n{}\n", oracle.get(&names[s], k).expect("oracle")));
+            expect.push_str(&format!(
+                "#{b} ok 1\n{}\n",
+                oracle.get(&names[s], k).expect("oracle")
+            ));
         }
         expect.push_str(&format!("#done {batch}\n"));
         let request = format!(
@@ -340,15 +517,52 @@ fn client_loop(
     }
 }
 
+/// The process soft fd limit from `/proc/self/limits` (a large stand-in
+/// for `unlimited`; a conservative 1024 when unreadable, e.g. non-Linux).
+fn fd_soft_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+            let soft = line.split_whitespace().nth(3)?;
+            if soft == "unlimited" {
+                Some(usize::MAX / 4)
+            } else {
+                soft.parse().ok()
+            }
+        })
+        .unwrap_or(1024)
+}
+
+/// Opens one keep-alive connection for the idle sweep, completes a priming
+/// request (the server commits to keep-alive), and returns the socket to
+/// be parked.
+fn park_one(addr: SocketAddr, series: &str) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).expect("connect idle");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout");
+    stream
+        .write_all(format!("GET /q/{series}?idx=0 HTTP/1.1\r\nHost: b\r\n\r\n").as_bytes())
+        .expect("prime idle");
+    let mut leftover = Vec::new();
+    let _ = read_response(&mut stream, &mut leftover);
+    assert!(leftover.is_empty(), "priming response had trailing bytes");
+    stream
+}
+
 /// One connection-per-request `GET` for the overload sweep: returns the
 /// status code, or `None` when the connection failed or was reset (an
 /// acceptable outcome under deliberate overload — it is counted, not timed).
 fn oneshot_get(addr: SocketAddr, target: &str) -> Option<u16> {
     let mut s = TcpStream::connect(addr).ok()?;
     s.set_nodelay(true).ok();
-    s.set_read_timeout(Some(std::time::Duration::from_secs(30))).ok()?;
-    s.write_all(format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes())
+    s.set_read_timeout(Some(std::time::Duration::from_secs(30)))
         .ok()?;
+    s.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+    .ok()?;
     let mut buf = Vec::new();
     s.read_to_end(&mut buf).ok()?;
     let text = String::from_utf8_lossy(&buf);
@@ -367,12 +581,17 @@ fn read_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> String {
         buf.extend_from_slice(&chunk[..n]);
     };
     let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
-    assert!(head.starts_with("HTTP/1.1 200"), "unexpected status: {head}");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "unexpected status: {head}"
+    );
     let content_length: usize = head
         .lines()
         .find_map(|l| {
             let (name, value) = l.split_once(':')?;
-            name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim().parse().ok())?
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
         })
         .expect("Content-Length");
     buf.drain(..head_end);

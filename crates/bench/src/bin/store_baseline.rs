@@ -33,7 +33,9 @@ fn main() {
     let series_count = env_usize("NEATS_BENCH_SERIES", 8);
     let queries = bench_queries();
     let out_path = std::env::var("NEATS_BENCH_OUT").unwrap_or_else(|_| "BENCH_store.json".into());
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let segment_points = env_usize("NEATS_BENCH_SEGMENT", 8192);
     println!(
         "store_baseline — {series_count} series × {n} points, segment {segment_points}, \
@@ -46,11 +48,16 @@ fn main() {
     for i in 0..series_count {
         let ds = Dataset::ALL[i % Dataset::ALL.len()];
         let ts = ds.generate(n);
-        let stamps: Vec<u64> = (0..n as u64).map(|k| 1_700_000_000 + k * 30 + (i as u64)).collect();
+        let stamps: Vec<u64> = (0..n as u64)
+            .map(|k| 1_700_000_000 + k * 30 + (i as u64))
+            .collect();
         data.push((stamps, ts.values().to_vec()));
     }
     let t0 = Instant::now();
-    let mut w = StoreWriter::new(StoreConfig { segment_points, ..StoreConfig::default() });
+    let mut w = StoreWriter::new(StoreConfig {
+        segment_points,
+        ..StoreConfig::default()
+    });
     for (name, (stamps, values)) in names.iter().zip(&data) {
         w.ingest(name, stamps, values).expect("ingest");
     }
@@ -72,7 +79,10 @@ fn main() {
     // per-file path must open (checksum) every archive.
     let store_open_us = time_us(50, || Store::open(pack.clone()).expect("open store"));
     let perfile_open_us = time_us(10, || {
-        perfile.iter().map(|b| ArchiveView::open(b).expect("open archive").len()).sum::<usize>()
+        perfile
+            .iter()
+            .map(|b| ArchiveView::open(b).expect("open archive").len())
+            .sum::<usize>()
     });
 
     // --- Query plan: deterministic (series, index) pairs.
@@ -81,8 +91,10 @@ fn main() {
 
     // Correctness re-assertion on the sampled plan before timing anything.
     let store = Store::open(pack.clone()).expect("open store");
-    let views: Vec<ArchiveView<'_>> =
-        perfile.iter().map(|b| ArchiveView::open(b).expect("open archive")).collect();
+    let views: Vec<ArchiveView<'_>> = perfile
+        .iter()
+        .map(|b| ArchiveView::open(b).expect("open archive"))
+        .collect();
     for (&s, &k) in sidx.iter().zip(&pidx).take(5_000) {
         assert_eq!(
             store.get(&names[s], k).expect("store get"),
@@ -107,8 +119,14 @@ fn main() {
     });
     let hit_rate = warm.cache_stats().hit_rate();
 
-    let cold = Store::open_with(pack.clone(), StoreOptions { cache_capacity: 0 })
-        .expect("open store");
+    let cold = Store::open_with(
+        pack.clone(),
+        StoreOptions {
+            cache_capacity: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("open store");
     let store_cold_mqs = throughput_mqs(queries, || {
         let mut acc = 0i64;
         for (&s, &k) in sidx.iter().zip(&pidx) {
@@ -135,7 +153,8 @@ fn main() {
         let mut acc = 0i64;
         for (&s, &k) in rs.iter().zip(&rk) {
             buf.clear();
-            warm.range(&names[s], k..k + range_len, &mut buf).expect("range");
+            warm.range(&names[s], k..k + range_len, &mut buf)
+                .expect("range");
             acc = acc.wrapping_add(buf.last().copied().unwrap_or(0));
         }
         acc

@@ -53,8 +53,8 @@
 #![warn(missing_docs)]
 use neats_core::{ArchiveView, Kind, NeaTS, NeaTSBuilder, NeaTSCompressed};
 use neats_ingest::{BackgroundConfig, FsyncPolicy, IngestConfig, Ingestor};
-use neats_serve::{ServeConfig, Server};
-use neats_store::{Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
+use neats_serve::{ReactorMode, ServeConfig, Server};
+use neats_store::{CacheSharding, Store, StoreConfig, StoreMode, StoreOptions, StoreWriter};
 use std::path::Path;
 use timeseries::{io::load_fixed_precision, CompressedSeries};
 
@@ -303,17 +303,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--threads" => {
                 i += 1;
-                threads = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(CliError("--threads needs a non-negative integer (0 = auto)".into()))?;
+                threads = args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--threads needs a non-negative integer (0 = auto)".into(),
+                ))?;
             }
             "--segment" => {
                 i += 1;
-                segment = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or(CliError("--segment needs a point count (0 = default)".into()))?;
+                segment = args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--segment needs a point count (0 = default)".into(),
+                ))?;
             }
             "--addr" => {
                 i += 1;
@@ -352,10 +350,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         i += 1;
     }
     let get_pos = |idx: usize, what: &str| -> Result<String, CliError> {
-        pos.get(idx).map(|s| s.to_string()).ok_or(CliError(format!("missing argument: {what}")))
+        pos.get(idx)
+            .map(|s| s.to_string())
+            .ok_or(CliError(format!("missing argument: {what}")))
     };
     let parse_usize = |s: &str, what: &str| -> Result<usize, CliError> {
-        s.parse().map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
+        s.parse()
+            .map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
     };
     match pos.first().copied() {
         Some("compress") => Ok(Command::Compress {
@@ -373,10 +374,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             eps: eps.ok_or(CliError("lossy requires --eps".into()))?,
             threads,
         }),
-        Some("decompress") => {
-            Ok(Command::Decompress { input: get_pos(1, "input")?, output: get_pos(2, "output")? })
-        }
-        Some("info") => Ok(Command::Info { input: get_pos(1, "input")? }),
+        Some("decompress") => Ok(Command::Decompress {
+            input: get_pos(1, "input")?,
+            output: get_pos(2, "output")?,
+        }),
+        Some("info") => Ok(Command::Info {
+            input: get_pos(1, "input")?,
+        }),
         Some("get") => {
             let input = get_pos(1, "input")?;
             if pos.len() < 3 {
@@ -404,9 +408,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             if pos.len() < 3 {
                 return err("query needs at least one index or a..b range");
             }
-            Ok(Command::Query { input, specs: pos[2..].iter().map(|s| s.to_string()).collect() })
+            Ok(Command::Query {
+                input,
+                specs: pos[2..].iter().map(|s| s.to_string()).collect(),
+            })
         }
-        Some("stat") => Ok(Command::Stat { input: get_pos(1, "input")? }),
+        Some("stat") => Ok(Command::Stat {
+            input: get_pos(1, "input")?,
+        }),
         Some("store") => match pos.get(1).copied() {
             Some("build") => {
                 let output = get_pos(2, "output pack")?;
@@ -423,7 +432,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     append,
                 })
             }
-            Some("ls") => Ok(Command::StoreLs { pack: get_pos(2, "pack")? }),
+            Some("ls") => Ok(Command::StoreLs {
+                pack: get_pos(2, "pack")?,
+            }),
             Some("query") => {
                 let pack = get_pos(2, "pack")?;
                 let series = get_pos(3, "series")?;
@@ -470,7 +481,14 @@ fn load_compressed(path: &str) -> Result<NeaTSCompressed, CliError> {
 /// Executes a command, writing human-readable output to `out`.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     match cmd {
-        Command::Compress { input, output, digits, kinds, sneats, threads } => {
+        Command::Compress {
+            input,
+            output,
+            digits,
+            kinds,
+            sneats,
+            threads,
+        } => {
             let ts = load_fixed_precision(Path::new(&input), digits)
                 .map_err(|e| CliError(format!("{input}: {e}")))?;
             let mut builder: NeaTSBuilder = NeaTS::builder().kinds(&kinds.kinds()).threads(threads);
@@ -490,7 +508,13 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             )?;
             Ok(())
         }
-        Command::Lossy { input, output, digits, eps, threads } => {
+        Command::Lossy {
+            input,
+            output,
+            digits,
+            eps,
+            threads,
+        } => {
             let ts = load_fixed_precision(Path::new(&input), digits)
                 .map_err(|e| CliError(format!("{input}: {e}")))?;
             let l = NeaTS::builder().threads(threads).build_lossy(&ts, eps);
@@ -546,7 +570,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Range { input, start, count } => {
+        Command::Range {
+            input,
+            start,
+            count,
+        } => {
             let c = load_compressed(&input)?;
             if start + count > c.len() {
                 return err(format!("range [{start}, {}) out of bounds", start + count));
@@ -558,7 +586,12 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Sum { input, start, count, exact } => {
+        Command::Sum {
+            input,
+            start,
+            count,
+            exact,
+        } => {
             let c = load_compressed(&input)?;
             if start + count > c.len() {
                 return err(format!("range [{start}, {}) out of bounds", start + count));
@@ -573,8 +606,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
         }
         Command::Query { input, specs } => {
             let bytes = std::fs::read(&input)?;
-            let view =
-                ArchiveView::open(&bytes).map_err(|e| CliError(format!("{input}: {e}")))?;
+            let view = ArchiveView::open(&bytes).map_err(|e| CliError(format!("{input}: {e}")))?;
             for spec in specs {
                 if let Some((a, b)) = spec.split_once("..") {
                     let a = parse_usize_msg(a, "range start")?;
@@ -623,7 +655,15 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::StoreBuild { output, inputs, digits, eps, segment, threads, append } => {
+        Command::StoreBuild {
+            output,
+            inputs,
+            digits,
+            eps,
+            segment,
+            threads,
+            append,
+        } => {
             let cfg = StoreConfig {
                 segment_points: if segment == 0 {
                     neats_store::DEFAULT_SEGMENT_POINTS
@@ -638,8 +678,9 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                 threads,
             };
             let mut writer = if append {
-                let existing = std::fs::read(&output)
-                    .map_err(|e| CliError(format!("{output}: {e} (--append needs an existing pack)")))?;
+                let existing = std::fs::read(&output).map_err(|e| {
+                    CliError(format!("{output}: {e} (--append needs an existing pack)"))
+                })?;
                 StoreWriter::append_to(&existing, cfg)
                     .map_err(|e| CliError(format!("{output}: {e}")))?
             } else {
@@ -703,7 +744,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             )?;
             Ok(())
         }
-        Command::StoreQuery { pack, series, specs } => {
+        Command::StoreQuery {
+            pack,
+            series,
+            specs,
+        } => {
             let store = Store::open_path(&pack).map_err(|e| CliError(format!("{pack}: {e}")))?;
             let fail = |e: neats_store::StoreError| CliError(format!("{series}: {e}"));
             for spec in specs {
@@ -732,8 +777,17 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Ingest { dir, inputs, digits, fsync, no_seal } => {
-            let cfg = IngestConfig { fsync, ..IngestConfig::default() };
+        Command::Ingest {
+            dir,
+            inputs,
+            digits,
+            fsync,
+            no_seal,
+        } => {
+            let cfg = IngestConfig {
+                fsync,
+                ..IngestConfig::default()
+            };
             let ing = Ingestor::open(&dir, cfg).map_err(|e| CliError(format!("{dir}: {e}")))?;
             let mut total_points = 0usize;
             for input in &inputs {
@@ -748,7 +802,8 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                     .map_err(|e| CliError(format!("{input}: {e}")))?;
             }
             if !no_seal {
-                ing.flush().map_err(|e| CliError(format!("{dir}: seal: {e}")))?;
+                ing.flush()
+                    .map_err(|e| CliError(format!("{dir}: seal: {e}")))?;
             }
             writeln!(
                 out,
@@ -760,15 +815,32 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             )?;
             Ok(())
         }
-        Command::Serve { pack, addr, threads, cache } => {
+        Command::Serve {
+            pack,
+            addr,
+            threads,
+            cache,
+        } => {
             // A directory serves live (ingestor + background sealer and
             // POST /write); a file serves the read-only pack.
             let live = Path::new(&pack).is_dir();
-            let cfg = ServeConfig { threads, ..ServeConfig::default() };
+            let cfg = ServeConfig {
+                threads,
+                ..ServeConfig::default()
+            };
+            // The server runs a fixed pool either way (reactor shards or
+            // blocking workers), so thread-sharded caching applies: each
+            // serving thread owns a private cache shard and never contends
+            // on a cache lock with its siblings.
+            let sharding = CacheSharding::ByThread;
             let (server, _background, series, points) = if live {
                 let ing = Ingestor::open(
                     &pack,
-                    IngestConfig { cache_capacity: cache, ..IngestConfig::default() },
+                    IngestConfig {
+                        cache_capacity: cache,
+                        cache_sharding: sharding,
+                        ..IngestConfig::default()
+                    },
                 )
                 .map_err(|e| CliError(format!("{pack}: {e}")))?;
                 let ing = std::sync::Arc::new(ing);
@@ -779,9 +851,11 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                 (server, Some(background), series, points)
             } else {
                 let store = Store::open_with(
-                    std::fs::read(&pack)
-                        .map_err(|e| CliError(format!("{pack}: {e}")))?,
-                    StoreOptions { cache_capacity: cache },
+                    std::fs::read(&pack).map_err(|e| CliError(format!("{pack}: {e}")))?,
+                    StoreOptions {
+                        cache_capacity: cache,
+                        cache_sharding: sharding,
+                    },
                 )
                 .map_err(|e| CliError(format!("{pack}: {e}")))?;
                 let (series, points) = (store.series_count(), store.total_points());
@@ -789,11 +863,14 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
                     .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
                 (server, None, series, points)
             };
+            let (discipline, pool) = match server.mode() {
+                ReactorMode::Reactor => ("reactor shard(s)", server.shards()),
+                _ => ("worker(s)", server.threads()),
+            };
             writeln!(
                 out,
-                "serving {series} series ({points} points) {} {pack} with {} worker(s)",
+                "serving {series} series ({points} points) {} {pack} with {pool} {discipline}",
                 if live { "live from" } else { "from" },
-                server.threads()
             )?;
             // The smoke scripts scrape this exact line for the bound port.
             writeln!(out, "listening on {}", server.local_addr())?;
@@ -813,10 +890,12 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
 /// used as timestamps. Values are scaled by `10^digits` via the same
 /// fixed-precision transform as `neats compress`.
 fn load_series_file(path: &str, digits: u8) -> Result<(Vec<u64>, Vec<i64>), CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
-    let timestamped =
-        text.lines().map(str::trim).find(|l| !l.is_empty()).is_some_and(|l| l.contains(','));
+    let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let timestamped = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty())
+        .is_some_and(|l| l.contains(','));
     if !timestamped {
         // Plain format: exactly what `neats compress` reads — delegate so
         // the two commands can never diverge on scaling/rounding.
@@ -854,7 +933,8 @@ fn load_series_file(path: &str, digits: u8) -> Result<(Vec<u64>, Vec<i64>), CliE
 }
 
 fn parse_usize_msg(s: &str, what: &str) -> Result<usize, CliError> {
-    s.parse().map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
+    s.parse()
+        .map_err(|_| CliError(format!("{what} must be a non-negative integer, got {s:?}")))
 }
 
 #[cfg(test)]
@@ -897,11 +977,18 @@ mod tests {
     fn parse_get_and_range() {
         assert_eq!(
             parse_args(&argv("get f.neats 1 2 30")).unwrap(),
-            Command::Get { input: "f.neats".into(), indices: vec![1, 2, 30] }
+            Command::Get {
+                input: "f.neats".into(),
+                indices: vec![1, 2, 30]
+            }
         );
         assert_eq!(
             parse_args(&argv("range f.neats 100 50")).unwrap(),
-            Command::Range { input: "f.neats".into(), start: 100, count: 50 }
+            Command::Range {
+                input: "f.neats".into(),
+                start: 100,
+                count: 50
+            }
         );
         assert!(parse_args(&argv("range f.neats abc 50")).is_err());
     }
@@ -913,8 +1000,9 @@ mod tests {
         let input = dir.join("in.txt");
         let packed = dir.join("out.neats");
         let restored = dir.join("back.txt");
-        let content: String =
-            (0..500).map(|k| format!("{:.2}\n", (k as f64 / 9.0).sin() * 100.0)).collect();
+        let content: String = (0..500)
+            .map(|k| format!("{:.2}\n", (k as f64 / 9.0).sin() * 100.0))
+            .collect();
         std::fs::write(&input, &content).unwrap();
 
         let mut log = Vec::new();
@@ -932,7 +1020,11 @@ mod tests {
 
         // info
         let mut info = Vec::new();
-        run(parse_args(&argv(&format!("info {}", packed.display()))).unwrap(), &mut info).unwrap();
+        run(
+            parse_args(&argv(&format!("info {}", packed.display()))).unwrap(),
+            &mut info,
+        )
+        .unwrap();
         assert!(String::from_utf8_lossy(&info).contains("values:        500"));
 
         // get
@@ -982,11 +1074,16 @@ mod tests {
     fn parse_query_and_stat() {
         assert_eq!(
             parse_args(&argv("query f.neats 5 10..20")).unwrap(),
-            Command::Query { input: "f.neats".into(), specs: vec!["5".into(), "10..20".into()] }
+            Command::Query {
+                input: "f.neats".into(),
+                specs: vec!["5".into(), "10..20".into()]
+            }
         );
         assert_eq!(
             parse_args(&argv("stat f.neatsl")).unwrap(),
-            Command::Stat { input: "f.neatsl".into() }
+            Command::Stat {
+                input: "f.neatsl".into()
+            }
         );
         assert!(parse_args(&argv("query f.neats")).is_err()); // no specs
         assert!(parse_args(&argv("stat")).is_err()); // no input
@@ -1001,8 +1098,12 @@ mod tests {
         let content: String = (0..400).map(|k| format!("{}\n", k * k / 7)).collect();
         std::fs::write(&input, &content).unwrap();
         run(
-            parse_args(&argv(&format!("compress {} {}", input.display(), packed.display())))
-                .unwrap(),
+            parse_args(&argv(&format!(
+                "compress {} {}",
+                input.display(),
+                packed.display()
+            )))
+            .unwrap(),
             &mut Vec::new(),
         )
         .unwrap();
@@ -1014,9 +1115,14 @@ mod tests {
             &mut got,
         )
         .unwrap();
-        let lines: Vec<i64> =
-            String::from_utf8_lossy(&got).lines().map(|l| l.parse().unwrap()).collect();
-        assert_eq!(lines, vec![7 * 7 / 7, 100 * 100 / 7, 101 * 101 / 7, 102 * 102 / 7]);
+        let lines: Vec<i64> = String::from_utf8_lossy(&got)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(
+            lines,
+            vec![7 * 7 / 7, 100 * 100 / 7, 101 * 101 / 7, 102 * 102 / 7]
+        );
 
         // Out-of-bounds is an error, not a panic.
         let e = run(
@@ -1028,8 +1134,11 @@ mod tests {
 
         // stat reports the frame layout.
         let mut stat = Vec::new();
-        run(parse_args(&argv(&format!("stat {}", packed.display()))).unwrap(), &mut stat)
-            .unwrap();
+        run(
+            parse_args(&argv(&format!("stat {}", packed.display()))).unwrap(),
+            &mut stat,
+        )
+        .unwrap();
         let text = String::from_utf8_lossy(&stat);
         assert!(text.contains("flavor:        lossless"), "{text}");
         assert!(text.contains("values:        400"), "{text}");
@@ -1048,15 +1157,25 @@ mod tests {
         )
         .unwrap();
         let mut stat = Vec::new();
-        run(parse_args(&argv(&format!("stat {}", lossy.display()))).unwrap(), &mut stat).unwrap();
+        run(
+            parse_args(&argv(&format!("stat {}", lossy.display()))).unwrap(),
+            &mut stat,
+        )
+        .unwrap();
         let text = String::from_utf8_lossy(&stat);
         assert!(text.contains("flavor:        lossy"), "{text}");
         assert!(text.contains("eps:           3"), "{text}");
         let mut q = Vec::new();
-        run(parse_args(&argv(&format!("query {} 10", lossy.display()))).unwrap(), &mut q)
-            .unwrap();
+        run(
+            parse_args(&argv(&format!("query {} 10", lossy.display()))).unwrap(),
+            &mut q,
+        )
+        .unwrap();
         let approx: i64 = String::from_utf8_lossy(&q).trim().parse().unwrap();
-        assert!((approx - 100 / 7).unsigned_abs() <= 4, "lossy answer {approx} off");
+        assert!(
+            (approx - 100 / 7).unsigned_abs() <= 4,
+            "lossy answer {approx} off"
+        );
     }
 
     #[test]
@@ -1085,8 +1204,10 @@ mod tests {
     #[test]
     fn parse_store_commands() {
         assert_eq!(
-            parse_args(&argv("store build out.pack a.txt b.csv --eps 4 --segment 512 --append"))
-                .unwrap(),
+            parse_args(&argv(
+                "store build out.pack a.txt b.csv --eps 4 --segment 512 --append"
+            ))
+            .unwrap(),
             Command::StoreBuild {
                 output: "out.pack".into(),
                 inputs: vec!["a.txt".into(), "b.csv".into()],
@@ -1099,7 +1220,9 @@ mod tests {
         );
         assert_eq!(
             parse_args(&argv("store ls p.pack")).unwrap(),
-            Command::StoreLs { pack: "p.pack".into() }
+            Command::StoreLs {
+                pack: "p.pack".into()
+            }
         );
         assert_eq!(
             parse_args(&argv("store query p.pack cpu 5 10..20 @99")).unwrap(),
@@ -1125,8 +1248,9 @@ mod tests {
         // One plain file (implicit 0.. stamps) and one timestamped CSV.
         let plain_text: String = (0..400).map(|k| format!("{}\n", k * k / 13)).collect();
         std::fs::write(&plain, &plain_text).unwrap();
-        let csv_text: String =
-            (0..300).map(|k| format!("{},{}.5\n", 1000 + k * 60, 20 + k % 7)).collect();
+        let csv_text: String = (0..300)
+            .map(|k| format!("{},{}.5\n", 1000 + k * 60, 20 + k % 7))
+            .collect();
         std::fs::write(&csv, &csv_text).unwrap();
 
         let mut log = Vec::new();
@@ -1145,7 +1269,11 @@ mod tests {
 
         // ls shows both series and no dead bytes.
         let mut ls = Vec::new();
-        run(parse_args(&argv(&format!("store ls {}", pack.display()))).unwrap(), &mut ls).unwrap();
+        run(
+            parse_args(&argv(&format!("store ls {}", pack.display()))).unwrap(),
+            &mut ls,
+        )
+        .unwrap();
         let text = String::from_utf8_lossy(&ls);
         assert!(text.contains("cpu"), "{text}");
         assert!(text.contains("temp"), "{text}");
@@ -1162,8 +1290,10 @@ mod tests {
             &mut q,
         )
         .unwrap();
-        let lines: Vec<i64> =
-            String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
+        let lines: Vec<i64> = String::from_utf8_lossy(&q)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
         assert_eq!(lines, vec![215, 205, 215]); // 21.5, then values at idx 0, 1
         let mut q = Vec::new();
         run(
@@ -1211,16 +1341,20 @@ mod tests {
             &mut q,
         )
         .unwrap();
-        let lines: Vec<i64> =
-            String::from_utf8_lossy(&q).lines().map(|l| l.parse().unwrap()).collect();
+        let lines: Vec<i64> = String::from_utf8_lossy(&q)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
         assert_eq!(lines, vec![1, 2, 3]);
     }
 
     #[test]
     fn parse_ingest_command() {
         assert_eq!(
-            parse_args(&argv("ingest data/ a.txt b.csv --digits 2 --fsync never --no-seal"))
-                .unwrap(),
+            parse_args(&argv(
+                "ingest data/ a.txt b.csv --digits 2 --fsync never --no-seal"
+            ))
+            .unwrap(),
             Command::Ingest {
                 dir: "data/".into(),
                 inputs: vec!["a.txt".into(), "b.csv".into()],
@@ -1294,8 +1428,10 @@ mod tests {
     #[test]
     fn parse_serve_command() {
         assert_eq!(
-            parse_args(&argv("serve metrics.pack --addr 0.0.0.0:9000 --threads 4 --cache 64"))
-                .unwrap(),
+            parse_args(&argv(
+                "serve metrics.pack --addr 0.0.0.0:9000 --threads 4 --cache 64"
+            ))
+            .unwrap(),
             Command::Serve {
                 pack: "metrics.pack".into(),
                 addr: "0.0.0.0:9000".into(),
@@ -1384,7 +1520,8 @@ mod tests {
         };
 
         let mut conn = std::net::TcpStream::connect(&addr).unwrap();
-        conn.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        conn.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
         conn.write_all(b"GET /q/cpu?idx=123 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
             .unwrap();
         let mut response = String::new();
@@ -1400,7 +1537,9 @@ mod tests {
     fn errors_are_reported_not_panicked() {
         let mut sink = Vec::new();
         let e = run(
-            Command::Info { input: "/nonexistent/definitely-missing.neats".into() },
+            Command::Info {
+                input: "/nonexistent/definitely-missing.neats".into(),
+            },
             &mut sink,
         )
         .unwrap_err();

@@ -7,7 +7,7 @@ use crate::manifest::{self, Manifest};
 use crate::wal::{FsyncPolicy, Wal, WalOp};
 use neats_core::NeaTSBuilder;
 use neats_store::{
-    CacheStats, Store, StoreConfig, StoreError, StoreMode, StoreOptions, StoreWriter,
+    CacheSharding, CacheStats, Store, StoreConfig, StoreError, StoreMode, StoreOptions, StoreWriter,
 };
 use std::collections::HashSet;
 use std::fs;
@@ -35,6 +35,10 @@ pub struct IngestConfig {
     /// Segment-view cache capacity of the sealed [`Store`] (see
     /// [`StoreOptions::cache_capacity`]).
     pub cache_capacity: usize,
+    /// Shard policy of the sealed store's segment-view cache (see
+    /// [`neats_store::CacheSharding`]): keyed by default; per-thread when
+    /// a fixed serving pool should never contend on cache locks.
+    pub cache_sharding: CacheSharding,
     /// Background compaction threshold: compact when dead bytes exceed this
     /// fraction of the pack.
     pub compact_dead_ratio: f64,
@@ -48,6 +52,7 @@ impl Default for IngestConfig {
             fsync: FsyncPolicy::Always,
             builder: neats_core::NeaTS::builder(),
             cache_capacity: 256,
+            cache_sharding: CacheSharding::ByKey,
             compact_dead_ratio: 0.5,
         }
     }
@@ -115,7 +120,10 @@ struct Shared {
 
 impl Shared {
     fn head(&self, series: &str) -> Option<Arc<Mutex<Head>>> {
-        self.heads.iter().find(|(n, _)| n == series).map(|(_, h)| h.clone())
+        self.heads
+            .iter()
+            .find(|(n, _)| n == series)
+            .map(|(_, h)| h.clone())
     }
 }
 
@@ -204,7 +212,10 @@ impl Ingestor {
     }
 
     fn store_opts(&self) -> StoreOptions {
-        StoreOptions { cache_capacity: self.cfg.cache_capacity }
+        StoreOptions {
+            cache_capacity: self.cfg.cache_capacity,
+            cache_sharding: self.cfg.cache_sharding,
+        }
     }
 
     /// Opens (or initialises) an ingest directory and recovers its state:
@@ -225,15 +236,23 @@ impl Ingestor {
                 let empty = StoreWriter::new(StoreConfig::default()).finish()?;
                 write_file_durable(&dir.join(&pack_file), &empty)?;
                 drop(Wal::create(dir.join(&wal_file), FsyncPolicy::Always)?);
-                let m = Manifest { epoch: 0, pack: pack_file, wal: wal_file };
+                let m = Manifest {
+                    epoch: 0,
+                    pack: pack_file,
+                    wal: wal_file,
+                };
                 m.write_to(&dir)?;
                 m
             }
         };
         let pack_bytes = fs::read(dir.join(&manifest.pack))?;
-        let store = Arc::new(Store::open_with(pack_bytes, StoreOptions {
-            cache_capacity: cfg.cache_capacity,
-        })?);
+        let store = Arc::new(Store::open_with(
+            pack_bytes,
+            StoreOptions {
+                cache_capacity: cfg.cache_capacity,
+                cache_sharding: cfg.cache_sharding,
+            },
+        )?);
         let (wal, ops) = Wal::open_replay(dir.join(&manifest.wal), cfg.fsync)?;
 
         // Replay the WAL into heads. Points at or below a series' sealed
@@ -243,15 +262,20 @@ impl Ingestor {
         let mut tombstones: HashSet<String> = HashSet::new();
         for op in ops {
             match op {
-                WalOp::Append { series, stamps, values } => {
+                WalOp::Append {
+                    series,
+                    stamps,
+                    values,
+                } => {
                     let arc = match heads.iter().find(|(n, _)| n == &series) {
                         Some((_, h)) => h.clone(),
                         None => {
                             let sealed = (!tombstones.contains(&series))
                                 .then(|| store.series(&series))
                                 .flatten();
-                            let (fi, floor) =
-                                sealed.map(|e| (e.len(), Some(e.t_max()))).unwrap_or((0, None));
+                            let (fi, floor) = sealed
+                                .map(|e| (e.len(), Some(e.t_max())))
+                                .unwrap_or((0, None));
                             let h = Arc::new(Mutex::new(Head::new(fi, floor)));
                             heads.push((series.clone(), h.clone()));
                             h
@@ -300,7 +324,10 @@ impl Ingestor {
                 wal_file: manifest.wal.clone(),
             }),
             shared: RwLock::new(Shared {
-                gen: Generation { epoch: manifest.epoch, store },
+                gen: Generation {
+                    epoch: manifest.epoch,
+                    store,
+                },
                 heads,
                 tombstones,
             }),
@@ -338,12 +365,7 @@ impl Ingestor {
     /// series' last timestamp. On `Ok`, the batch is in the WAL (durably,
     /// under [`FsyncPolicy::Always`]) and visible to queries; the batch is
     /// all-or-nothing. An empty batch is a no-op.
-    pub fn append(
-        &self,
-        series: &str,
-        stamps: &[u64],
-        values: &[i64],
-    ) -> Result<(), StoreError> {
+    pub fn append(&self, series: &str, stamps: &[u64], values: &[i64]) -> Result<(), StoreError> {
         if series.is_empty() {
             return Err(StoreError::EmptyName);
         }
@@ -387,11 +409,14 @@ impl Ingestor {
                     (Some(h), 0, last)
                 }
                 None => {
-                    let sealed =
-                        (!s.tombstones.contains(series)).then(|| s.gen.store.series(series)).flatten();
+                    let sealed = (!s.tombstones.contains(series))
+                        .then(|| s.gen.store.series(series))
+                        .flatten();
                     if let Some(e) = sealed {
                         if e.mode() != StoreMode::Lossless {
-                            return Err(StoreError::ModeMismatch { series: series.to_string() });
+                            return Err(StoreError::ModeMismatch {
+                                series: series.to_string(),
+                            });
                         }
                         (None, e.len(), Some(e.t_max()))
                     } else {
@@ -402,7 +427,10 @@ impl Ingestor {
         };
         if let Some(f) = floor {
             if stamps[0] <= f {
-                return Err(StoreError::TimestampOrder { series: series.to_string(), index: 0 });
+                return Err(StoreError::TimestampOrder {
+                    series: series.to_string(),
+                    index: 0,
+                });
             }
         }
 
@@ -430,7 +458,9 @@ impl Ingestor {
                 let mut head = Head::new(fi, floor);
                 head.append(stamps, values);
                 let h = Arc::new(Mutex::new(head));
-                lockw(&self.shared).heads.push((series.to_string(), h.clone()));
+                lockw(&self.shared)
+                    .heads
+                    .push((series.to_string(), h.clone()));
                 h
             }
         };
@@ -454,7 +484,9 @@ impl Ingestor {
         if self.degraded_flag.load(Ordering::SeqCst) {
             return Err(self.degraded_error());
         }
-        if let Err(e) = w.wal.append(&WalOp::Delete { series: series.to_string() }) {
+        if let Err(e) = w.wal.append(&WalOp::Delete {
+            series: series.to_string(),
+        }) {
             self.enter_degraded(FaultKind::WalAppend, &e);
             return Err(self.degraded_error());
         }
@@ -471,15 +503,20 @@ impl Ingestor {
     /// blocked behind the compressor.
     fn roll_chunks(&self, head: &Arc<Mutex<Head>>) {
         loop {
-            let Some(raw) = lockm(head).tail_prefix(self.cfg.chunk_points) else { return };
+            let Some(raw) = lockm(head).tail_prefix(self.cfg.chunk_points) else {
+                return;
+            };
             let chunk = self.builder.build(&TimeSeries::from_values(raw));
             lockm(head).install_chunk(chunk);
         }
     }
 
     fn roll_all_heads(&self) {
-        let heads: Vec<Arc<Mutex<Head>>> =
-            lockr(&self.shared).heads.iter().map(|(_, h)| h.clone()).collect();
+        let heads: Vec<Arc<Mutex<Head>>> = lockr(&self.shared)
+            .heads
+            .iter()
+            .map(|(_, h)| h.clone())
+            .collect();
         for h in &heads {
             self.roll_chunks(h);
         }
@@ -500,8 +537,11 @@ impl Ingestor {
     /// seals — afterwards the WAL is empty and every point is in the pack.
     pub fn flush(&self) -> Result<u64, StoreError> {
         let mut w = lockm(&self.writer);
-        let heads: Vec<Arc<Mutex<Head>>> =
-            lockr(&self.shared).heads.iter().map(|(_, h)| h.clone()).collect();
+        let heads: Vec<Arc<Mutex<Head>>> = lockr(&self.shared)
+            .heads
+            .iter()
+            .map(|(_, h)| h.clone())
+            .collect();
         for h in &heads {
             self.roll_chunks(h);
             let raw = {
@@ -559,7 +599,11 @@ impl Ingestor {
         for (name, h) in &heads {
             let (stamps, values) = lockm(h).tail_parts();
             if !stamps.is_empty() {
-                new_wal.append(&WalOp::Append { series: name.clone(), stamps, values })?;
+                new_wal.append(&WalOp::Append {
+                    series: name.clone(),
+                    stamps,
+                    values,
+                })?;
             }
         }
         new_wal.sync()?;
@@ -567,15 +611,22 @@ impl Ingestor {
         let new_store = Arc::new(Store::open_with(pack, self.store_opts())?);
 
         // COMMIT POINT: after this rename the new generation is the truth.
-        Manifest { epoch: new_epoch, pack: pack_file.clone(), wal: wal_file.clone() }
-            .write_to(&self.dir)?;
+        Manifest {
+            epoch: new_epoch,
+            pack: pack_file.clone(),
+            wal: wal_file.clone(),
+        }
+        .write_to(&self.dir)?;
 
         // Swap the readers' view: new store and fresh trimmed heads
         // (copy-on-seal — readers holding the old snapshot keep a
         // consistent old world).
         {
             let mut s = lockw(&self.shared);
-            s.gen = Generation { epoch: new_epoch, store: new_store };
+            s.gen = Generation {
+                epoch: new_epoch,
+                store: new_store,
+            };
             s.heads = heads
                 .iter()
                 .filter_map(|(n, h)| {
@@ -617,11 +668,18 @@ impl Ingestor {
         let new_store = Arc::new(Store::open_with(bytes, self.store_opts())?);
         // COMMIT POINT. The WAL carries over unchanged — its Delete records
         // rebuild pending tombstones if we crash right after this.
-        Manifest { epoch: new_epoch, pack: pack_file.clone(), wal: w.wal_file.clone() }
-            .write_to(&self.dir)?;
+        Manifest {
+            epoch: new_epoch,
+            pack: pack_file.clone(),
+            wal: w.wal_file.clone(),
+        }
+        .write_to(&self.dir)?;
         {
             let mut s = lockw(&self.shared);
-            s.gen = Generation { epoch: new_epoch, store: new_store };
+            s.gen = Generation {
+                epoch: new_epoch,
+                store: new_store,
+            };
         }
         let old_pack = std::mem::replace(&mut w.pack_file, pack_file);
         let _ = fs::remove_file(self.dir.join(old_pack));
@@ -636,8 +694,7 @@ impl Ingestor {
     fn snap(&self, series: &str) -> Result<(Arc<Store>, Option<Arc<Mutex<Head>>>), StoreError> {
         let s = lockr(&self.shared);
         let head = s.head(series);
-        let visible =
-            !s.tombstones.contains(series) && s.gen.store.series(series).is_some();
+        let visible = !s.tombstones.contains(series) && s.gen.store.series(series).is_some();
         if head.is_none() && !visible {
             return Err(StoreError::UnknownSeries(series.to_string()));
         }
@@ -686,8 +743,7 @@ impl Ingestor {
             }
         };
         let _ = total;
-        let sealed = (range.start < sealed_len)
-            .then(|| range.start..range.end.min(sealed_len));
+        let sealed = (range.start < sealed_len).then(|| range.start..range.end.min(sealed_len));
         Ok((store, sealed, head_vals))
     }
 
@@ -703,7 +759,10 @@ impl Ingestor {
                 } else if idx - g.first_index < g.len() {
                     Ok(g.value(idx - g.first_index))
                 } else {
-                    Err(StoreError::OutOfRange { index: idx, len: g.first_index + g.len() })
+                    Err(StoreError::OutOfRange {
+                        index: idx,
+                        len: g.first_index + g.len(),
+                    })
                 }
             }
             None => store.get(series, idx),
@@ -722,7 +781,10 @@ impl Ingestor {
                 } else if idx - g.first_index < g.len() {
                     Ok(g.stamp(idx - g.first_index))
                 } else {
-                    Err(StoreError::OutOfRange { index: idx, len: g.first_index + g.len() })
+                    Err(StoreError::OutOfRange {
+                        index: idx,
+                        len: g.first_index + g.len(),
+                    })
                 }
             }
             None => store.timestamp(series, idx),
@@ -824,8 +886,7 @@ impl Ingestor {
                 if b > a {
                     g.values_range(a, b, &mut vals);
                 }
-                let pairs: Vec<(u64, i64)> =
-                    (a..b).map(|k| (g.stamp(k), vals[k - a])).collect();
+                let pairs: Vec<(u64, i64)> = (a..b).map(|k| (g.stamp(k), vals[k - a])).collect();
                 (pairs, g.first_index > 0)
             }
             None => (Vec::new(), true),
@@ -997,7 +1058,10 @@ impl Ingestor {
 
     fn enter_degraded(&self, kind: FaultKind, e: &StoreError) {
         let mut g = lockm(&self.degraded);
-        *g = Some(DegradedState { kind, reason: e.to_string() });
+        *g = Some(DegradedState {
+            kind,
+            reason: e.to_string(),
+        });
         self.degraded_flag.store(true, Ordering::SeqCst);
     }
 
@@ -1100,8 +1164,7 @@ impl Ingestor {
                 backoff.reset();
                 let (chunked, pending_delete, dead_ratio) = {
                     let s = lockr(&me.shared);
-                    let chunked: usize =
-                        s.heads.iter().map(|(_, h)| lockm(h).chunked_len()).sum();
+                    let chunked: usize = s.heads.iter().map(|(_, h)| lockm(h).chunked_len()).sum();
                     let pack_len = s.gen.store.as_bytes().len().max(1);
                     (
                         chunked,
@@ -1120,7 +1183,10 @@ impl Ingestor {
                 }
             }
         });
-        BackgroundHandle { stop, thread: Some(thread) }
+        BackgroundHandle {
+            stop,
+            thread: Some(thread),
+        }
     }
 }
 
@@ -1162,14 +1228,17 @@ mod tests {
     }
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let d = std::env::temp_dir()
-            .join(format!("neats-ingestor-{tag}-{}", std::process::id()));
+        let d = std::env::temp_dir().join(format!("neats-ingestor-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&d);
         d
     }
 
     fn small_cfg() -> IngestConfig {
-        IngestConfig { chunk_points: 64, seal_points: 128, ..IngestConfig::default() }
+        IngestConfig {
+            chunk_points: 64,
+            seal_points: 128,
+            ..IngestConfig::default()
+        }
     }
 
     #[test]
@@ -1242,7 +1311,10 @@ mod tests {
     fn append_validation() {
         let dir = tmp_dir("validation");
         let ing = Ingestor::open(&dir, small_cfg()).unwrap();
-        assert!(matches!(ing.append("", &[1], &[1]), Err(StoreError::EmptyName)));
+        assert!(matches!(
+            ing.append("", &[1], &[1]),
+            Err(StoreError::EmptyName)
+        ));
         assert!(matches!(
             ing.append("s", &[1, 2], &[1]),
             Err(StoreError::LengthMismatch { .. })
@@ -1265,7 +1337,10 @@ mod tests {
             Err(StoreError::TimestampOrder { index: 0, .. })
         ));
         ing.append("s", &[11], &[2]).unwrap();
-        assert!(matches!(ing.get("nope", 0), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(
+            ing.get("nope", 0),
+            Err(StoreError::UnknownSeries(_))
+        ));
         assert!(matches!(
             ing.get("s", 2),
             Err(StoreError::OutOfRange { index: 2, len: 2 })
@@ -1314,8 +1389,10 @@ mod tests {
             ..IngestConfig::default()
         };
         let ing = Arc::new(Ingestor::open(&dir, cfg).unwrap());
-        let handle =
-            ing.start_background(BackgroundConfig { interval: Duration::from_millis(20), ..Default::default() });
+        let handle = ing.start_background(BackgroundConfig {
+            interval: Duration::from_millis(20),
+            ..Default::default()
+        });
         let stamps: Vec<u64> = (0..256).collect();
         let values: Vec<i64> = (0..256).map(|k: i64| k * 7 % 97).collect();
         ing.append("s", &stamps, &values).unwrap();

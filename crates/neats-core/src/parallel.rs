@@ -34,12 +34,17 @@ pub fn effective_threads_env(threads: usize, env_var: &str) -> usize {
     if threads != 0 {
         return threads;
     }
-    if let Some(n) = std::env::var(env_var).ok().and_then(|v| v.parse::<usize>().ok()) {
+    if let Some(n) = std::env::var(env_var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
         if n > 0 {
             return n;
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 struct QueueState<T> {
@@ -70,7 +75,10 @@ impl<T> Queue<T> {
     /// An empty, open queue.
     pub fn new() -> Self {
         Self {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
             ready: Condvar::new(),
         }
     }
@@ -101,6 +109,15 @@ impl<T> Queue<T> {
             }
             state = self.ready.wait(state).expect("queue lock");
         }
+    }
+
+    /// Dequeues the oldest item if one is immediately available, never
+    /// blocking — the companion to [`pop`](Self::pop) for consumers that
+    /// multiplex the queue with other readiness sources (the serve
+    /// reactor's shard inboxes are drained this way between poll wake-ups).
+    /// Returns `None` whenever the queue is empty, closed or not.
+    pub fn try_pop(&self) -> Option<T> {
+        self.state.lock().expect("queue lock").items.pop_front()
     }
 
     /// Closes the queue: future pushes are refused, blocked consumers wake,
@@ -157,7 +174,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_map worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
     });
     // Scatter the per-thread batches back into task order.
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -167,7 +187,9 @@ where
             out[i] = Some(t);
         }
     }
-    out.into_iter().map(|o| o.expect("every task claimed exactly once")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every task claimed exactly once"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -179,7 +201,11 @@ mod tests {
         let f = |i: usize| i * i + 1;
         let serial: Vec<usize> = (0..100).map(f).collect();
         for threads in [1, 2, 3, 4, 8] {
-            assert_eq!(parallel_map_indexed(100, threads, f), serial, "threads={threads}");
+            assert_eq!(
+                parallel_map_indexed(100, threads, f),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 
@@ -251,6 +277,16 @@ mod tests {
         });
         assert_eq!(popped.load(Ordering::Relaxed), 100);
         assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q: Queue<u32> = Queue::new();
+        assert_eq!(q.try_pop(), None, "empty + open: no item, no block");
+        assert!(q.push(9));
+        assert_eq!(q.try_pop(), Some(9));
+        q.close();
+        assert_eq!(q.try_pop(), None, "empty + closed: still just None");
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub struct HttpError {
 
 impl HttpError {
     fn new(status: u16, reason: impl Into<String>) -> Self {
-        Self { status, reason: reason.into() }
+        Self {
+            status,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -93,7 +96,10 @@ impl Conn {
     /// Wraps `stream`. The caller must have set a read timeout — it is the
     /// poll tick at which `should_abort` is consulted.
     pub fn new(stream: TcpStream) -> Self {
-        Self { stream, buf: Vec::new() }
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
     }
 
     /// The underlying stream (for writing responses).
@@ -137,7 +143,13 @@ impl Conn {
             let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
         }
         let body = self.fill_body(content_length, limits, should_abort)?;
-        Ok(ReadOutcome::Request(Request { method, path, query, keep_alive, body }))
+        Ok(ReadOutcome::Request(Request {
+            method,
+            path,
+            query,
+            keep_alive,
+            body,
+        }))
     }
 
     /// Accumulates bytes until the buffer holds a full head (returning its
@@ -148,8 +160,11 @@ impl Conn {
         limits: &Limits,
         should_abort: &dyn Fn() -> bool,
     ) -> Result<Option<usize>, HttpError> {
-        let mut started_at: Option<Instant> =
-            if self.buf.is_empty() { None } else { Some(Instant::now()) };
+        let mut started_at: Option<Instant> = if self.buf.is_empty() {
+            None
+        } else {
+            Some(Instant::now())
+        };
         let idle_since = Instant::now();
         loop {
             if let Some(end) = find_head_end(&self.buf) {
@@ -190,9 +205,7 @@ impl Conn {
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     match started_at {
                         // Idle between requests: wait up to the idle
                         // deadline, and let a shutting-down server close
@@ -241,9 +254,7 @@ impl Conn {
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
-                {
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if t0.elapsed() > limits.request_timeout {
                         return Err(HttpError::new(408, "request body timed out"));
                     }
@@ -261,8 +272,9 @@ impl Conn {
 }
 
 /// Index one past the head terminator (`\r\n\r\n`, or the lenient bare
-/// `\n\n`), if the buffer holds a complete head.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// `\n\n`), if the buffer holds a complete head. Shared by this blocking
+/// reader and the reactor's per-connection state machine.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4);
     let lf = buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2);
     match (crlf, lf) {
@@ -271,14 +283,16 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     }
 }
 
-type ParsedHead = (Method, String, String, bool, usize, bool);
+pub(crate) type ParsedHead = (Method, String, String, bool, usize, bool);
 
 /// Parses request line + headers. Returns
 /// `(method, decoded path, raw query, keep_alive, content_length,
-/// expects_continue)`.
-fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
-    let text = std::str::from_utf8(head)
-        .map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+/// expects_continue)`. Deliberately incremental-friendly: it takes a
+/// complete head slice (found by [`find_head_end`]) and nothing else, so
+/// the blocking reader and the reactor share one strict parser.
+pub(crate) fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
     let mut lines = text.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
@@ -291,7 +305,10 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
         "GET" => Method::Get,
         "POST" => Method::Post,
         "HEAD" | "PUT" | "DELETE" | "OPTIONS" | "PATCH" | "TRACE" | "CONNECT" => {
-            return Err(HttpError::new(405, format!("method {method_s} not allowed")));
+            return Err(HttpError::new(
+                405,
+                format!("method {method_s} not allowed"),
+            ));
         }
         _ => return Err(HttpError::new(400, "unrecognised method")),
     };
@@ -366,7 +383,14 @@ fn parse_head(head: &[u8]) -> Result<ParsedHead, HttpError> {
             _ => {}
         }
     }
-    Ok((method, path, query, keep_alive, content_length.unwrap_or(0), expects_continue))
+    Ok((
+        method,
+        path,
+        query,
+        keep_alive,
+        content_length.unwrap_or(0),
+        expects_continue,
+    ))
 }
 
 /// Decodes `%XX` escapes; the result must be valid UTF-8.
@@ -414,7 +438,12 @@ pub struct Response {
 impl Response {
     /// A 200 with a plain-text body.
     pub fn text(body: Vec<u8>) -> Self {
-        Self { status: 200, content_type: "text/plain; charset=utf-8", body, retry_after: None }
+        Self {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
     }
 
     /// A 200 with a JSON body.
@@ -463,18 +492,14 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Serializes `resp` onto `stream`. `keep_alive` controls the `Connection`
+/// The serialized response head. `keep_alive` controls the `Connection`
 /// header; the caller decides whether to actually close.
-pub fn write_response(
-    stream: &mut TcpStream,
-    resp: &Response,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+fn response_head(resp: &Response, keep_alive: bool) -> String {
     let retry_after = match resp.retry_after {
         Some(secs) => format!("Retry-After: {secs}\r\n"),
         None => String::new(),
     };
-    let head = format!(
+    format!(
         "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
         resp.status,
         reason_phrase(resp.status),
@@ -482,12 +507,29 @@ pub fn write_response(
         resp.body.len(),
         retry_after,
         if keep_alive { "keep-alive" } else { "close" },
-    );
+    )
+}
+
+/// Serializes `resp` onto `stream`. The caller is expected to have set a
+/// write timeout on the stream — without one, a client that stops reading
+/// (write-side slowloris) would pin the writing thread forever.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     // Two writes instead of concatenating — a large range body would
     // otherwise be copied a second time on every response.
-    stream.write_all(head.as_bytes())?;
+    stream.write_all(response_head(resp, keep_alive).as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
+}
+
+/// Appends the serialized `resp` to `out` — the reactor's per-connection
+/// write buffer, flushed by write-readiness instead of blocking writes.
+pub(crate) fn append_response(out: &mut Vec<u8>, resp: &Response, keep_alive: bool) {
+    out.extend_from_slice(response_head(resp, keep_alive).as_bytes());
+    out.extend_from_slice(&resp.body);
 }
 
 #[cfg(test)]
@@ -532,7 +574,10 @@ mod tests {
             ("GET / HTTP/1.1\r\nBad-header-no-colon\r\n\r\n", 400),
             ("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
             ("POST / HTTP/1.1\r\nContent-Length: +17\r\n\r\n", 400),
-            ("POST / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 29\r\n\r\n", 400),
+            (
+                "POST / HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 29\r\n\r\n",
+                400,
+            ),
             ("GET /%+5 HTTP/1.1\r\n\r\n", 400),
             ("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501),
             ("GET /%zz HTTP/1.1\r\n\r\n", 400),

@@ -1,9 +1,10 @@
-//! # neats-serve — a multi-threaded query server over the pack store
+//! # neats-serve — the HTTP query server over the pack store
 //!
 //! The paper's headline feature — random access into learned-compressed
 //! series — pays off at system scale when queries are served concurrently
 //! over the wire. This crate is that serving frontend: a std-only (zero
-//! dependencies beyond the workspace) multi-threaded TCP server that mounts
+//! dependencies beyond the workspace) TCP server — an epoll readiness
+//! reactor on Linux, a thread-per-connection pool elsewhere — that mounts
 //! a packfile via [`neats_store::Store`] and speaks a minimal HTTP/1.1
 //! subset:
 //!
@@ -29,22 +30,42 @@
 //!
 //! ## Design
 //!
-//! * **Accept loop + fixed worker pool** — [`Server::run`] accepts on the
-//!   calling thread and feeds a closeable queue drained by `threads`
-//!   workers ([`neats_core::parallel::Queue`]); the count resolves from the
-//!   explicit knob, else `NEATS_SERVE_THREADS`, else all cores.
-//! * **Zero-copy serving** — every worker borrows the one `Arc<Store>`;
-//!   responses are rendered straight from the store's zero-copy
-//!   [`neats_core::ArchiveView`]s via [`neats_store::Store::range_chunks`],
-//!   so *decode* buffers are bounded by one segment regardless of range
-//!   length (the rendered text body is still accumulated in full for
-//!   `Content-Length` framing).
+//! * **Two serving disciplines behind one switch** —
+//!   [`ServeConfig::reactor`] selects between an epoll readiness reactor
+//!   (the Linux default under [`ReactorMode::Auto`]; `NEATS_SERVE_REACTOR`
+//!   overrides) and a thread-per-connection worker pool (the portable
+//!   fallback). Both speak the same strict HTTP subset through the same
+//!   parser and handler; every integration suite runs against both.
+//! * **The reactor** — the accept loop round-robins admitted connections
+//!   into per-shard inboxes; each of [`ServeConfig::shards`] reactor
+//!   threads multiplexes *all* of its connections over one epoll instance
+//!   (the std-only `polling` shim in `vendor/`). Per connection: a
+//!   slab-indexed non-blocking state machine, a write buffer that
+//!   re-registers for writability when the socket backs up, and idle /
+//!   request / write deadlines on a timer wheel — an idle keep-alive
+//!   connection costs a slab entry, never a thread, and a stalled reader
+//!   is disconnected at the write deadline.
+//! * **The threaded fallback** — [`Server::run`] feeds a closeable queue
+//!   drained by `threads` workers ([`neats_core::parallel::Queue`]); one
+//!   worker owns a connection for its keep-alive lifetime. Thread counts
+//!   resolve from the explicit knob, else `NEATS_SERVE_THREADS`, else all
+//!   cores.
+//! * **Zero-copy serving** — every shard/worker borrows the one
+//!   `Arc<Store>`; responses are rendered straight from the store's
+//!   zero-copy [`neats_core::ArchiveView`]s via
+//!   [`neats_store::Store::range_chunks`], so *decode* buffers are bounded
+//!   by one segment regardless of range length (the rendered text body is
+//!   still accumulated in full for `Content-Length` framing). With
+//!   `CacheSharding::ByThread` on the store, each shard additionally owns
+//!   a private slice of the segment-view cache — no cross-shard locks on
+//!   the hot path.
 //! * **Keep-alive & pipelining** — connections serve any number of
 //!   requests; buffered pipelined requests are handled in order.
 //! * **Graceful shutdown** — [`ServerHandle::shutdown`] (the
 //!   SIGTERM-equivalent hook) stops the accept loop, drains accepted
-//!   connections, finishes in-flight requests, then [`Server::run`]
-//!   returns.
+//!   connections, finishes in-flight requests (a half-received request is
+//!   answered 408), then [`Server::run`] returns with the open-connection
+//!   counter at exactly zero.
 //! * **Observability** — per-endpoint request/error counters and latency
 //!   histograms ([`neats_core::AtomicHistogram`]) served on `/stats`.
 //!
@@ -86,13 +107,15 @@
 
 mod handler;
 mod http;
+mod reactor;
 mod server;
 mod source;
 mod stats;
 
 pub use http::{Limits, Method, Request, Response};
 pub use server::{
-    ServeConfig, Server, ServerHandle, MAX_CONNS_ENV, SHED_WATERMARK_ENV, THREADS_ENV,
+    ReactorMode, ServeConfig, Server, ServerHandle, MAX_CONNS_ENV, REACTOR_ENV, SHARDS_ENV,
+    SHED_WATERMARK_ENV, THREADS_ENV,
 };
 pub use source::Source;
 pub use stats::{Endpoint, EndpointStats, ServerStats};

@@ -1,33 +1,42 @@
-//! The server: a bound listener, an accept loop, and a fixed worker pool
-//! draining a [`Queue`] of accepted connections.
+//! The server: a bound listener, an accept loop, and one of two serving
+//! disciplines behind it.
 //!
 //! ## Threading model
 //!
-//! [`Server::run`] blocks the calling thread on `accept()` and spawns
-//! `threads` scoped workers (resolved like every other knob in this
-//! workspace: explicit value, else `NEATS_SERVE_THREADS`, else all cores).
-//! Accepted connections are pushed onto a closeable blocking queue
-//! ([`neats_core::parallel::Queue`]); each worker pops one connection and
-//! owns it for its whole keep-alive lifetime — requests on one connection
-//! are handled serially (HTTP/1.1 semantics), requests on different
-//! connections in parallel. The [`Store`] is shared behind an `Arc` and is
-//! `Send + Sync`; queries run zero-copy against the shared pack bytes, so
-//! workers never copy archive data.
+//! [`Server::run`] blocks the calling thread on `accept()` and serves
+//! connections in one of two modes, selected by [`ServeConfig::reactor`]
+//! (default [`ReactorMode::Auto`]: the reactor wherever epoll exists,
+//! i.e. Linux):
+//!
+//! * **Reactor (default on Linux)** — `shards` event-loop threads (the
+//!   `crate::reactor` module), each owning an epoll poller, a slab of
+//!   non-blocking connections, and a timer wheel for idle/request/write
+//!   deadlines. A shard multiplexes thousands of mostly-idle keep-alive
+//!   connections; an idle client costs a slab entry, never a thread.
+//! * **Thread-per-connection (fallback)** — accepted connections are pushed
+//!   onto a closeable blocking queue ([`neats_core::parallel::Queue`]);
+//!   each of `threads` workers pops one connection and owns it for its
+//!   whole keep-alive lifetime. Simple and portable, but W idle keep-alive
+//!   clients occupy all W workers.
+//!
+//! In both modes requests on one connection are handled serially (HTTP/1.1
+//! semantics), requests on different connections in parallel, and the
+//! [`Store`] is shared behind an `Arc`: queries run zero-copy against the
+//! shared pack bytes, so serving threads never copy archive data.
 //!
 //! ## Shutdown
 //!
 //! [`ServerHandle::shutdown`] is the SIGTERM-equivalent: it sets the
 //! shutdown flag and wakes the accept loop with a loopback connection. The
-//! accept loop stops accepting and closes the queue; workers drain already
-//! accepted connections, finish the request in flight (plus any pipelined
-//! requests the client already sent in full), answer them with
-//! `Connection: close`, and exit. `run` returns once every worker has
-//! joined.
+//! accept loop stops accepting; both modes then drain — already accepted
+//! connections finish the request in flight (plus any pipelined requests
+//! the client already sent in full), answer them with `Connection: close`,
+//! and close. `run` returns once the drain completes.
 
 use crate::http::{Conn, HttpError, Limits, ReadOutcome, Response};
 use crate::source::Source;
 use crate::stats::ServerStats;
-use crate::{handler, http};
+use crate::{handler, http, reactor};
 use neats_core::parallel::{effective_threads_env, Queue};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,6 +51,29 @@ pub const THREADS_ENV: &str = "NEATS_SERVE_THREADS";
 pub const MAX_CONNS_ENV: &str = "NEATS_SERVE_MAX_CONNS";
 /// Environment variable naming the default worker-queue shed watermark.
 pub const SHED_WATERMARK_ENV: &str = "NEATS_SERVE_SHED_WATERMARK";
+/// Environment variable selecting the serving mode when
+/// [`ServeConfig::reactor`] is [`ReactorMode::Auto`]: `on`/`reactor`/`1`
+/// forces the epoll reactor, `off`/`threaded`/`0` forces
+/// thread-per-connection, anything else keeps automatic detection.
+pub const REACTOR_ENV: &str = "NEATS_SERVE_REACTOR";
+/// Environment variable naming the default reactor shard count.
+pub const SHARDS_ENV: &str = "NEATS_SERVE_SHARDS";
+
+/// How [`Server::run`] multiplexes connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReactorMode {
+    /// Use the epoll readiness reactor where the platform supports it
+    /// (Linux), else fall back to thread-per-connection. [`REACTOR_ENV`]
+    /// overrides the detection.
+    #[default]
+    Auto,
+    /// Require the reactor: [`Server::run`] fails with
+    /// [`std::io::ErrorKind::Unsupported`] on platforms without epoll.
+    Reactor,
+    /// Force the blocking thread-per-connection path (one worker owns each
+    /// connection for its whole keep-alive lifetime).
+    Threaded,
+}
 
 /// Server tuning knobs. `Default` matches the documented configuration
 /// table in the README.
@@ -68,8 +100,20 @@ pub struct ServeConfig {
     /// Worker-queue depth above which new connections are shed (`0` =
     /// automatic: [`SHED_WATERMARK_ENV`], else `4 × threads`, capped at
     /// 64). A deep queue means every worker is busy and new arrivals would
-    /// only wait — shedding keeps latency flat for admitted requests.
+    /// only wait — shedding keeps latency flat for admitted requests. In
+    /// reactor mode the watermark bounds the not-yet-registered shard
+    /// inbox backlog instead (shards drain their inboxes within one poll
+    /// wake-up, so it only trips when the event loops themselves stall).
     pub queue_watermark: usize,
+    /// Serving discipline: epoll reactor, thread-per-connection, or
+    /// automatic platform detection (the default; [`REACTOR_ENV`]
+    /// overrides).
+    pub reactor: ReactorMode,
+    /// Reactor event-loop shards (`0` = automatic: [`SHARDS_ENV`], else
+    /// the resolved `threads` count). Each shard runs one event loop and —
+    /// when the store is opened with thread-sharded caching — owns its own
+    /// slice of the segment-view cache. Ignored in threaded mode.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,7 +127,22 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(60),
             max_connections: 0,
             queue_watermark: 0,
+            reactor: ReactorMode::Auto,
+            shards: 0,
         }
+    }
+}
+
+/// Applies the [`REACTOR_ENV`] override to an [`ReactorMode::Auto`]
+/// configuration; explicit modes win over the environment.
+fn resolve_mode(configured: ReactorMode) -> ReactorMode {
+    match configured {
+        ReactorMode::Auto => match std::env::var(REACTOR_ENV).ok().as_deref().map(str::trim) {
+            Some("on") | Some("reactor") | Some("1") => ReactorMode::Reactor,
+            Some("off") | Some("threaded") | Some("0") => ReactorMode::Threaded,
+            _ => ReactorMode::Auto,
+        },
+        explicit => explicit,
     }
 }
 
@@ -99,17 +158,18 @@ fn resolve_knob(configured: usize, env: &str, fallback: usize) -> usize {
         .unwrap_or(fallback)
 }
 
-struct Shared {
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) shutdown: AtomicBool,
     /// Set by the accept loop on exit; [`ServerHandle::shutdown`] retries
     /// its wake-up connect until this flips (a single connect can race the
     /// loop and be missed).
-    accept_exited: AtomicBool,
+    pub(crate) accept_exited: AtomicBool,
     /// Connections currently owned by the server (queued or being served).
-    open_conns: AtomicU64,
-    /// Connections accepted but not yet popped by a worker.
-    queued: AtomicU64,
-    stats: ServerStats,
+    pub(crate) open_conns: AtomicU64,
+    /// Connections accepted but not yet popped by a worker (threaded mode)
+    /// or not yet registered by their shard (reactor mode).
+    pub(crate) queued: AtomicU64,
+    pub(crate) stats: ServerStats,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] serves until a
@@ -121,6 +181,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     threads: usize,
+    shards: usize,
     cfg: ServeConfig,
 }
 
@@ -166,6 +227,14 @@ impl ServerHandle {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Connections the server currently owns (queued, registered with a
+    /// reactor shard, or being served by a worker). Drains to zero once a
+    /// graceful shutdown completes — the graceful-drain tests assert
+    /// exactly that, guarding the accept-path counter bookkeeping.
+    pub fn open_connections(&self) -> u64 {
+        self.shared.open_conns.load(Ordering::SeqCst)
+    }
+
     /// The address the server is bound to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
@@ -189,6 +258,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let threads = effective_threads_env(cfg.threads, THREADS_ENV);
+        let shards = resolve_knob(cfg.shards, SHARDS_ENV, threads);
         Ok(Server {
             listener,
             source: source.into(),
@@ -201,6 +271,7 @@ impl Server {
             }),
             addr,
             threads,
+            shards,
             cfg,
         })
     }
@@ -210,21 +281,50 @@ impl Server {
         self.addr
     }
 
-    /// The resolved worker-thread count.
+    /// The resolved worker-thread count (threaded mode's pool size).
     pub fn threads(&self) -> usize {
         self.threads
     }
 
-    /// A shutdown handle; obtain it before calling [`Self::run`].
-    pub fn handle(&self) -> ServerHandle {
-        ServerHandle { shared: Arc::clone(&self.shared), addr: self.addr }
+    /// The resolved reactor shard count (reactor mode's event-loop count).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
-    /// Serves until shutdown: the calling thread runs the accept loop, the
-    /// worker pool handles connections. Returns after the drain completes.
+    /// The serving discipline [`Self::run`] will use, after applying the
+    /// [`REACTOR_ENV`] override and platform detection — never
+    /// [`ReactorMode::Auto`]. (If epoll unexpectedly fails at runtime on a
+    /// platform that compiles with it, `run` under `Auto` still falls back
+    /// to the threaded path even though this reported the reactor.)
+    pub fn mode(&self) -> ReactorMode {
+        match resolve_mode(self.cfg.reactor) {
+            ReactorMode::Auto if cfg!(target_os = "linux") => ReactorMode::Reactor,
+            ReactorMode::Auto => ReactorMode::Threaded,
+            explicit => explicit,
+        }
+    }
+
+    /// A shutdown handle; obtain it before calling [`Self::run`].
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Serves until shutdown: the calling thread runs the accept loop; the
+    /// reactor shards or the worker pool handle connections (per
+    /// [`ServeConfig::reactor`]). Returns after the drain completes.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, source, shared, addr: _, threads, cfg } = self;
-        let queue: Queue<TcpStream> = Queue::new();
+        let Server {
+            listener,
+            source,
+            shared,
+            addr: _,
+            threads,
+            shards,
+            cfg,
+        } = self;
         let limits = Limits {
             max_header_bytes: cfg.max_header_bytes,
             max_body_bytes: cfg.max_body_bytes,
@@ -232,83 +332,132 @@ impl Server {
             idle_timeout: cfg.idle_timeout,
         };
         let max_conns = resolve_knob(cfg.max_connections, MAX_CONNS_ENV, 1024) as u64;
-        let watermark =
-            resolve_knob(cfg.queue_watermark, SHED_WATERMARK_ENV, (4 * threads).min(64)) as u64;
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
-                    while let Some(conn) = queue.pop() {
-                        shared.queued.fetch_sub(1, Ordering::Relaxed);
-                        serve_connection(&source, &shared, &cfg, &limits, threads, conn);
-                    }
-                });
-            }
-            // Non-blocking accept with a short idle sleep: the loop
-            // observes the shutdown flag even if the wake-up connect in
-            // ServerHandle::shutdown never lands (wildcard binds, full
-            // backlog), so run() can never hang on accept(). The tick is
-            // deliberately much shorter than poll_interval — it bounds
-            // *accept latency* for every new connection, not just shutdown
-            // responsiveness.
-            let accept_tick = Duration::from_millis(2).min(cfg.poll_interval);
-            let nonblocking = listener.set_nonblocking(true).is_ok();
-            loop {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+        let watermark = resolve_knob(
+            cfg.queue_watermark,
+            SHED_WATERMARK_ENV,
+            (4 * threads).min(64),
+        ) as u64;
+        let mode = resolve_mode(cfg.reactor);
+        if mode != ReactorMode::Threaded {
+            match reactor::run(
+                &listener, &source, &shared, &cfg, &limits, shards, max_conns, watermark,
+            ) {
+                // No epoll on this platform: Auto falls back to the
+                // threaded path below (the listener is untouched — the
+                // reactor probes its pollers before accepting anything).
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::Unsupported && mode == ReactorMode::Auto => {
                 }
-                match listener.accept() {
-                    Ok((conn, _peer)) => {
-                        if shared.shutdown.load(Ordering::SeqCst) {
-                            break; // likely the wake-up connection; drop it
-                        }
-                        // Workers rely on read timeouts, which need a
-                        // blocking socket (some platforms inherit the
-                        // listener's non-blocking flag).
-                        if conn.set_nonblocking(false).is_err() {
-                            continue;
-                        }
-                        // Admission control: past the connection cap or the
-                        // queue watermark, every worker is saturated and an
-                        // admitted connection would only queue — answer a
-                        // canned 503 now so the client can back off, and
-                        // admitted requests keep their flat latency.
-                        if shared.open_conns.load(Ordering::Relaxed) >= max_conns
-                            || shared.queued.load(Ordering::Relaxed) >= watermark
-                        {
-                            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                            shed_connection(conn);
-                            continue;
-                        }
-                        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                        shared.open_conns.fetch_add(1, Ordering::Relaxed);
-                        shared.queued.fetch_add(1, Ordering::Relaxed);
-                        if !queue.push(conn) {
-                            break;
-                        }
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && nonblocking => {
-                        std::thread::sleep(accept_tick);
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        // Transient accept failure (e.g. fd exhaustion):
-                        // back off briefly instead of spinning.
-                        std::thread::sleep(cfg.poll_interval);
-                    }
-                }
+                served => return served,
             }
-            shared.accept_exited.store(true, Ordering::SeqCst);
-            queue.close();
-        });
+        }
+        run_threaded(
+            listener, source, &shared, &cfg, &limits, threads, max_conns, watermark,
+        );
         Ok(())
     }
 }
 
+/// The blocking fallback: a fixed worker pool draining a closeable queue
+/// of accepted connections, each worker owning one connection at a time.
+#[allow(clippy::too_many_arguments)]
+fn run_threaded(
+    listener: TcpListener,
+    source: Source,
+    shared: &Arc<Shared>,
+    cfg: &ServeConfig,
+    limits: &Limits,
+    threads: usize,
+    max_conns: u64,
+    watermark: u64,
+) {
+    let queue: Queue<TcpStream> = Queue::new();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                while let Some(conn) = queue.pop() {
+                    shared.queued.fetch_sub(1, Ordering::Relaxed);
+                    serve_connection(&source, shared, cfg, limits, threads, conn);
+                }
+            });
+        }
+        // Non-blocking accept with a short idle sleep: the loop
+        // observes the shutdown flag even if the wake-up connect in
+        // ServerHandle::shutdown never lands (wildcard binds, full
+        // backlog), so run() can never hang on accept(). The tick is
+        // deliberately much shorter than poll_interval — it bounds
+        // *accept latency* for every new connection, not just shutdown
+        // responsiveness.
+        let accept_tick = Duration::from_millis(2).min(cfg.poll_interval);
+        let nonblocking = listener.set_nonblocking(true).is_ok();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((conn, _peer)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break; // likely the wake-up connection; drop it
+                    }
+                    // Workers rely on read timeouts, which need a
+                    // blocking socket (some platforms inherit the
+                    // listener's non-blocking flag).
+                    if conn.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    // Admission control: past the connection cap or the
+                    // queue watermark, every worker is saturated and an
+                    // admitted connection would only queue — answer a
+                    // canned 503 now so the client can back off, and
+                    // admitted requests keep their flat latency.
+                    if shared.open_conns.load(Ordering::Relaxed) >= max_conns
+                        || shared.queued.load(Ordering::Relaxed) >= watermark
+                    {
+                        shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(conn);
+                        continue;
+                    }
+                    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.open_conns.fetch_add(1, Ordering::Relaxed);
+                    shared.queued.fetch_add(1, Ordering::Relaxed);
+                    if !queue.push(conn) {
+                        // The queue closed between the shutdown check
+                        // and the push: the connection was dropped, not
+                        // queued. Undo the optimistic accounting above
+                        // or /stats lies for the whole drain (and
+                        // open_conns never returns to zero).
+                        shared.stats.accepted.fetch_sub(1, Ordering::Relaxed);
+                        shared.open_conns.fetch_sub(1, Ordering::Relaxed);
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && nonblocking => {
+                    std::thread::sleep(accept_tick);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Transient accept failure (e.g. fd exhaustion):
+                    // back off briefly instead of spinning.
+                    std::thread::sleep(cfg.poll_interval);
+                }
+            }
+        }
+        shared.accept_exited.store(true, Ordering::SeqCst);
+        queue.close();
+    });
+}
+
 /// Sheds one connection at accept time with a canned raw `503` (no parsing,
 /// no allocation beyond the accepted socket — shedding must stay cheap under
-/// exactly the load that triggers it). Best-effort: a slow or gone client
-/// gets dropped after a short write timeout.
-fn shed_connection(conn: TcpStream) {
+/// exactly the load that triggers it). Strictly non-blocking best-effort:
+/// this runs on the accept thread under precisely the load that triggers
+/// shedding, so it must never wait on a peer — not even for a write
+/// timeout, which would serialize sheds and stall accepts behind every
+/// slow-to-read shed client. The 131-byte response virtually always fits
+/// the empty send buffer of a fresh connection; a peer whose buffer cannot
+/// take it is already misbehaving and just gets the close.
+pub(crate) fn shed_connection(conn: TcpStream) {
     const SHED_RESPONSE: &[u8] = b"HTTP/1.1 503 Service Unavailable\r\n\
         Content-Type: text/plain\r\n\
         Content-Length: 9\r\n\
@@ -316,19 +465,18 @@ fn shed_connection(conn: TcpStream) {
         Connection: close\r\n\
         \r\n\
         overload\n";
-    let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
     let mut conn = conn;
-    let _ = conn.write_all(SHED_RESPONSE);
-    let _ = conn.flush();
-    // Drain whatever request bytes already arrived (one non-blocking read —
-    // this runs on the accept thread and must never stall). Closing a
-    // socket with unread data sends an RST that can discard the 503 before
-    // the client reads it; the drain makes the common case — a small
-    // request that landed before accept — deliver the response cleanly.
-    if conn.set_nonblocking(true).is_ok() {
-        let mut sink = [0u8; 4096];
-        let _ = std::io::Read::read(&mut conn, &mut sink);
+    if conn.set_nonblocking(true).is_err() {
+        return; // can't make it safe to touch; just close
     }
+    let _ = conn.write(SHED_RESPONSE);
+    // Drain whatever request bytes already arrived (one non-blocking read).
+    // Closing a socket with unread data sends an RST that can discard the
+    // 503 before the client reads it; the drain makes the common case — a
+    // small request that landed before accept — deliver the response
+    // cleanly.
+    let mut sink = [0u8; 4096];
+    let _ = std::io::Read::read(&mut conn, &mut sink);
 }
 
 /// Serves one connection for its whole keep-alive lifetime.
@@ -345,6 +493,13 @@ fn serve_connection(
     // The read timeout is the poll tick: blocked reads wake this often to
     // re-check the shutdown flag.
     let _ = stream.set_read_timeout(Some(cfg.poll_interval));
+    // The write deadline is the write-side slowloris defense: a client that
+    // stops *reading* while a response is in flight fails the stalled
+    // write_all and loses the connection, instead of pinning this worker
+    // forever. (Per-syscall, so a trickle-reader can stretch a single large
+    // response further — the reactor's wall-clock write deadline is the
+    // strict version.)
+    let _ = stream.set_write_timeout(Some(cfg.request_timeout));
     let mut conn = Conn::new(stream);
     let should_abort = || shared.shutdown.load(Ordering::SeqCst);
     loop {
@@ -379,11 +534,8 @@ fn serve_connection(
                     // Slow-drip or idle deadline — the slowloris defenses.
                     shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                let _ = http::write_response(
-                    conn.stream(),
-                    &Response::error(status, &reason),
-                    false,
-                );
+                let _ =
+                    http::write_response(conn.stream(), &Response::error(status, &reason), false);
                 break;
             }
         }

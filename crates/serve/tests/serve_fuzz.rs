@@ -10,7 +10,7 @@
 mod common;
 
 use common::{demo_store, Client};
-use neats_serve::{ServeConfig, Server};
+use neats_serve::{ReactorMode, ServeConfig, Server};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -20,7 +20,9 @@ use std::time::Duration;
 /// Reads whatever the server sends until it closes, with a client-side
 /// timeout; returns the (possibly empty) bytes. A hang fails the test.
 fn drain(stream: &mut TcpStream) -> Vec<u8> {
-    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
     let mut out = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -63,6 +65,16 @@ fn assert_clean_rejection(reply: &[u8], input: &[u8]) {
 
 #[test]
 fn malformed_inputs_never_panic_the_server() {
+    fuzz_one_mode(ReactorMode::Threaded);
+}
+
+#[test]
+#[cfg_attr(not(target_os = "linux"), ignore = "reactor mode requires epoll")]
+fn malformed_inputs_never_panic_the_reactor() {
+    fuzz_one_mode(ReactorMode::Reactor);
+}
+
+fn fuzz_one_mode(reactor: ReactorMode) {
     let store = demo_store();
     // Small limits and a short request timeout keep the truncation cases fast.
     let cfg = ServeConfig {
@@ -71,6 +83,7 @@ fn malformed_inputs_never_panic_the_server() {
         max_body_bytes: 4096,
         request_timeout: Duration::from_millis(300),
         poll_interval: Duration::from_millis(20),
+        reactor,
         ..ServeConfig::default()
     };
     let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).unwrap();
@@ -134,7 +147,9 @@ fn malformed_inputs_never_panic_the_server() {
 
     // Truncated body, silent client: same contract.
     let mut stream = TcpStream::connect(addr).unwrap();
-    stream.write_all(b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\ncpu idx=1").unwrap();
+    stream
+        .write_all(b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\ncpu idx=1")
+        .unwrap();
     let reply = drain(&mut stream);
     assert!(
         String::from_utf8_lossy(&reply).starts_with("HTTP/1.1 408"),
@@ -146,7 +161,9 @@ fn malformed_inputs_never_panic_the_server() {
     // tick must still be cut off by the request timeout — progress does
     // not extend the deadline (a worker-pinning DoS otherwise).
     let mut stream = TcpStream::connect(addr).unwrap();
-    stream.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(30)))
+        .unwrap();
     let t0 = std::time::Instant::now();
     let mut reply = Vec::new();
     loop {
@@ -182,7 +199,9 @@ fn malformed_inputs_never_panic_the_server() {
     // Truncated body, closing client: the 400 may or may not still be
     // deliverable; the requirement is no panic and no hang.
     let mut stream = TcpStream::connect(addr).unwrap();
-    stream.write_all(b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").unwrap();
+    stream
+        .write_all(b"POST /q HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        .unwrap();
     stream.shutdown(std::net::Shutdown::Write).unwrap();
     let reply = drain(&mut stream);
     assert_clean_rejection(&reply, b"<truncated-then-closed body>");
@@ -205,7 +224,15 @@ fn malformed_inputs_never_panic_the_server() {
             1 => {
                 // A mangled request line.
                 let methods = ["GET", "POST", "get", "PoSt", "XYZZY", ""];
-                let targets = ["/q/cpu?idx=1", "/series", "nope", "/%4", "/\u{7f}", "?", "/q/"];
+                let targets = [
+                    "/q/cpu?idx=1",
+                    "/series",
+                    "nope",
+                    "/%4",
+                    "/\u{7f}",
+                    "?",
+                    "/q/",
+                ];
                 let versions = ["HTTP/1.1", "HTTP/1.0", "HTTP/0.9", "FTP/1.1", ""];
                 let line = format!(
                     "{} {} {}\r\n\r\n",
@@ -243,7 +270,10 @@ fn malformed_inputs_never_panic_the_server() {
     let mut client = Client::connect(addr);
     let r = client.get("/q/cpu?idx=7");
     assert_eq!(r.status, 200);
-    assert_eq!(r.body.trim().parse::<i64>().unwrap(), store.get("cpu", 7).unwrap());
+    assert_eq!(
+        r.body.trim().parse::<i64>().unwrap(),
+        store.get("cpu", 7).unwrap()
+    );
     let r = client.get("/stats");
     assert_eq!(r.status, 200);
     assert!(r.body.contains("\"protocol_errors\""), "{}", r.body);

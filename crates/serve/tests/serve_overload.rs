@@ -5,7 +5,7 @@
 mod common;
 
 use common::{demo_store, Client};
-use neats_serve::{ServeConfig, Server, ServerHandle};
+use neats_serve::{ReactorMode, ServeConfig, Server, ServerHandle};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread::JoinHandle;
@@ -35,7 +35,8 @@ fn read_shed_response(addr: SocketAddr) -> common::HttpResponse {
 fn try_simple_get(addr: SocketAddr, target: &str) -> Option<u16> {
     let mut s = TcpStream::connect(addr).ok()?;
     s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
-    s.write_all(format!("GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes()).ok()?;
+    s.write_all(format!("GET {target} HTTP/1.0\r\nHost: t\r\n\r\n").as_bytes())
+        .ok()?;
     let mut buf = Vec::new();
     let _ = s.read_to_end(&mut buf);
     let head = String::from_utf8_lossy(&buf);
@@ -45,7 +46,9 @@ fn try_simple_get(addr: SocketAddr, target: &str) -> Option<u16> {
 /// Extracts an integer counter from the /stats JSON by key.
 fn stat(body: &str, key: &str) -> u64 {
     let pat = format!("\"{key}\": ");
-    let at = body.find(&pat).unwrap_or_else(|| panic!("no {key:?} in {body}"));
+    let at = body
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"));
     body[at + pat.len()..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
@@ -56,11 +59,22 @@ fn stat(body: &str, key: &str) -> u64 {
 
 #[test]
 fn connection_cap_sheds_with_503_then_recovers() {
+    connection_cap_sheds(ReactorMode::Threaded);
+}
+
+#[test]
+#[cfg_attr(not(target_os = "linux"), ignore = "reactor mode requires epoll")]
+fn connection_cap_sheds_with_503_then_recovers_reactor() {
+    connection_cap_sheds(ReactorMode::Reactor);
+}
+
+fn connection_cap_sheds(reactor: ReactorMode) {
     let cfg = ServeConfig {
         threads: 2,
         max_connections: 1,
         queue_watermark: 1000,
         poll_interval: Duration::from_millis(10),
+        reactor,
         ..ServeConfig::default()
     };
     let (handle, running) = start(cfg);
@@ -92,7 +106,10 @@ fn connection_cap_sheds_with_503_then_recovers() {
         }
         std::thread::sleep(Duration::from_millis(20));
     };
-    assert!(recovered, "server must admit connections again after load drops");
+    assert!(
+        recovered,
+        "server must admit connections again after load drops"
+    );
 
     // The shed connections are visible on /stats.
     let mut c = Client::connect(addr);
@@ -105,10 +122,16 @@ fn connection_cap_sheds_with_503_then_recovers() {
 
 #[test]
 fn queue_watermark_sheds_when_workers_saturated() {
+    // Pinned to the threaded path on purpose: the scenario (one worker held
+    // hostage by a keep-alive connection, the next connection queued behind
+    // it) only exists when a connection pins a worker. In reactor mode an
+    // idle connection costs nothing and the watermark guards the shard
+    // inboxes instead, which a functioning event loop drains immediately.
     let cfg = ServeConfig {
         threads: 1,
         queue_watermark: 1,
         poll_interval: Duration::from_millis(10),
+        reactor: ReactorMode::Threaded,
         ..ServeConfig::default()
     };
     let (handle, running) = start(cfg);
@@ -137,10 +160,21 @@ fn queue_watermark_sheds_when_workers_saturated() {
 
 #[test]
 fn idle_keep_alive_connection_times_out_with_408() {
+    idle_times_out(ReactorMode::Threaded);
+}
+
+#[test]
+#[cfg_attr(not(target_os = "linux"), ignore = "reactor mode requires epoll")]
+fn idle_keep_alive_connection_times_out_with_408_reactor() {
+    idle_times_out(ReactorMode::Reactor);
+}
+
+fn idle_times_out(reactor: ReactorMode) {
     let cfg = ServeConfig {
         threads: 2,
         idle_timeout: Duration::from_millis(200),
         poll_interval: Duration::from_millis(20),
+        reactor,
         ..ServeConfig::default()
     };
     let (handle, running) = start(cfg);

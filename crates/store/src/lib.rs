@@ -76,7 +76,7 @@ mod segment;
 mod store;
 mod writer;
 
-pub use cache::CacheStats;
+pub use cache::{CacheSharding, CacheStats};
 pub use format::{SegmentMeta, SeriesEntry, StoreMode};
 pub use store::{Store, StoreOptions};
 pub use writer::{StoreConfig, StoreWriter, DEFAULT_SEGMENT_POINTS};
@@ -162,10 +162,16 @@ impl std::fmt::Display for StoreError {
                 write!(f, "index {index} out of range (length {len})")
             }
             StoreError::BadRange { start, end, len } => {
-                write!(f, "range {start}..{end} out of bounds (series length {len})")
+                write!(
+                    f,
+                    "range {start}..{end} out of bounds (series length {len})"
+                )
             }
             StoreError::TimestampOrder { series, index } => {
-                write!(f, "series {series:?}: timestamp at batch index {index} does not increase")
+                write!(
+                    f,
+                    "series {series:?}: timestamp at batch index {index} does not increase"
+                )
             }
             StoreError::LengthMismatch { timestamps, values } => {
                 write!(f, "{timestamps} timestamps vs {values} values")
@@ -176,7 +182,10 @@ impl std::fmt::Display for StoreError {
             StoreError::EmptyName => write!(f, "series name must be non-empty"),
             StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
             StoreError::Quarantined { series, segment } => {
-                write!(f, "series {series:?} segment {segment} is quarantined (failed validation)")
+                write!(
+                    f,
+                    "series {series:?} segment {segment} is quarantined (failed validation)"
+                )
             }
             StoreError::Degraded { reason } => {
                 write!(f, "ingest degraded (read-only): {reason}")

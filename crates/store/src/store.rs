@@ -1,6 +1,6 @@
 //! The concurrent reader: open a pack once, serve many series zero-copy.
 
-use crate::cache::{CacheStats, SegmentCache};
+use crate::cache::{CacheSharding, CacheStats, SegmentCache};
 use crate::format::{self, SegmentMeta, SeriesEntry};
 use crate::segment::SegmentView;
 use crate::StoreError;
@@ -18,11 +18,19 @@ pub struct StoreOptions {
     /// budget is divided over the cache's shards, so an uneven working set
     /// can briefly hold up to `shards − 1` more entries than this.
     pub cache_capacity: usize,
+    /// How lookups map to the cache's independently locked shards:
+    /// [`CacheSharding::ByKey`] (default — every view cached once, shared)
+    /// or [`CacheSharding::ByThread`] (a fixed thread pool runs
+    /// lock-contention-free at the price of per-thread duplicates).
+    pub cache_sharding: CacheSharding,
 }
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        Self { cache_capacity: 256 }
+        Self {
+            cache_capacity: 256,
+            cache_sharding: CacheSharding::ByKey,
+        }
     }
 }
 
@@ -61,13 +69,17 @@ impl Store {
     ) -> Result<Self, StoreError> {
         let data = data.into();
         let (series, catalog_offset) = format::parse_pack(&data)?;
-        let index = series.iter().enumerate().map(|(i, s)| (s.name.clone(), i)).collect();
+        let index = series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
         Ok(Self {
             data,
             series,
             index,
             catalog_offset,
-            cache: SegmentCache::new(options.cache_capacity),
+            cache: SegmentCache::new(options.cache_capacity, options.cache_sharding),
             quarantined: Mutex::new(HashSet::new()),
         })
     }
@@ -133,20 +145,30 @@ impl Store {
     /// the checksum, and all other segments keep serving.
     fn open_segment(&self, si: usize, seg: usize) -> Result<Arc<SegmentView>, StoreError> {
         let key = (si as u32, seg as u32);
-        if self.quarantined.lock().expect("quarantine lock").contains(&key) {
+        if self
+            .quarantined
+            .lock()
+            .expect("quarantine lock")
+            .contains(&key)
+        {
             return Err(self.quarantine_error(si, seg));
         }
         let meta = &self.series[si].segments()[seg];
         let opened = self.cache.get_or_open(key, || {
             if neats_core::failpoint::triggered("store.open_segment") {
-                return Err(StoreError::Corrupt("injected failpoint: store.open_segment"));
+                return Err(StoreError::Corrupt(
+                    "injected failpoint: store.open_segment",
+                ));
             }
             SegmentView::open(&self.data, meta)
         });
         match opened {
             Ok(view) => Ok(view),
             Err(StoreError::Corrupt(_) | StoreError::Wire(_)) => {
-                self.quarantined.lock().expect("quarantine lock").insert(key);
+                self.quarantined
+                    .lock()
+                    .expect("quarantine lock")
+                    .insert(key);
                 Err(self.quarantine_error(si, seg))
             }
             Err(e) => Err(e),
@@ -154,7 +176,10 @@ impl Store {
     }
 
     fn quarantine_error(&self, si: usize, seg: usize) -> StoreError {
-        StoreError::Quarantined { series: self.series[si].name().to_string(), segment: seg }
+        StoreError::Quarantined {
+            series: self.series[si].name().to_string(),
+            segment: seg,
+        }
     }
 
     /// Number of quarantined segments (segments that failed validation on
@@ -191,7 +216,8 @@ impl Store {
     /// Index of the segment of `s` covering point `idx` (caller checks
     /// `idx < s.len()`; segments tile the index space contiguously).
     fn segment_of_index(s: &SeriesEntry, idx: usize) -> usize {
-        s.segments().partition_point(|m| m.first_index + m.count <= idx)
+        s.segments()
+            .partition_point(|m| m.first_index + m.count <= idx)
     }
 
     /// Index of the first segment of `s` whose span may contain `t`
@@ -216,7 +242,10 @@ impl Store {
     pub fn get(&self, name: &str, idx: usize) -> Result<i64, StoreError> {
         let (si, s) = self.entry(name)?;
         if idx >= s.len() {
-            return Err(StoreError::OutOfRange { index: idx, len: s.len() });
+            return Err(StoreError::OutOfRange {
+                index: idx,
+                len: s.len(),
+            });
         }
         let seg = Self::segment_of_index(s, idx);
         let view = self.open_segment(si, seg)?;
@@ -227,7 +256,10 @@ impl Store {
     pub fn timestamp(&self, name: &str, idx: usize) -> Result<u64, StoreError> {
         let (si, s) = self.entry(name)?;
         if idx >= s.len() {
-            return Err(StoreError::OutOfRange { index: idx, len: s.len() });
+            return Err(StoreError::OutOfRange {
+                index: idx,
+                len: s.len(),
+            });
         }
         let seg = Self::segment_of_index(s, idx);
         let view = self.open_segment(si, seg)?;
@@ -247,7 +279,12 @@ impl Store {
 
     /// Appends the values at series-global positions `range` to `out`,
     /// stitching across segment boundaries.
-    pub fn range(&self, name: &str, range: Range<usize>, out: &mut Vec<i64>) -> Result<(), StoreError> {
+    pub fn range(
+        &self,
+        name: &str,
+        range: Range<usize>,
+        out: &mut Vec<i64>,
+    ) -> Result<(), StoreError> {
         let (si, s) = self.entry(name)?;
         Self::check_range(s, &range)?;
         self.for_each_overlap(si, s, &range, |view, local| {
@@ -416,7 +453,10 @@ impl Store {
     ) -> Result<R, StoreError> {
         let (si, s) = self.entry(name)?;
         if seg >= s.segments().len() {
-            return Err(StoreError::OutOfRange { index: seg, len: s.segments().len() });
+            return Err(StoreError::OutOfRange {
+                index: seg,
+                len: s.segments().len(),
+            });
         }
         let view = self.open_segment(si, seg)?;
         Ok(f(view.archive()))
@@ -447,9 +487,17 @@ impl Store {
                 pack.extend_from_slice(&self.data[m.data_offset..m.data_offset + m.data_len]);
                 let ts_offset = pack.len();
                 pack.extend_from_slice(&self.data[m.ts_offset..m.ts_offset + m.ts_len]);
-                segments.push(SegmentMeta { data_offset, ts_offset, ..m.clone() });
+                segments.push(SegmentMeta {
+                    data_offset,
+                    ts_offset,
+                    ..m.clone()
+                });
             }
-            entries.push(SeriesEntry { name: s.name.clone(), mode: s.mode(), segments });
+            entries.push(SeriesEntry {
+                name: s.name.clone(),
+                mode: s.mode(),
+                segments,
+            });
         }
         format::seal(pack, &entries)
     }
@@ -470,8 +518,10 @@ mod tests {
     fn demo_pack(segment_points: usize) -> (Vec<u64>, Vec<i64>, Vec<u8>) {
         let stamps: Vec<u64> = (0..1000u64).map(|i| 1_000 + i * 3).collect();
         let values: Vec<i64> = (0..1000).map(|k: i64| (k * k) / 37 - k).collect();
-        let mut w =
-            StoreWriter::new(StoreConfig { segment_points, ..StoreConfig::default() });
+        let mut w = StoreWriter::new(StoreConfig {
+            segment_points,
+            ..StoreConfig::default()
+        });
         w.ingest("demo", &stamps, &values).unwrap();
         let pack = w.finish().unwrap();
         (stamps, values, pack)
@@ -526,9 +576,14 @@ mod tests {
             })
             .unwrap();
         assert_eq!(streamed, &values[100..900]);
-        assert!(chunks >= 800 / 128, "expected one chunk per overlapped segment");
+        assert!(
+            chunks >= 800 / 128,
+            "expected one chunk per overlapped segment"
+        );
         // Empty range: no callback at all.
-        store.range_chunks("demo", 500..500, |_| panic!("no chunks for empty range")).unwrap();
+        store
+            .range_chunks("demo", 500..500, |_| panic!("no chunks for empty range"))
+            .unwrap();
         // Errors mirror range().
         assert!(matches!(
             store.range_chunks("nope", 0..1, |_| {}),
@@ -540,7 +595,9 @@ mod tests {
         ));
         // The time-indexed counterpart agrees with range_by_time.
         let mut by_time = Vec::new();
-        store.range_by_time("demo", stamps[100], stamps[899], &mut by_time).unwrap();
+        store
+            .range_by_time("demo", stamps[100], stamps[899], &mut by_time)
+            .unwrap();
         let mut streamed_t = Vec::new();
         store
             .range_by_time_chunks("demo", stamps[100], stamps[899], |chunk| {
@@ -554,7 +611,11 @@ mod tests {
     fn range_by_time_matches_filter() {
         let (stamps, values, pack) = demo_pack(100);
         let store = Store::open(pack).unwrap();
-        for (t_lo, t_hi) in [(0, u64::MAX), (stamps[50], stamps[750]), (stamps[99] + 1, stamps[400])] {
+        for (t_lo, t_hi) in [
+            (0, u64::MAX),
+            (stamps[50], stamps[750]),
+            (stamps[99] + 1, stamps[400]),
+        ] {
             let mut got = Vec::new();
             store.range_by_time("demo", t_lo, t_hi, &mut got).unwrap();
             let want: Vec<(u64, i64)> = stamps
@@ -574,10 +635,16 @@ mod tests {
     fn errors_are_structured() {
         let (_, _, pack) = demo_pack(128);
         let store = Store::open(pack).unwrap();
-        assert!(matches!(store.get("nope", 0), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(
+            store.get("nope", 0),
+            Err(StoreError::UnknownSeries(_))
+        ));
         assert!(matches!(
             store.get("demo", 1000),
-            Err(StoreError::OutOfRange { index: 1000, len: 1000 })
+            Err(StoreError::OutOfRange {
+                index: 1000,
+                len: 1000
+            })
         ));
         assert!(matches!(
             store.range("demo", 5..2000, &mut Vec::new()),
@@ -591,7 +658,14 @@ mod tests {
     #[test]
     fn cache_counts_hits_and_misses() {
         let (_, values, pack) = demo_pack(128);
-        let store = Store::open_with(pack.clone(), StoreOptions { cache_capacity: 4 }).unwrap();
+        let store = Store::open_with(
+            pack.clone(),
+            StoreOptions {
+                cache_capacity: 4,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
         for _ in 0..3 {
             assert_eq!(store.get("demo", 5).unwrap(), values[5]);
         }
@@ -602,7 +676,14 @@ mod tests {
         assert!(stats.hit_rate() > 0.6);
 
         // capacity 0 disables caching: every lookup is a miss.
-        let cold = Store::open_with(pack, StoreOptions { cache_capacity: 0 }).unwrap();
+        let cold = Store::open_with(
+            pack,
+            StoreOptions {
+                cache_capacity: 0,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
         for _ in 0..3 {
             cold.get("demo", 5).unwrap();
         }
@@ -613,8 +694,40 @@ mod tests {
     }
 
     #[test]
+    fn by_thread_sharding_gives_each_thread_a_private_shard() {
+        let (_, values, pack) = demo_pack(128);
+        let store = Store::open_with(
+            pack,
+            StoreOptions {
+                cache_capacity: 8,
+                cache_sharding: CacheSharding::ByThread,
+            },
+        )
+        .unwrap();
+        // Two fresh threads hammer the same segment: each misses once into
+        // its own shard (consecutive thread slots always land on distinct
+        // shards of an 8-shard cache), then hits its private copy.
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..5 {
+                        assert_eq!(store.get("demo", 5).unwrap(), values[5]);
+                    }
+                });
+            }
+        });
+        let stats = store.cache_stats();
+        assert_eq!(stats.misses, 2, "one open per thread, not one total");
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.entries, 2, "the hot view is duplicated per thread");
+    }
+
+    #[test]
     fn delete_and_compact_reclaim_dead_bytes() {
-        let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+        let mut w = StoreWriter::new(StoreConfig {
+            segment_points: 64,
+            ..Default::default()
+        });
         let stamps: Vec<u64> = (0..500).collect();
         let keep: Vec<i64> = (0..500).map(|k: i64| k * 3 % 101).collect();
         let drop_v: Vec<i64> = (0..500).map(|k: i64| k).collect();
@@ -626,8 +739,14 @@ mod tests {
         // that is (no longer) present is a typed error, not a silent no-op.
         let mut w = StoreWriter::append_to(&pack, StoreConfig::default()).unwrap();
         w.delete_series("drop").unwrap();
-        assert!(matches!(w.delete_series("drop"), Err(StoreError::UnknownSeries(_))));
-        assert!(matches!(w.delete_series("never-existed"), Err(StoreError::UnknownSeries(_))));
+        assert!(matches!(
+            w.delete_series("drop"),
+            Err(StoreError::UnknownSeries(_))
+        ));
+        assert!(matches!(
+            w.delete_series("never-existed"),
+            Err(StoreError::UnknownSeries(_))
+        ));
         let pack2 = w.finish().unwrap();
         let store = Store::open(pack2).unwrap();
         assert_eq!(store.series_names(), vec!["keep"]);
@@ -655,7 +774,10 @@ mod tests {
         // interesting case compact must not reorder).
         let stamps: Vec<u64> = (0..300).collect();
         let mk = |salt: i64| -> Vec<i64> { (0..300).map(|k: i64| k * salt % 97).collect() };
-        let cfg = || StoreConfig { segment_points: 64, ..StoreConfig::default() };
+        let cfg = || StoreConfig {
+            segment_points: 64,
+            ..StoreConfig::default()
+        };
         let mut w = StoreWriter::new(cfg());
         w.ingest("b", &stamps, &mk(3)).unwrap();
         w.ingest("a", &stamps, &mk(5)).unwrap();
@@ -668,7 +790,11 @@ mod tests {
         let pack = w.finish().unwrap();
 
         let store = Store::open(pack).unwrap();
-        assert_eq!(store.series_names(), vec!["a", "c", "b"], "re-ingest moves b last");
+        assert_eq!(
+            store.series_names(),
+            vec!["a", "c", "b"],
+            "re-ingest moves b last"
+        );
         assert!(store.dead_bytes() > 0);
 
         // Compaction keeps the catalog order and drops the dead bytes…
@@ -701,15 +827,23 @@ mod tests {
 
     #[test]
     fn append_extends_a_series() {
-        let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+        let mut w = StoreWriter::new(StoreConfig {
+            segment_points: 64,
+            ..Default::default()
+        });
         let s1: Vec<u64> = (0..200).collect();
         let v1: Vec<i64> = (0..200).map(|k: i64| k % 17).collect();
         w.ingest("s", &s1, &v1).unwrap();
         let pack = w.finish().unwrap();
 
-        let mut w =
-            StoreWriter::append_to(&pack, StoreConfig { segment_points: 64, ..Default::default() })
-                .unwrap();
+        let mut w = StoreWriter::append_to(
+            &pack,
+            StoreConfig {
+                segment_points: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s2: Vec<u64> = (200..300).collect();
         let v2: Vec<i64> = (0..100).map(|k: i64| -k).collect();
         w.ingest("s", &s2, &v2).unwrap();
@@ -728,7 +862,10 @@ mod tests {
         let stamps: Vec<u64> = (0..512u64).map(|i| 1_000 + i * 3).collect();
         let va: Vec<i64> = (0..512).map(|k: i64| k * k % 91).collect();
         let vb: Vec<i64> = (0..512).map(|k: i64| 7 - k).collect();
-        let mut w = StoreWriter::new(StoreConfig { segment_points: 128, ..Default::default() });
+        let mut w = StoreWriter::new(StoreConfig {
+            segment_points: 128,
+            ..Default::default()
+        });
         w.ingest("a", &stamps, &va).unwrap();
         w.ingest("b", &stamps, &vb).unwrap();
         let mut pack = w.finish().unwrap();
@@ -748,7 +885,10 @@ mod tests {
         let hit = store.get("a", bad_first + 1);
         assert_eq!(
             hit,
-            Err(StoreError::Quarantined { series: "a".into(), segment: 2 }),
+            Err(StoreError::Quarantined {
+                series: "a".into(),
+                segment: 2
+            }),
             "expected a quarantine, got {hit:?}"
         );
         assert_eq!(store.quarantined_count(), 1);

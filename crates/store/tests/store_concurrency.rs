@@ -29,7 +29,9 @@ fn build() -> (Vec<u8>, Vec<(String, Oracle)>) {
         let mut values = Vec::with_capacity(N);
         let mut x = seed;
         for k in 0..N as i64 {
-            x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+            x = x
+                .wrapping_mul(0xD129_0247_3F89_4E1D)
+                .wrapping_add(0x9E37_79B9);
             t += 1 + (x >> 58);
             acc += ((x >> 33) as i64 % 21) - 10;
             stamps.push(t);
@@ -41,7 +43,10 @@ fn build() -> (Vec<u8>, Vec<(String, Oracle)>) {
     let (s2, v2) = mk(2, |k, acc| 3 * acc - k / 3);
     let (s3, v3) = mk(3, |k, acc| acc + (k % 97) * 5);
 
-    let lossless_cfg = StoreConfig { segment_points: SEG, ..StoreConfig::default() };
+    let lossless_cfg = StoreConfig {
+        segment_points: SEG,
+        ..StoreConfig::default()
+    };
     let mut w = StoreWriter::new(lossless_cfg);
     w.ingest("walk", &s1, &v1).unwrap();
     w.ingest("trend", &s2, &v2).unwrap();
@@ -66,7 +71,11 @@ fn build() -> (Vec<u8>, Vec<(String, Oracle)>) {
 
     let oracle = |stamps: Vec<u64>, values: Vec<i64>| {
         let by_stamp = stamps.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-        Oracle { stamps, values, by_stamp }
+        Oracle {
+            stamps,
+            values,
+            by_stamp,
+        }
     };
     let oracles = vec![
         ("walk".to_string(), oracle(s1, v1)),
@@ -80,7 +89,9 @@ fn build() -> (Vec<u8>, Vec<(String, Oracle)>) {
 fn hammer(store: &Store, oracles: &[(String, Oracle)], thread_id: u64, ops: usize) {
     let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ (thread_id.wrapping_mul(0xA076_1D64_78BD_642F));
     let mut rng = move || {
-        x = x.wrapping_mul(0xD129_0247_3F89_4E1D).wrapping_add(0x9E37_79B9);
+        x = x
+            .wrapping_mul(0xD129_0247_3F89_4E1D)
+            .wrapping_add(0x9E37_79B9);
         x
     };
     let mut range_buf = Vec::new();
@@ -92,27 +103,45 @@ fn hammer(store: &Store, oracles: &[(String, Oracle)], thread_id: u64, ops: usiz
         let len = (rng() % 600).min((n - a) as u64) as usize;
         match rng() % 6 {
             0 => {
-                assert_eq!(store.get(name, a).unwrap(), o.values[a], "get({name}, {a}) op {op}");
+                assert_eq!(
+                    store.get(name, a).unwrap(),
+                    o.values[a],
+                    "get({name}, {a}) op {op}"
+                );
             }
             1 => {
                 range_buf.clear();
                 store.range(name, a..a + len, &mut range_buf).unwrap();
-                assert_eq!(range_buf, &o.values[a..a + len], "range({name}, {a}..+{len})");
+                assert_eq!(
+                    range_buf,
+                    &o.values[a..a + len],
+                    "range({name}, {a}..+{len})"
+                );
             }
             2 => {
                 let want: i128 = o.values[a..a + len].iter().map(|&v| v as i128).sum();
                 assert_eq!(store.sum(name, a..a + len).unwrap(), want, "sum({name})");
             }
             3 => {
-                let want = o.values[a..a + len].iter().fold(None, |acc: Option<(i64, i64)>, &v| {
-                    Some(acc.map_or((v, v), |(lo, hi)| (lo.min(v), hi.max(v))))
-                });
-                assert_eq!(store.min_max(name, a..a + len).unwrap(), want, "min_max({name})");
+                let want = o.values[a..a + len]
+                    .iter()
+                    .fold(None, |acc: Option<(i64, i64)>, &v| {
+                        Some(acc.map_or((v, v), |(lo, hi)| (lo.min(v), hi.max(v))))
+                    });
+                assert_eq!(
+                    store.min_max(name, a..a + len).unwrap(),
+                    want,
+                    "min_max({name})"
+                );
             }
             4 => {
                 // Probe a stored stamp, then a neighbour (usually a gap).
                 let t = o.stamps[a];
-                assert_eq!(store.at_time(name, t).unwrap(), Some(o.values[a]), "at_time hit");
+                assert_eq!(
+                    store.at_time(name, t).unwrap(),
+                    Some(o.values[a]),
+                    "at_time hit"
+                );
                 let probe = t + 1 + rng() % 3;
                 let want = o.by_stamp.get(&probe).map(|&i| o.values[i]);
                 assert_eq!(store.at_time(name, probe).unwrap(), want, "at_time probe");
@@ -121,7 +150,9 @@ fn hammer(store: &Store, oracles: &[(String, Oracle)], thread_id: u64, ops: usiz
                 let b = (a + len).min(n - 1);
                 let (t_lo, t_hi) = (o.stamps[a], o.stamps[b]);
                 time_buf.clear();
-                store.range_by_time(name, t_lo, t_hi, &mut time_buf).unwrap();
+                store
+                    .range_by_time(name, t_lo, t_hi, &mut time_buf)
+                    .unwrap();
                 let want: Vec<(u64, i64)> = o
                     .stamps
                     .iter()
@@ -141,7 +172,14 @@ fn concurrent_readers_agree_with_oracle() {
     let (pack, oracles) = build();
     // Capacity far below the segment count (3 series × ~16 segments), so
     // the LRU evicts constantly while threads race on it.
-    let store = Store::open_with(pack, StoreOptions { cache_capacity: 8 }).unwrap();
+    let store = Store::open_with(
+        pack,
+        StoreOptions {
+            cache_capacity: 8,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
 
     for threads in [2usize, 4, 8] {
         std::thread::scope(|scope| {
@@ -154,9 +192,16 @@ fn concurrent_readers_agree_with_oracle() {
     }
 
     let stats = store.cache_stats();
-    assert!(stats.hits + stats.misses > 0, "queries must have touched the cache");
+    assert!(
+        stats.hits + stats.misses > 0,
+        "queries must have touched the cache"
+    );
     assert!(stats.misses > 0, "eviction churn expected at capacity 8");
-    assert!(stats.entries <= 8, "cache must respect its capacity, got {}", stats.entries);
+    assert!(
+        stats.entries <= 8,
+        "cache must respect its capacity, got {}",
+        stats.entries
+    );
 }
 
 #[test]
@@ -165,7 +210,14 @@ fn single_thread_matches_multi_thread_cache_or_not() {
     // the cache is purely an optimisation.
     let (pack, oracles) = build();
     let cached = Store::open(pack.clone()).unwrap();
-    let cold = Store::open_with(pack, StoreOptions { cache_capacity: 0 }).unwrap();
+    let cold = Store::open_with(
+        pack,
+        StoreOptions {
+            cache_capacity: 0,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
     hammer(&cached, &oracles, 42, 250);
     hammer(&cold, &oracles, 42, 250);
     assert_eq!(cold.cache_stats().entries, 0);

@@ -40,7 +40,11 @@ fn gen_series(idx: usize, gaps: &[u64], deltas: &[i64]) -> GenSeries {
         stamps.push(t);
         values.push(v);
     }
-    GenSeries { name: format!("series-{idx}"), stamps, values }
+    GenSeries {
+        name: format!("series-{idx}"),
+        stamps,
+        values,
+    }
 }
 
 /// Standalone per-segment archives: the single-archive answers the store
@@ -66,11 +70,17 @@ impl Standalone {
             segment_bytes.push(bytes);
             bounds.push((start, end - start));
         }
-        Self { segment_bytes, bounds }
+        Self {
+            segment_bytes,
+            bounds,
+        }
     }
 
     fn views(&self) -> Vec<ArchiveView<'_>> {
-        self.segment_bytes.iter().map(|b| ArchiveView::open(b).expect("standalone")).collect()
+        self.segment_bytes
+            .iter()
+            .map(|b| ArchiveView::open(b).expect("standalone"))
+            .collect()
     }
 
     /// The full series as the standalone archives answer it.
@@ -92,7 +102,11 @@ fn assert_series_equivalent(
     let n = s.values.len();
     prop_assert_eq!(entry.len(), n);
     prop_assert_eq!(
-        entry.segments().iter().map(|m| (m.first_index(), m.count())).collect::<Vec<_>>(),
+        entry
+            .segments()
+            .iter()
+            .map(|m| (m.first_index(), m.count()))
+            .collect::<Vec<_>>(),
         standalone.bounds.clone(),
         "segment boundaries diverge"
     );
@@ -102,7 +116,12 @@ fn assert_series_equivalent(
     // Point queries: every index, plus both error edges.
     for k in 0..n {
         prop_assert_eq!(store.get(name, k).unwrap(), oracle[k], "get({})", k);
-        prop_assert_eq!(store.timestamp(name, k).unwrap(), s.stamps[k], "timestamp({})", k);
+        prop_assert_eq!(
+            store.timestamp(name, k).unwrap(),
+            s.stamps[k],
+            "timestamp({})",
+            k
+        );
     }
     prop_assert!(store.get(name, n).is_err());
 
@@ -126,7 +145,13 @@ fn assert_series_equivalent(
         prop_assert_eq!(&got, &oracle[a..b], "range({}..{})", a, b);
 
         let want_sum: i128 = oracle[a..b].iter().map(|&v| v as i128).sum();
-        prop_assert_eq!(store.sum(name, a..b).unwrap(), want_sum, "sum({}..{})", a, b);
+        prop_assert_eq!(
+            store.sum(name, a..b).unwrap(),
+            want_sum,
+            "sum({}..{})",
+            a,
+            b
+        );
 
         let want_mm = oracle[a..b]
             .iter()
@@ -134,7 +159,13 @@ fn assert_series_equivalent(
                 Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
                 None => Some((v, v)),
             });
-        prop_assert_eq!(store.min_max(name, a..b).unwrap(), want_mm, "min_max({}..{})", a, b);
+        prop_assert_eq!(
+            store.min_max(name, a..b).unwrap(),
+            want_mm,
+            "min_max({}..{})",
+            a,
+            b
+        );
 
         // The stitched estimate must equal the per-segment standalone
         // estimates added in segment order — bit-identical f64 folding.
@@ -151,7 +182,13 @@ fn assert_series_equivalent(
         }
         let est = store.sum_estimate(name, a..b).unwrap();
         prop_assert_eq!(est.value, value, "sum_estimate value ({}..{})", a, b);
-        prop_assert_eq!(est.max_error, max_error, "sum_estimate bound ({}..{})", a, b);
+        prop_assert_eq!(
+            est.max_error,
+            max_error,
+            "sum_estimate bound ({}..{})",
+            a,
+            b
+        );
     }
 
     // Time-interval queries against the filter oracle.
@@ -230,7 +267,11 @@ fn run_case(
             // Derive distinct series from rotations of the generated pools.
             let rot = (i * 7) % gaps.len().max(1);
             let g: Vec<u64> = gaps[rot..].iter().chain(&gaps[..rot]).copied().collect();
-            let d: Vec<i64> = deltas[rot..].iter().chain(&deltas[..rot]).copied().collect();
+            let d: Vec<i64> = deltas[rot..]
+                .iter()
+                .chain(&deltas[..rot])
+                .copied()
+                .collect();
             gen_series(i, &g, &d)
         })
         .collect();
@@ -247,14 +288,22 @@ fn run_case(
         // batch-boundary path as well as the segmentation path.
         let n = s.values.len();
         for (lo, hi) in [(0, n / 3), (n / 3, n / 3 + 1), (n / 3 + 1, n)] {
-            w.ingest(&s.name, &s.stamps[lo..hi], &s.values[lo..hi]).unwrap();
+            w.ingest(&s.name, &s.stamps[lo..hi], &s.values[lo..hi])
+                .unwrap();
         }
     }
     let pack = w.finish().unwrap();
 
     // A freshly written pack has no dead bytes, and compaction of it is the
     // identity — the byte-level fixed-point invariant.
-    let store = Store::open_with(pack.clone(), StoreOptions { cache_capacity: 8 }).unwrap();
+    let store = Store::open_with(
+        pack.clone(),
+        StoreOptions {
+            cache_capacity: 8,
+            ..StoreOptions::default()
+        },
+    )
+    .unwrap();
     prop_assert_eq!(store.dead_bytes(), 0);
     prop_assert_eq!(store.compact(), pack);
 
@@ -279,9 +328,8 @@ fn run_case(
 #[test]
 fn catalog_region_corruption_is_rejected_per_byte() {
     let pack = corruption_pack();
-    let catalog_offset = u64::from_le_bytes(
-        pack[pack.len() - 32..pack.len() - 24].try_into().unwrap(),
-    ) as usize;
+    let catalog_offset =
+        u64::from_le_bytes(pack[pack.len() - 32..pack.len() - 24].try_into().unwrap()) as usize;
     assert!(catalog_offset < pack.len());
     for pos in catalog_offset..pack.len() {
         for bit in [0u8, 7] {
@@ -297,7 +345,10 @@ fn catalog_region_corruption_is_rejected_per_byte() {
     for pos in 0..16 {
         let mut bad = pack.clone();
         bad[pos] ^= 1;
-        assert!(Store::open(bad).is_err(), "header flip at byte {pos} was accepted");
+        assert!(
+            Store::open(bad).is_err(),
+            "header flip at byte {pos} was accepted"
+        );
     }
 }
 
@@ -307,9 +358,8 @@ fn catalog_region_corruption_is_rejected_per_byte() {
 #[test]
 fn data_region_corruption_is_rejected_at_query_time() {
     let pack = corruption_pack();
-    let catalog_offset = u64::from_le_bytes(
-        pack[pack.len() - 32..pack.len() - 24].try_into().unwrap(),
-    ) as usize;
+    let catalog_offset =
+        u64::from_le_bytes(pack[pack.len() - 32..pack.len() - 24].try_into().unwrap()) as usize;
     for pos in (16..catalog_offset).step_by(11) {
         let mut bad = pack.clone();
         bad[pos] ^= 1;
@@ -331,13 +381,19 @@ fn data_region_corruption_is_rejected_at_query_time() {
                 }
             }
         }
-        assert!(rejected, "no query rejected the data-region flip at byte {pos}");
+        assert!(
+            rejected,
+            "no query rejected the data-region flip at byte {pos}"
+        );
     }
 }
 
 /// A small two-series pack used by the corruption tests.
 fn corruption_pack() -> Vec<u8> {
-    let mut w = StoreWriter::new(StoreConfig { segment_points: 48, ..StoreConfig::default() });
+    let mut w = StoreWriter::new(StoreConfig {
+        segment_points: 48,
+        ..StoreConfig::default()
+    });
     let stamps: Vec<u64> = (0..160u64).map(|i| 10 + i * 5).collect();
     let a: Vec<i64> = (0..160).map(|k: i64| k * k / 9 - 2 * k).collect();
     let b: Vec<i64> = (0..160).map(|k: i64| 77 - k % 23).collect();

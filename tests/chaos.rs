@@ -16,7 +16,7 @@
 //! serialize on a static lock and clear the registry on exit.
 
 use neats::ingest::{BackgroundConfig, FsyncPolicy, IngestConfig, Ingestor};
-use neats::serve::{ServeConfig, Server, ServerHandle};
+use neats::serve::{ReactorMode, ServeConfig, Server, ServerHandle};
 use neats::store::{Store, StoreConfig, StoreWriter};
 use neats_core::failpoint;
 use std::io::{Read, Write};
@@ -68,7 +68,10 @@ fn request(addr: SocketAddr, raw: &str) -> Option<Resp> {
 }
 
 fn get(addr: SocketAddr, target: &str) -> Option<Resp> {
-    request(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"))
+    request(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
 }
 
 fn post_write(addr: SocketAddr, body: &str) -> Option<Resp> {
@@ -88,7 +91,9 @@ fn post_write(addr: SocketAddr, body: &str) -> Option<Resp> {
 /// connections counter, and the counter renders later.
 fn stat(body: &str, key: &str) -> u64 {
     let pat = format!("\"{key}\": ");
-    let at = body.rfind(&pat).unwrap_or_else(|| panic!("no {key:?} in {body}"));
+    let at = body
+        .rfind(&pat)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"));
     body[at + pat.len()..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
@@ -104,7 +109,10 @@ fn assert_no_panics(addr: SocketAddr) {
 }
 
 fn demo_pack(series: &[(&str, usize)]) -> Arc<Store> {
-    let mut w = StoreWriter::new(StoreConfig { segment_points: 64, ..Default::default() });
+    let mut w = StoreWriter::new(StoreConfig {
+        segment_points: 64,
+        ..Default::default()
+    });
     for &(name, n) in series {
         let stamps: Vec<u64> = (0..n as u64).map(|k| 1_000 + k * 7).collect();
         let values: Vec<i64> = (0..n as i64).map(|k| k * k % 97 - 40).collect();
@@ -131,12 +139,25 @@ fn tmp_dir(tag: &str) -> std::path::PathBuf {
 /// pinning connections go away.
 #[test]
 fn overload_sheds_cleanly_and_recovers() {
+    // Both serving disciplines must satisfy the same shed contract; the
+    // explicit modes keep this coverage even if the Auto default changes.
+    overload_chaos(ReactorMode::Threaded);
+}
+
+#[test]
+#[cfg_attr(not(target_os = "linux"), ignore = "reactor mode requires epoll")]
+fn overload_sheds_cleanly_and_recovers_reactor() {
+    overload_chaos(ReactorMode::Reactor);
+}
+
+fn overload_chaos(reactor: ReactorMode) {
     let _guard = serialized();
     let cfg = ServeConfig {
         threads: 2,
         max_connections: 2,
         queue_watermark: 1000,
         poll_interval: Duration::from_millis(10),
+        reactor,
         ..ServeConfig::default()
     };
     let server = Server::bind(demo_pack(&[("cpu", 500)]), "127.0.0.1:0", cfg).unwrap();
@@ -146,7 +167,8 @@ fn overload_sheds_cleanly_and_recovers() {
     // Pin both admitted slots with idle keep-alive connections.
     let pin = |_: ()| {
         let mut s = TcpStream::connect(addr).unwrap();
-        s.write_all(b"GET /series HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        s.write_all(b"GET /series HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         let mut first = [0u8; 1];
         s.read_exact(&mut first).unwrap(); // response started: slot is held
@@ -173,7 +195,10 @@ fn overload_sheds_cleanly_and_recovers() {
             });
         }
     });
-    assert!(shed.load(Ordering::Relaxed) > 0, "burst produced no observable shed");
+    assert!(
+        shed.load(Ordering::Relaxed) > 0,
+        "burst produced no observable shed"
+    );
 
     // Load drops: the server must admit again within a few poll ticks.
     drop(held);
@@ -186,7 +211,11 @@ fn overload_sheds_cleanly_and_recovers() {
         std::thread::sleep(Duration::from_millis(20));
     }
     let stats = get(addr, "/stats").unwrap();
-    assert!(stat(&stats.body, "shed") >= shed.load(Ordering::Relaxed), "{}", stats.body);
+    assert!(
+        stat(&stats.body, "shed") >= shed.load(Ordering::Relaxed),
+        "{}",
+        stats.body
+    );
     assert_no_panics(addr);
 
     handle.shutdown();
@@ -218,7 +247,10 @@ fn disk_fault_degrades_writes_only_then_recovers_across_restart() {
         retry_base: Duration::from_millis(10),
         retry_cap: Duration::from_millis(50),
     });
-    let cfg = ServeConfig { threads: 3, ..ServeConfig::default() };
+    let cfg = ServeConfig {
+        threads: 3,
+        ..ServeConfig::default()
+    };
     let server = Server::bind(Arc::clone(&ing), "127.0.0.1:0", cfg).unwrap();
     let addr = server.local_addr();
     let (handle, running) = run_server(server);
@@ -285,12 +317,21 @@ fn disk_fault_degrades_writes_only_then_recovers_across_restart() {
         }
     });
 
-    assert!(failpoint::hits("wal.append") >= 20, "the armed fault must have fired");
-    assert!(rejected.load(Ordering::Relaxed) >= 1, "no writer observed the degraded window");
+    assert!(
+        failpoint::hits("wal.append") >= 20,
+        "the armed fault must have fired"
+    );
+    assert!(
+        rejected.load(Ordering::Relaxed) >= 1,
+        "no writer observed the degraded window"
+    );
     // Self-healed: every writer reached its ack target, so recovery
     // happened without manual intervention.
     assert!(!ing.is_degraded(), "background worker must have recovered");
-    assert!(ing.background_errors() >= 3, "failed repairs must be counted");
+    assert!(
+        ing.background_errors() >= 3,
+        "failed repairs must be counted"
+    );
     let stats = get(addr, "/stats").unwrap();
     assert!(stat(&stats.body, "degraded") >= 1, "{}", stats.body);
     assert_no_panics(addr);
@@ -306,7 +347,8 @@ fn disk_fault_degrades_writes_only_then_recovers_across_restart() {
         let name = format!("w{w}");
         assert_eq!(ing.len(&name).unwrap(), ACKS_PER_WRITER as usize, "{name}");
         let mut got = Vec::new();
-        ing.range(&name, 0..ACKS_PER_WRITER as usize, &mut got).unwrap();
+        ing.range(&name, 0..ACKS_PER_WRITER as usize, &mut got)
+            .unwrap();
         let want: Vec<i64> = (0..ACKS_PER_WRITER as i64).collect();
         assert_eq!(got, want, "{name}: acked points lost or reordered");
     }
@@ -323,7 +365,10 @@ fn corrupt_segment_is_quarantined_not_fatal() {
     let server = Server::bind(
         demo_pack(&[("a", 300), ("b", 300)]),
         "127.0.0.1:0",
-        ServeConfig { threads: 2, ..ServeConfig::default() },
+        ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        },
     )
     .unwrap();
     let addr = server.local_addr();

@@ -1,0 +1,494 @@
+//! Offline stand-in for the [`polling`](https://crates.io/crates/polling)
+//! crate: a portable readiness poller, here implemented over raw `epoll`
+//! syscalls on Linux and answering [`std::io::ErrorKind::Unsupported`]
+//! everywhere else (callers fall back to blocking I/O — see
+//! `neats-serve`'s threaded serving mode).
+//!
+//! The subset mirrors the real crate's call-site API:
+//!
+//! * [`Poller::new`] / [`Poller::add`] / [`Poller::modify`] /
+//!   [`Poller::delete`] / [`Poller::wait`] / [`Poller::notify`]
+//! * [`Event`] interest/readiness flags and the [`Events`] buffer
+//!
+//! Like the real crate, registrations are **oneshot**: once an event for a
+//! key is delivered, no further events arrive for it until the caller
+//! re-arms interest with [`Poller::modify`]. Oneshot delivery is what a
+//! readiness reactor wants anyway — it can never be stormed by a
+//! level-triggered fd it hasn't serviced yet.
+//!
+//! This is the one vendor shim that cannot be implemented without `unsafe`:
+//! it exists precisely to make raw `epoll_ctl`/`epoll_wait`/`eventfd`
+//! syscalls (via the libc that `std` already links) available to an
+//! otherwise std-only workspace. All unsafety is confined to this crate;
+//! every `unsafe` block wraps a single FFI call on validated arguments.
+
+#![warn(missing_docs)]
+
+/// Interest in (or readiness of) a registered I/O source, tagged with the
+/// caller's `key`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen identifier registered with [`Poller::add`].
+    /// `usize::MAX` is reserved for [`Poller::notify`] wake-ups.
+    pub key: usize,
+    /// Interest in / readiness for reading (also set on hangup or error, so
+    /// a closed peer is always surfaced to a read attempt).
+    pub readable: bool,
+    /// Interest in / readiness for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Interest in read readiness only.
+    pub fn readable(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Interest in write readiness only.
+    pub fn writable(key: usize) -> Self {
+        Self {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Interest in both read and write readiness.
+    pub fn all(key: usize) -> Self {
+        Self {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the source registered for a later re-arm).
+    pub fn none(key: usize) -> Self {
+        Self {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// A reusable buffer of readiness events filled by [`Poller::wait`].
+#[derive(Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer with the default capacity.
+    pub fn new() -> Self {
+        Self {
+            inner: Vec::with_capacity(1024),
+        }
+    }
+
+    /// The events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.inner.iter().copied()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the last wait delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Clears the buffer ([`Poller::wait`] also clears before filling).
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+pub use sys::Poller;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Events};
+    use std::io;
+    use std::os::fd::{AsRawFd, RawFd};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    // The kernel ABI expected by epoll_ctl/epoll_wait. On x86-64 the struct
+    // is packed (a 12-byte layout the kernel chose long ago); other Linux
+    // targets use natural alignment — the same cfg dance libc does.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLONESHOT: u32 = 1 << 30;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    // The libc std already links; declaring these adds no dependency.
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// The key [`Poller::wait`] never reports: it tags the internal
+    /// [`Poller::notify`] eventfd.
+    const NOTIFY_KEY: u64 = u64::MAX;
+
+    /// An epoll instance plus an eventfd for cross-thread wake-ups.
+    ///
+    /// All methods take `&self`: the poller is `Sync` and any thread may
+    /// add/modify/notify while another blocks in [`Poller::wait`] (epoll
+    /// guarantees exactly this).
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+        event_fd: RawFd,
+        /// Collapses redundant notifies between two waits: an eventfd write
+        /// is only issued when the previous one has not yet been consumed.
+        notified: AtomicBool,
+    }
+
+    // Raw fds owned exclusively by this struct; epoll is thread-safe.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// Creates an epoll instance with a registered wake-up eventfd.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            // SAFETY: plain syscall, no pointers.
+            let event_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if event_fd < 0 {
+                let e = io::Error::last_os_error();
+                // SAFETY: epfd is the fd just created above.
+                unsafe { close(epfd) };
+                return Err(e);
+            }
+            let poller = Poller {
+                epfd,
+                event_fd,
+                notified: AtomicBool::new(false),
+            };
+            // Level-triggered (not oneshot): wait() drains the counter on
+            // every delivery, so it can never storm.
+            poller.ctl(EPOLL_CTL_ADD, event_fd, Some((EPOLLIN, NOTIFY_KEY)))?;
+            Ok(poller)
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, ev: Option<(u32, u64)>) -> io::Result<()> {
+            let mut event = ev.map(|(events, data)| EpollEvent { events, data });
+            let ptr = event
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: ptr is null (DEL) or points at a live stack EpollEvent;
+            // the kernel copies it before returning.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn interest_bits(interest: Event) -> u32 {
+            let mut bits = EPOLLONESHOT | EPOLLRDHUP;
+            if interest.readable {
+                bits |= EPOLLIN;
+            }
+            if interest.writable {
+                bits |= EPOLLOUT;
+            }
+            bits
+        }
+
+        /// Registers `source` with oneshot `interest` under `interest.key`.
+        /// The key `usize::MAX` is reserved for [`Poller::notify`].
+        pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == usize::MAX {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved",
+                ));
+            }
+            self.ctl(
+                EPOLL_CTL_ADD,
+                source.as_raw_fd(),
+                Some((Self::interest_bits(interest), interest.key as u64)),
+            )
+        }
+
+        /// Re-arms (or changes) the oneshot interest of a registered source.
+        pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+            if interest.key == usize::MAX {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "key usize::MAX is reserved",
+                ));
+            }
+            self.ctl(
+                EPOLL_CTL_MOD,
+                source.as_raw_fd(),
+                Some((Self::interest_bits(interest), interest.key as u64)),
+            )
+        }
+
+        /// Deregisters a source (call before closing its fd).
+        pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+        }
+
+        /// Blocks until at least one registered source is ready, `timeout`
+        /// elapses (`None` = forever), or [`Poller::notify`] is called.
+        /// Returns the number of events appended to `events` (0 on timeout
+        /// or a bare notify). A pending notify is consumed by this call.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i32 = match timeout {
+                // Round up so a 100µs timeout polls at 1ms, not busy-spins.
+                Some(t) => {
+                    t.as_millis().min(i32::MAX as u128) as i32
+                        + if t.subsec_nanos() % 1_000_000 != 0 {
+                            1
+                        } else {
+                            0
+                        }
+                }
+                None => -1,
+            };
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 1024];
+            // SAFETY: raw is a live, writable array; maxevents matches it.
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                // A signal landing mid-wait is a spurious wake-up, not an
+                // error the reactor should die on.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for ev in &raw[..n as usize] {
+                // Copy out of the (possibly packed) struct before use.
+                let (bits, data) = (ev.events, ev.data);
+                if data == NOTIFY_KEY {
+                    self.notified.store(false, Ordering::SeqCst);
+                    let mut counter = [0u8; 8];
+                    // SAFETY: reading 8 bytes into a live buffer from the
+                    // nonblocking eventfd this struct owns.
+                    unsafe { read(self.event_fd, counter.as_mut_ptr(), 8) };
+                    continue;
+                }
+                // Error/hangup surface as both readiness kinds so whichever
+                // direction the caller is waiting on observes the failure.
+                let err = bits & (EPOLLERR | EPOLLHUP) != 0;
+                events.inner.push(Event {
+                    key: data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0 || err,
+                    writable: bits & EPOLLOUT != 0 || err,
+                });
+            }
+            Ok(events.inner.len())
+        }
+
+        /// Wakes the thread blocked in [`Poller::wait`] (or makes the next
+        /// wait return immediately). Safe to call from any thread; redundant
+        /// notifies between two waits collapse into one.
+        pub fn notify(&self) -> io::Result<()> {
+            if self.notified.swap(true, Ordering::SeqCst) {
+                return Ok(()); // a wake-up is already pending
+            }
+            let one = 1u64.to_ne_bytes();
+            // SAFETY: writing 8 bytes from a live buffer to the eventfd this
+            // struct owns; a full counter (EAGAIN) still wakes the waiter.
+            unsafe { write(self.event_fd, one.as_ptr(), 8) };
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing the two fds this struct owns exclusively.
+            unsafe {
+                close(self.event_fd);
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::{Event, Events};
+    use std::io;
+    use std::time::Duration;
+
+    /// Unsupported on this platform: [`Poller::new`] always fails with
+    /// [`io::ErrorKind::Unsupported`], signalling callers to use their
+    /// blocking-I/O fallback.
+    #[derive(Debug)]
+    pub struct Poller {
+        _private: (),
+    }
+
+    impl Poller {
+        /// Always `Err(Unsupported)` on non-Linux targets.
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "polling shim requires epoll (Linux)",
+            ))
+        }
+
+        /// Unreachable (no `Poller` value can exist on this platform).
+        pub fn add(&self, _source: &impl AsRawFdStub, _interest: Event) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (no `Poller` value can exist on this platform).
+        pub fn modify(&self, _source: &impl AsRawFdStub, _interest: Event) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (no `Poller` value can exist on this platform).
+        pub fn delete(&self, _source: &impl AsRawFdStub) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (no `Poller` value can exist on this platform).
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            unreachable!("Poller cannot be constructed on this platform")
+        }
+
+        /// Unreachable (no `Poller` value can exist on this platform).
+        pub fn notify(&self) -> io::Result<()> {
+            unreachable!("Poller cannot be constructed on this platform")
+        }
+    }
+
+    /// Stand-in bound for the `AsRawFd` sources the Linux implementation
+    /// accepts (the trait lives under `std::os::fd`, absent on some
+    /// non-unix targets).
+    pub trait AsRawFdStub {}
+    impl<T> AsRawFdStub for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn readiness_roundtrip_over_loopback() {
+        let poller = match Poller::new() {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => return,
+            Err(e) => panic!("poller: {e}"),
+        };
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller.add(&server, Event::readable(7)).unwrap();
+
+        // Nothing sent yet: a short wait times out empty.
+        let mut events = Events::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+
+        // Once bytes arrive the key becomes readable...
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(
+            events.iter().next().map(|e| (e.key, e.readable)),
+            Some((7, true))
+        );
+
+        // ...and oneshot delivery means no repeat until re-armed.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "oneshot interest must not re-fire");
+        let mut server = server;
+        let mut sink = [0u8; 8];
+        assert_eq!(server.read(&mut sink).unwrap(), 4);
+        poller.modify(&server, Event::all(7)).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let ev = events.iter().next().expect("write readiness after re-arm");
+        assert!(ev.writable);
+
+        poller.delete(&server).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_wait_from_another_thread() {
+        let poller = match Poller::new() {
+            Ok(p) => std::sync::Arc::new(p),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => return,
+            Err(e) => panic!("poller: {e}"),
+        };
+        let waker = std::sync::Arc::clone(&poller);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.notify().unwrap();
+        });
+        let mut events = Events::new();
+        let t0 = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "a bare notify delivers no events");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "notify must wake the wait"
+        );
+        t.join().unwrap();
+
+        // A pending notify is consumed: the next wait times out normally.
+        let t0 = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(5),
+            "stale notify must not re-wake"
+        );
+    }
+}
