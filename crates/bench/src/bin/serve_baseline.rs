@@ -12,6 +12,11 @@
 //! reported, so the throughput figures can never describe a server that
 //! answers wrongly.
 //!
+//! An instrumentation sweep re-runs the threads=1 × batch=1 point-query
+//! cell at three tracing levels (trace ring off / on / on with the
+//! slow-query check armed) to price the observability hot path; the
+//! metrics registry itself is always on.
+//!
 //! A second sweep measures overload behaviour: connection-per-request
 //! clients at 1× and 4× the worker count, with admission control (the
 //! worker-queue shed watermark) on and off. It asserts the robustness
@@ -149,6 +154,71 @@ fn main() {
             ]));
         }
     }
+
+    // --- Instrumentation-overhead sweep: the same threads=1 × batch=1
+    // point-query cell, with the request-trace machinery at three levels —
+    // ring disabled, the default ring, and ring + slow-query threshold
+    // armed (set just out of reach, so the check runs but nothing logs).
+    // The metrics registry itself is always on (it *is* the stats path);
+    // this isolates the marginal cost of tracing on the hot path.
+    let mut instr_cells = Vec::new();
+    let mut instr_p50: Vec<(&str, f64)> = Vec::new();
+    for (label, trace_ring, slow_query_us) in [
+        ("off", Some(0usize), Some(0u64)),
+        ("ring", Some(256), Some(0)),
+        ("ring+slowlog", Some(256), Some(u64::MAX / 2_000)),
+    ] {
+        let store = Arc::new(Store::open(pack.clone()).expect("open server store"));
+        let cfg = ServeConfig {
+            threads: 1,
+            trace_ring,
+            slow_query_us,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(Arc::clone(&store), "127.0.0.1:0", cfg).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let running = std::thread::spawn(move || server.run());
+
+        let requests_total = queries.max(1);
+        let per_client = requests_total.div_ceil(clients);
+        let latency = AtomicHistogram::new();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let (latency, names, oracle, sidx, pidx) = (&latency, &names, &oracle, &sidx, &pidx);
+                s.spawn(move || {
+                    let first = c * per_client;
+                    let last = (first + per_client).min(requests_total);
+                    client_loop(addr, names, oracle, sidx, pidx, 1, first, last, latency);
+                });
+            }
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        handle.shutdown();
+        running.join().expect("server thread").expect("server run");
+
+        let snap = latency.snapshot();
+        let reqs_per_s = snap.count() as f64 / wall;
+        let (p50, p99) = (
+            snap.quantile(0.5) as f64 / 1e3,
+            snap.quantile(0.99) as f64 / 1e3,
+        );
+        println!(
+            "instrumentation {label:>12}: {reqs_per_s:>8.0} req/s, \
+             p50 {p50:>7.1} µs, p99 {p99:>8.1} µs"
+        );
+        instr_p50.push((label, p50));
+        instr_cells.push(Json::obj(vec![
+            ("level", Json::Str(label.into())),
+            ("trace_ring", Json::Int(trace_ring.unwrap_or(0) as i64)),
+            ("slow_query_armed", Json::Bool(slow_query_us.unwrap_or(0) > 0)),
+            ("reqs_per_s", Json::Num(reqs_per_s)),
+            ("p50_us", Json::Num(p50)),
+            ("p99_us", Json::Num(p99)),
+        ]));
+    }
+    let instr_json = Json::obj(vec![("cells", Json::Arr(instr_cells))]);
 
     // --- Overload sweep: offered load × shedding on/off.
     //
@@ -451,7 +521,7 @@ fn main() {
 
     let artifact = Json::obj(vec![
         ("bench", Json::Str("serve".into())),
-        ("schema", Json::Int(3)),
+        ("schema", Json::Int(4)),
         ("n_per_series", Json::Int(n as i64)),
         ("series", Json::Int(series_count as i64)),
         ("queries_per_cell", Json::Int(queries as i64)),
@@ -459,6 +529,7 @@ fn main() {
         ("host_cores", Json::Int(cores as i64)),
         ("pack_bytes", Json::Int(pack.len() as i64)),
         ("cells", Json::Arr(cells)),
+        ("instrumentation", instr_json),
         ("overload", overload_json),
         ("idle", idle_json),
     ]);

@@ -19,6 +19,7 @@
 //! neats store query <pack> <series> <index | a..b | @time>...
 //! neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
 //! neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]
+//!                   [--slow-query-us U] [--trace-ring N]
 //! ```
 //!
 //! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
@@ -216,6 +217,10 @@ pub enum Command {
         threads: usize,
         /// Segment-view cache capacity (0 disables caching).
         cache: usize,
+        /// Slow-query threshold in microseconds (0 = off, `None` = env/default).
+        slow_query_us: Option<u64>,
+        /// Request-trace ring capacity (0 disables, `None` = env/default).
+        trace_ring: Option<usize>,
     },
 }
 
@@ -257,7 +262,8 @@ pub const USAGE: &str = "usage:
   neats store ls    <pack>
   neats store query <pack> <series> <index | a..b | @time>...
   neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
-  neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]";
+  neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]
+                    [--slow-query-us U] [--trace-ring N]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -272,6 +278,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut append = false;
     let mut addr: Option<String> = None;
     let mut cache: Option<usize> = None;
+    let mut slow_query_us: Option<u64> = None;
+    let mut trace_ring: Option<usize> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut no_seal = false;
     let mut i = 0;
@@ -328,6 +336,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .and_then(|v| v.parse().ok())
                         .ok_or(CliError("--cache needs a view count (0 disables)".into()))?,
                 );
+            }
+            "--slow-query-us" => {
+                i += 1;
+                slow_query_us = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--slow-query-us needs a microsecond count (0 = off)".into(),
+                ))?);
+            }
+            "--trace-ring" => {
+                i += 1;
+                trace_ring = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--trace-ring needs an entry count (0 disables)".into(),
+                ))?);
             }
             "--fsync" => {
                 i += 1;
@@ -467,6 +487,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             addr: addr.unwrap_or_else(|| "127.0.0.1:8462".to_string()),
             threads,
             cache: cache.unwrap_or(256),
+            slow_query_us,
+            trace_ring,
         }),
         Some(other) => err(format!("unknown command {other:?}\n{USAGE}")),
         None => err(USAGE),
@@ -820,12 +842,18 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             addr,
             threads,
             cache,
+            slow_query_us,
+            trace_ring,
         } => {
             // A directory serves live (ingestor + background sealer and
             // POST /write); a file serves the read-only pack.
             let live = Path::new(&pack).is_dir();
             let cfg = ServeConfig {
                 threads,
+                slow_query_us,
+                trace_ring,
+                // Surfaces on /stats ("source") and /metrics (neats_build_info).
+                source_label: pack.clone(),
                 ..ServeConfig::default()
             };
             // The server runs a fixed pool either way (reactor shards or
@@ -1429,7 +1457,8 @@ mod tests {
     fn parse_serve_command() {
         assert_eq!(
             parse_args(&argv(
-                "serve metrics.pack --addr 0.0.0.0:9000 --threads 4 --cache 64"
+                "serve metrics.pack --addr 0.0.0.0:9000 --threads 4 --cache 64 \
+                 --slow-query-us 500 --trace-ring 64"
             ))
             .unwrap(),
             Command::Serve {
@@ -1437,9 +1466,12 @@ mod tests {
                 addr: "0.0.0.0:9000".into(),
                 threads: 4,
                 cache: 64,
+                slow_query_us: Some(500),
+                trace_ring: Some(64),
             }
         );
-        // Defaults: loopback on the documented port, auto threads, cache 256.
+        // Defaults: loopback on the documented port, auto threads, cache 256,
+        // observability knobs deferred to the env/server defaults.
         assert_eq!(
             parse_args(&argv("serve metrics.pack")).unwrap(),
             Command::Serve {
@@ -1447,11 +1479,15 @@ mod tests {
                 addr: "127.0.0.1:8462".into(),
                 threads: 0,
                 cache: 256,
+                slow_query_us: None,
+                trace_ring: None,
             }
         );
         assert!(parse_args(&argv("serve")).is_err()); // no pack
         assert!(parse_args(&argv("serve p.pack --addr")).is_err()); // missing value
         assert!(parse_args(&argv("serve p.pack --cache lots")).is_err());
+        assert!(parse_args(&argv("serve p.pack --slow-query-us soon")).is_err());
+        assert!(parse_args(&argv("serve p.pack --trace-ring")).is_err()); // missing value
     }
 
     #[test]

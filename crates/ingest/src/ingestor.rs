@@ -5,7 +5,7 @@
 use crate::head::Head;
 use crate::manifest::{self, Manifest};
 use crate::wal::{FsyncPolicy, Wal, WalOp};
-use neats_core::NeaTSBuilder;
+use neats_core::{AtomicHistogram, NeaTSBuilder};
 use neats_store::{
     CacheSharding, CacheStats, Store, StoreConfig, StoreError, StoreMode, StoreOptions, StoreWriter,
 };
@@ -179,6 +179,21 @@ pub struct SeriesSummary {
     pub t_max: u64,
 }
 
+/// Write-path instrumentation handles. The `Arc`s are shared with the WAL
+/// (latency sinks) and the metrics registry (samples), so a `/metrics`
+/// scrape reads the very atomics the hot path bumps.
+#[derive(Default)]
+struct IngestMetrics {
+    wal_append_ns: Arc<AtomicHistogram>,
+    wal_sync_ns: Arc<AtomicHistogram>,
+    seal_ns: Arc<AtomicHistogram>,
+    seals: Arc<AtomicU64>,
+    compactions: Arc<AtomicU64>,
+    degraded_transitions: Arc<AtomicU64>,
+    replayed_ops: Arc<AtomicU64>,
+    repairs: Arc<AtomicU64>,
+}
+
 /// A live, crash-safe, concurrently-readable ingestion directory.
 ///
 /// See the crate docs for the architecture. All mutations (`append`,
@@ -199,6 +214,7 @@ pub struct Ingestor {
     /// mirrors `is_some()` so the append fast path never takes the lock.
     degraded: Mutex<Option<DegradedState>>,
     degraded_flag: AtomicBool,
+    metrics: IngestMetrics,
 }
 
 impl Ingestor {
@@ -253,7 +269,15 @@ impl Ingestor {
                 cache_sharding: cfg.cache_sharding,
             },
         )?);
-        let (wal, ops) = Wal::open_replay(dir.join(&manifest.wal), cfg.fsync)?;
+        let (mut wal, ops) = Wal::open_replay(dir.join(&manifest.wal), cfg.fsync)?;
+        let metrics = IngestMetrics::default();
+        metrics
+            .replayed_ops
+            .store(ops.len() as u64, Ordering::Relaxed);
+        wal.instrument(
+            Arc::clone(&metrics.wal_append_ns),
+            Arc::clone(&metrics.wal_sync_ns),
+        );
 
         // Replay the WAL into heads. Points at or below a series' sealed
         // floor are already in the pack (defensive: the commit protocol
@@ -334,6 +358,7 @@ impl Ingestor {
             background_errors: AtomicU64::new(0),
             degraded: Mutex::new(None),
             degraded_flag: AtomicBool::new(false),
+            metrics,
             cfg,
         };
         // Recovered heads may hold whole chunks' worth of raw points.
@@ -559,6 +584,7 @@ impl Ingestor {
     }
 
     fn seal_locked(&self, w: &mut MutexGuard<'_, WriterState>) -> Result<u64, StoreError> {
+        let started = Instant::now();
         let (epoch, store, heads, tombstones) = {
             let s = lockr(&self.shared);
             (
@@ -596,6 +622,10 @@ impl Ingestor {
 
         // The rotated WAL carries exactly the unsealed raw tails.
         let mut new_wal = Wal::create(self.dir.join(&wal_file), self.cfg.fsync)?;
+        new_wal.instrument(
+            Arc::clone(&self.metrics.wal_append_ns),
+            Arc::clone(&self.metrics.wal_sync_ns),
+        );
         for (name, h) in &heads {
             let (stamps, values) = lockm(h).tail_parts();
             if !stamps.is_empty() {
@@ -645,6 +675,10 @@ impl Ingestor {
         // mode: the WAL was rotated fresh (no torn tail can survive) and
         // every pending chunk and tombstone is now in the pack.
         self.clear_degraded();
+        self.metrics
+            .seal_ns
+            .record(started.elapsed().as_nanos() as u64);
+        self.metrics.seals.fetch_add(1, Ordering::Relaxed);
         Ok(new_epoch)
     }
 
@@ -683,6 +717,7 @@ impl Ingestor {
         }
         let old_pack = std::mem::replace(&mut w.pack_file, pack_file);
         let _ = fs::remove_file(self.dir.join(old_pack));
+        self.metrics.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(new_epoch)
     }
 
@@ -1052,12 +1087,128 @@ impl Ingestor {
         lockr(&self.shared).gen.store.quarantined_count()
     }
 
+    /// Times a segment of the current sealed generation was newly
+    /// quarantined (validation failures promoted to quarantine). Resets
+    /// when a seal or compaction swaps in a fresh generation.
+    pub fn quarantine_events(&self) -> u64 {
+        lockr(&self.shared).gen.store.quarantine_events()
+    }
+
+    /// Registers the ingestor's write-path metric families into `reg`:
+    /// WAL append / fsync and seal latency histograms, event counters
+    /// (seals, compactions, degraded transitions, replayed ops, repairs),
+    /// and scrape-time gauges over live state (head points, epoch, WAL
+    /// length, dead bytes, degraded flag). The histograms and counters are
+    /// the very atomics the write path bumps — no sampling, no copies. The
+    /// registered closures hold an `Arc` to the ingestor, keeping it alive
+    /// as long as the registry.
+    pub fn register_metrics(self: &Arc<Self>, reg: &neats_core::Registry) {
+        let m = &self.metrics;
+        reg.histogram_shared(
+            "neats_ingest_wal_append_ns",
+            "WAL append wall time (encode + write + policy-driven fsync), nanoseconds.",
+            &[],
+            Arc::clone(&m.wal_append_ns),
+        );
+        reg.histogram_shared(
+            "neats_ingest_wal_sync_ns",
+            "WAL fsync time, nanoseconds.",
+            &[],
+            Arc::clone(&m.wal_sync_ns),
+        );
+        reg.histogram_shared(
+            "neats_ingest_seal_ns",
+            "Seal duration, successor-pack build through commit, nanoseconds.",
+            &[],
+            Arc::clone(&m.seal_ns),
+        );
+        reg.counter_shared(
+            "neats_ingest_seals_total",
+            "Committed seals (generation swaps moving head chunks into the pack).",
+            &[],
+            Arc::clone(&m.seals),
+        );
+        reg.counter_shared(
+            "neats_ingest_compactions_total",
+            "Committed compactions (dead bytes dropped from the pack).",
+            &[],
+            Arc::clone(&m.compactions),
+        );
+        reg.counter_shared(
+            "neats_ingest_degraded_transitions_total",
+            "Healthy-to-degraded transitions (I/O faults tripping read-only mode).",
+            &[],
+            Arc::clone(&m.degraded_transitions),
+        );
+        reg.counter_shared(
+            "neats_ingest_wal_replayed_ops_total",
+            "WAL records replayed into heads when the directory was opened.",
+            &[],
+            Arc::clone(&m.replayed_ops),
+        );
+        reg.counter_shared(
+            "neats_ingest_wal_repairs_total",
+            "Torn-tail truncations performed by degraded-mode recovery.",
+            &[],
+            Arc::clone(&m.repairs),
+        );
+        let me = Arc::clone(self);
+        reg.counter_fn(
+            "neats_ingest_background_errors_total",
+            "Errors swallowed (and retried) by the background worker.",
+            &[],
+            move || me.background_errors(),
+        );
+        let me = Arc::clone(self);
+        reg.gauge_fn(
+            "neats_ingest_head_points",
+            "Points currently held in mutable heads (not yet sealed).",
+            &[],
+            move || me.head_points() as f64,
+        );
+        let me = Arc::clone(self);
+        reg.gauge_fn(
+            "neats_ingest_epoch",
+            "Current generation counter.",
+            &[],
+            move || me.epoch() as f64,
+        );
+        let me = Arc::clone(self);
+        reg.gauge_fn(
+            "neats_ingest_wal_bytes",
+            "Current WAL length in bytes (header + committed records).",
+            &[],
+            move || me.wal_len() as f64,
+        );
+        let me = Arc::clone(self);
+        reg.gauge_fn(
+            "neats_ingest_pack_dead_bytes",
+            "Dead (reclaimable) bytes in the sealed pack.",
+            &[],
+            move || me.dead_bytes() as f64,
+        );
+        let me = Arc::clone(self);
+        reg.gauge_fn(
+            "neats_ingest_degraded",
+            "1 while in read-only degraded mode, else 0.",
+            &[],
+            move || f64::from(me.is_degraded()),
+        );
+    }
+
     // ------------------------------------------------------------------
     // Degraded mode
     // ------------------------------------------------------------------
 
     fn enter_degraded(&self, kind: FaultKind, e: &StoreError) {
         let mut g = lockm(&self.degraded);
+        if g.is_none() {
+            // Count healthy→degraded edges only; a refreshed reason while
+            // already degraded is the same incident.
+            self.metrics
+                .degraded_transitions
+                .fetch_add(1, Ordering::Relaxed);
+        }
         *g = Some(DegradedState {
             kind,
             reason: e.to_string(),
@@ -1106,6 +1257,7 @@ impl Ingestor {
             FaultKind::WalAppend => {
                 let mut w = lockm(&self.writer);
                 w.wal.repair()?;
+                self.metrics.repairs.fetch_add(1, Ordering::Relaxed);
                 self.clear_degraded();
                 Ok(true)
             }

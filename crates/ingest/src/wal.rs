@@ -41,10 +41,12 @@
 //! not a torn write — it is the wrong file).
 
 use crate::manifest::sync_dir;
+use neats_core::AtomicHistogram;
 use neats_store::StoreError;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use succinct::{crc64, WireReader, WireWriter};
 
 /// `"NeaTSWAL"` as a little-endian u64.
@@ -210,6 +212,10 @@ pub struct Wal {
     len: u64,
     /// Records appended since the last sync (drives `EveryN`).
     unsynced: u64,
+    /// Latency sinks installed by [`Self::instrument`] (nanoseconds);
+    /// `None` keeps the hot path untimed.
+    append_ns: Option<Arc<AtomicHistogram>>,
+    sync_ns: Option<Arc<AtomicHistogram>>,
 }
 
 impl Wal {
@@ -227,7 +233,15 @@ impl Wal {
         if let Some(dir) = path.parent() {
             sync_dir(dir)?;
         }
-        Ok(Self { file, path, policy, len: WAL_HEADER_LEN as u64, unsynced: 0 })
+        Ok(Self {
+            file,
+            path,
+            policy,
+            len: WAL_HEADER_LEN as u64,
+            unsynced: 0,
+            append_ns: None,
+            sync_ns: None,
+        })
     }
 
     /// Opens an existing WAL, replays it, truncates any torn suffix (or
@@ -249,10 +263,31 @@ impl Wal {
             file.set_len(valid_len as u64)?;
             file.sync_all()?;
         }
-        let mut wal = Self { file, path, policy, len: valid_len as u64, unsynced: 0 };
+        let mut wal = Self {
+            file,
+            path,
+            policy,
+            len: valid_len as u64,
+            unsynced: 0,
+            append_ns: None,
+            sync_ns: None,
+        };
         use std::io::Seek;
         wal.file.seek(std::io::SeekFrom::Start(wal.len))?;
         Ok((wal, ops))
+    }
+
+    /// Installs latency sinks: every [`Self::append`] records its wall
+    /// time (encode + write + any policy-driven sync) into `append_ns`,
+    /// and every [`Self::sync`] records the `fsync` time into `sync_ns`.
+    /// Nanosecond units. Uninstrumented handles pay nothing.
+    pub fn instrument(
+        &mut self,
+        append_ns: Arc<AtomicHistogram>,
+        sync_ns: Arc<AtomicHistogram>,
+    ) {
+        self.append_ns = Some(append_ns);
+        self.sync_ns = Some(sync_ns);
     }
 
     /// Appends one record, then syncs according to the policy. On success
@@ -261,6 +296,10 @@ impl Wal {
         if neats_core::failpoint::triggered("wal.append") {
             return Err(neats_core::failpoint::io_error("wal.append").into());
         }
+        // The write stage of a request trace: WAL time (encode + write +
+        // policy-driven fsync) on the serving thread. No-op off-request.
+        let _write = neats_core::obs::stage(neats_core::obs::Stage::Write);
+        let started = self.append_ns.is_some().then(std::time::Instant::now);
         let rec = encode_record(op);
         self.file.write_all(&rec)?;
         self.len += rec.len() as u64;
@@ -274,6 +313,9 @@ impl Wal {
             }
             FsyncPolicy::Never => {}
         }
+        if let (Some(h), Some(t)) = (&self.append_ns, started) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 
@@ -282,8 +324,12 @@ impl Wal {
         if neats_core::failpoint::triggered("wal.sync") {
             return Err(neats_core::failpoint::io_error("wal.sync").into());
         }
+        let started = self.sync_ns.is_some().then(std::time::Instant::now);
         self.file.sync_all()?;
         self.unsynced = 0;
+        if let (Some(h), Some(t)) = (&self.sync_ns, started) {
+            h.record(t.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 

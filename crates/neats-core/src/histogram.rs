@@ -38,9 +38,13 @@ const SUB_BITS: u32 = 3;
 /// 61 octaves `[2^3, 2^64)`.
 const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
 
+/// Number of buckets every histogram has ([`HistogramSnapshot::buckets`]
+/// always returns a slice of this length).
+pub const BUCKET_COUNT: usize = BUCKETS;
+
 /// The bucket index of `v` (total order preserving: `v ≤ w` implies
 /// `index(v) ≤ index(w)`).
-fn bucket_of(v: u64) -> usize {
+pub fn bucket_of(v: u64) -> usize {
     if v < SUB as u64 {
         return v as usize;
     }
@@ -51,7 +55,7 @@ fn bucket_of(v: u64) -> usize {
 
 /// The *exclusive upper bound* of bucket `i` — the smallest value that does
 /// not land in it. Quantiles report this bound, so they never under-state.
-fn bucket_upper(i: usize) -> u64 {
+pub fn bucket_upper(i: usize) -> u64 {
     if i < SUB {
         return i as u64 + 1;
     }
@@ -154,6 +158,14 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Per-bucket sample counts, in bucket order ([`BUCKET_COUNT`] entries;
+    /// bucket `i` covers `[bucket_upper(i-1), bucket_upper(i))`). This is
+    /// what the Prometheus renderer in [`crate::obs`] folds into cumulative
+    /// `_bucket{le=…}` lines.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Exact mean (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -188,7 +200,9 @@ impl HistogramSnapshot {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        // Wrapping, like the recorder's `fetch_add`: a sum that has lapped
+        // u64 stays bit-identical to single-histogram recording.
+        self.sum = self.sum.wrapping_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }

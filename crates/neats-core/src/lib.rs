@@ -44,6 +44,7 @@ pub mod fit;
 pub mod histogram;
 pub mod layout;
 pub mod lossy;
+pub mod obs;
 pub mod parallel;
 pub mod partition;
 pub mod serial;
@@ -58,6 +59,7 @@ pub use failpoint::FailpointFile;
 pub use fit::{Fragment, Kind, Params};
 pub use histogram::{AtomicHistogram, HistogramSnapshot};
 pub use layout::{NeaTSCompressed, RankMode};
+pub use obs::{Registry, Stage, TraceEntry, TraceRing};
 pub use lossy::NeaTSLossy;
 pub use partition::{default_epsilons, positivity_shift, Pair, Partition, PartitionConfig};
 pub use serial::{frame_info, ArchiveFlavor, Section};

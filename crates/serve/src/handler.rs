@@ -1,5 +1,6 @@
-//! Request routing: the five endpoints, the query grammar shared by single
-//! and batched queries, and the JSON renderers.
+//! Request routing: the seven endpoints, the query grammar shared by single
+//! and batched queries, the JSON renderers, and the per-request trace
+//! (stage breakdown, slow-query log, `/debug/requests` ring).
 //!
 //! The full request/response grammar, status-code contract, and batch frame
 //! format live in `docs/PROTOCOL.md` at the repository root; the loopback
@@ -7,38 +8,88 @@
 
 use crate::http::{Method, Request, Response};
 use crate::source::{mode_eps, Source};
-use crate::stats::{Endpoint, ServerStats};
+use crate::stats::{Endpoint, Obs, ServerStats};
+use neats_core::obs::{span_ensure, span_take, stage, Stage, STAGE_COUNT};
 use neats_ingest::Ingestor;
 use neats_store::StoreError;
 use std::io::Write as _;
 use std::time::Instant;
 
 /// Routes one parsed request, recording latency and error counters for the
-/// endpoint it lands on.
-pub fn handle(src: &Source, stats: &ServerStats, threads: usize, req: &Request) -> Response {
+/// endpoint it lands on, then closes out the request trace: the stage span
+/// (armed by the serving loop before the read, covering parse) is taken
+/// here, checked against the slow-query threshold, and recorded into the
+/// `/debug/requests` ring. Response socket I/O is not traced.
+pub fn handle(
+    src: &Source,
+    stats: &ServerStats,
+    obs: &Obs,
+    threads: usize,
+    req: &Request,
+) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
+    // Direct calls (tests, future embedders) that never armed a span still
+    // trace from here; for served requests this is a no-op.
+    span_ensure();
+    stats.bytes_in.fetch_add(req.wire_bytes as u64, Relaxed);
     let t0 = Instant::now();
-    let (endpoint, resp) = route(src, stats, threads, req);
+    let (endpoint, resp) = route(src, stats, obs, threads, req);
     if resp.status == 503 {
-        stats.degraded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.degraded.fetch_add(1, Relaxed);
     }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
     match endpoint {
-        Some(e) => stats.record(e, resp.status, t0.elapsed().as_nanos() as u64),
+        Some(e) => stats.record(e, resp.status, elapsed_ns),
         None => {
-            stats.unrouted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            stats.unrouted.fetch_add(1, Relaxed);
         }
     }
+    let stage_ns = span_take().unwrap_or([0; STAGE_COUNT]);
+    // The parse stage ran before this call, while the request was read.
+    let total_ns = elapsed_ns + stage_ns[Stage::Parse as usize];
+    let slow = obs.slow_query_us > 0 && total_ns >= obs.slow_query_us.saturating_mul(1_000);
+    if slow {
+        stats.slow_queries.fetch_add(1, Relaxed);
+        eprintln!(
+            "slow-query: {} {} status={} total_us={} parse={} route={} cache={} \
+             decode={} render={} write={}",
+            match req.method {
+                Method::Get => "GET",
+                Method::Post => "POST",
+            },
+            req.path,
+            resp.status,
+            total_ns / 1_000,
+            stage_ns[Stage::Parse as usize] / 1_000,
+            stage_ns[Stage::Route as usize] / 1_000,
+            stage_ns[Stage::Cache as usize] / 1_000,
+            stage_ns[Stage::Decode as usize] / 1_000,
+            stage_ns[Stage::Render as usize] / 1_000,
+            stage_ns[Stage::Write as usize] / 1_000,
+        );
+    }
+    obs.ring.record(&req.path, resp.status, total_ns, slow, &stage_ns);
     resp
 }
 
 fn route(
     src: &Source,
     stats: &ServerStats,
+    obs: &Obs,
     threads: usize,
     req: &Request,
 ) -> (Option<Endpoint>, Response) {
+    // Routing + handling; nested stage guards (cache, decode, render,
+    // write) pause this one, so its self-time is pure dispatch overhead.
+    let _route = stage(Stage::Route);
     match (req.method, req.path.as_str()) {
         (Method::Get, "/series") => (Some(Endpoint::Series), series_json(src)),
-        (Method::Get, "/stats") => (Some(Endpoint::Stats), stats_json(src, stats, threads)),
+        (Method::Get, "/stats") => (
+            Some(Endpoint::Stats),
+            stats_json(src, stats, obs, threads),
+        ),
+        (Method::Get, "/metrics") => (Some(Endpoint::Metrics), metrics_text(obs)),
+        (Method::Get, "/debug/requests") => (Some(Endpoint::Debug), debug_requests_json(obs)),
         (Method::Get, path) if path.starts_with("/q/") => {
             let series = &path[3..];
             (Some(Endpoint::Query), single_query(src, series, &req.query))
@@ -46,7 +97,8 @@ fn route(
         (Method::Post, "/q") => (Some(Endpoint::Batch), batch_query(src, &req.body)),
         (Method::Post, "/write") => (Some(Endpoint::Write), write_batch(src, &req.body)),
         // Known paths under the wrong method get a 405, unknown paths a 404.
-        (_, "/series" | "/stats" | "/q" | "/write") | (Method::Post, _)
+        (_, "/series" | "/stats" | "/q" | "/write" | "/metrics" | "/debug/requests")
+        | (Method::Post, _)
             if known_path(&req.path) =>
         {
             (None, Response::error(405, "method not allowed"))
@@ -56,8 +108,53 @@ fn route(
 }
 
 fn known_path(path: &str) -> bool {
-    path == "/series" || path == "/stats" || path == "/q" || path == "/write"
+    path == "/series"
+        || path == "/stats"
+        || path == "/q"
+        || path == "/write"
+        || path == "/metrics"
+        || path == "/debug/requests"
         || path.starts_with("/q/")
+}
+
+/// `GET /metrics`: the whole registry in Prometheus text exposition format
+/// (version 0.0.4) — serve counters, store/cache counters, and the ingest
+/// write-path families on a live source.
+fn metrics_text(obs: &Obs) -> Response {
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4",
+        body: obs.registry.render().into_bytes(),
+        retry_after: None,
+    }
+}
+
+/// `GET /debug/requests`: the trace ring as a JSON array, newest first —
+/// per-request status, total, slow flag, and the six stage timings.
+fn debug_requests_json(obs: &Obs) -> Response {
+    let entries = obs.ring.entries();
+    let mut out = String::from("[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"seq\": {}, \"ts_unix_us\": {}, \"path\": {}, \"status\": {}, \
+             \"slow\": {}, \"total_us\": {:.1}",
+            e.seq,
+            e.ts_unix_us,
+            json_string(&e.path),
+            e.status,
+            e.slow,
+            e.total_ns as f64 / 1e3,
+        ));
+        for (s, ns) in Stage::ALL.iter().zip(e.stage_ns.iter()) {
+            out.push_str(&format!(", \"{}_us\": {:.1}", s.name(), *ns as f64 / 1e3));
+        }
+        out.push('}');
+    }
+    out.push_str(if entries.is_empty() { "]\n" } else { "\n]\n" });
+    Response::json(out)
 }
 
 /// `GET /q/<series>?idx=K | idx=A..B | t=T | t=A..B`.
@@ -223,6 +320,7 @@ pub(crate) fn run_query(
                     // views: the decoded-value buffer stays one segment
                     // long (the text body still accumulates in full for
                     // Content-Length framing).
+                    let _render = stage(Stage::Render);
                     for v in chunk {
                         let _ = writeln!(body, "{v}");
                     }
@@ -241,6 +339,7 @@ pub(crate) fn run_query(
                 let a = parse_num(a, "time range start")?;
                 let b = parse_num(b, "time range end")?;
                 src.range_by_time_chunks(series, a, b, |chunk| {
+                    let _render = stage(Stage::Render);
                     for (t, v) in chunk {
                         let _ = writeln!(body, "{t},{v}");
                     }
@@ -312,13 +411,20 @@ fn series_json(src: &Source) -> Response {
 
 /// `GET /stats`: cache counters, connection counters, and per-endpoint
 /// latency percentiles — plus the live write-path gauges when serving an
-/// ingest directory.
-fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
+/// ingest directory. Every number here reads the same atomics `/metrics`
+/// exposes; the two surfaces differ only in format.
+fn stats_json(src: &Source, stats: &ServerStats, obs: &Obs, threads: usize) -> Response {
     use std::sync::atomic::Ordering::Relaxed;
     let cache = src.cache_stats();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"uptime_s\": {:.3},\n", stats.uptime_s()));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"mode\": \"{}\",\n", obs.mode));
+    out.push_str(&format!("  \"shards\": {},\n", obs.shards));
+    out.push_str(&format!(
+        "  \"source\": {},\n",
+        json_string(&obs.source_label)
+    ));
     out.push_str(&format!("  \"series\": {},\n", src.series_count()));
     out.push_str(&format!("  \"points\": {},\n", src.total_points()));
     out.push_str(&format!("  \"live\": {},\n", src.is_live()));
@@ -336,16 +442,18 @@ fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
     }
     out.push_str(&format!("  \"quarantined\": {},\n", src.quarantined_count()));
     out.push_str(&format!(
-        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \"hit_rate\": {:.4}}},\n",
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \
+         \"hit_rate\": {:.4}}},\n",
         cache.hits,
         cache.misses,
+        cache.evictions,
         cache.entries,
         cache.hit_rate(),
     ));
     out.push_str(&format!(
         "  \"connections\": {{\"accepted\": {}, \"active\": {}, \"protocol_errors\": {}, \
          \"unrouted\": {}, \"panics\": {}, \"shed\": {}, \"timeouts\": {}, \
-         \"degraded\": {}}},\n",
+         \"degraded\": {}, \"slow_queries\": {}, \"bytes_in\": {}, \"bytes_out\": {}}},\n",
         stats.accepted.load(Relaxed),
         stats.active.load(Relaxed),
         stats.protocol_errors.load(Relaxed),
@@ -354,6 +462,9 @@ fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
         stats.shed.load(Relaxed),
         stats.timeouts.load(Relaxed),
         stats.degraded.load(Relaxed),
+        stats.slow_queries.load(Relaxed),
+        stats.bytes_in.load(Relaxed),
+        stats.bytes_out.load(Relaxed),
     ));
     out.push_str("  \"endpoints\": {");
     for (i, e) in Endpoint::ALL.iter().enumerate() {
@@ -361,13 +472,14 @@ fn stats_json(src: &Source, stats: &ServerStats, threads: usize) -> Response {
         let snap = s.latency_ns.snapshot();
         out.push_str(&format!(
             "{}\n    \"{}\": {{\"requests\": {}, \"errors\": {}, \"p50_us\": {:.1}, \
-             \"p99_us\": {:.1}, \"max_us\": {:.1}, \"mean_us\": {:.1}}}",
+             \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {:.1}, \"mean_us\": {:.1}}}",
             if i > 0 { "," } else { "" },
             e.key(),
             s.requests.load(Relaxed),
             s.errors.load(Relaxed),
             snap.quantile(0.5) as f64 / 1e3,
             snap.quantile(0.99) as f64 / 1e3,
+            snap.quantile(0.999) as f64 / 1e3,
             snap.max() as f64 / 1e3,
             snap.mean() / 1e3,
         ));
@@ -417,6 +529,7 @@ mod tests {
             query: query.into(),
             keep_alive: true,
             body: Vec::new(),
+            wire_bytes: 0,
         }
     }
 
@@ -427,6 +540,7 @@ mod tests {
             query: String::new(),
             keep_alive: true,
             body: body.to_vec(),
+            wire_bytes: 0,
         }
     }
 
@@ -494,8 +608,9 @@ mod tests {
     fn batch_frame_shape() {
         let src = Source::from(demo_store());
         let stats = ServerStats::new();
+        let obs = Obs::disabled();
         let req = post("/q", b"cpu idx=3\nnope idx=0\n\ncpu idx=0..2\nmalformed\n");
-        let resp = handle(&src, &stats, 1, &req);
+        let resp = handle(&src, &stats, &obs, 1, &req);
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.starts_with("#0 ok 1\n"), "{text}");
@@ -509,27 +624,102 @@ mod tests {
     fn routing_and_counters() {
         let src = Source::from(demo_store());
         let stats = ServerStats::new();
-        assert_eq!(handle(&src, &stats, 2, &get("/series", "")).status, 200);
-        assert_eq!(handle(&src, &stats, 2, &get("/q/cpu", "idx=1")).status, 200);
-        assert_eq!(handle(&src, &stats, 2, &get("/q/none", "idx=1")).status, 404);
-        assert_eq!(handle(&src, &stats, 2, &get("/frob", "")).status, 404);
-        let stats_resp = handle(&src, &stats, 2, &get("/stats", ""));
+        let obs = Obs::disabled();
+        assert_eq!(handle(&src, &stats, &obs, 2, &get("/series", "")).status, 200);
+        assert_eq!(handle(&src, &stats, &obs, 2, &get("/q/cpu", "idx=1")).status, 200);
+        assert_eq!(handle(&src, &stats, &obs, 2, &get("/q/none", "idx=1")).status, 404);
+        assert_eq!(handle(&src, &stats, &obs, 2, &get("/frob", "")).status, 404);
+        let stats_resp = handle(&src, &stats, &obs, 2, &get("/stats", ""));
         assert_eq!(stats_resp.status, 200);
         let text = String::from_utf8(stats_resp.body).unwrap();
         assert!(text.contains("\"threads\": 2"), "{text}");
         assert!(text.contains("\"query\": {\"requests\": 2, \"errors\": 1"), "{text}");
         assert!(text.contains("\"live\": false"), "{text}");
+        assert!(text.contains("\"p999_us\""), "{text}");
         // POST to a GET-only path is a 405, as is writing to a pack.
-        assert_eq!(handle(&src, &stats, 2, &post("/series", b"")).status, 405);
-        assert_eq!(handle(&src, &stats, 2, &post("/write", b"cpu 1 2\n")).status, 405);
-        assert_eq!(handle(&src, &stats, 2, &get("/write", "")).status, 405);
+        assert_eq!(handle(&src, &stats, &obs, 2, &post("/series", b"")).status, 405);
+        assert_eq!(
+            handle(&src, &stats, &obs, 2, &post("/write", b"cpu 1 2\n")).status,
+            405
+        );
+        assert_eq!(handle(&src, &stats, &obs, 2, &get("/write", "")).status, 405);
+        assert_eq!(handle(&src, &stats, &obs, 2, &post("/metrics", b"")).status, 405);
+        assert_eq!(
+            handle(&src, &stats, &obs, 2, &post("/debug/requests", b"")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn metrics_exposition_shares_the_stats_atomics() {
+        let src = Source::from(demo_store());
+        let stats = ServerStats::new();
+        let obs = Obs {
+            registry: Arc::new(neats_core::Registry::new()),
+            ring: neats_core::TraceRing::new(8),
+            slow_query_us: 0,
+            shard_depths: Vec::new(),
+            source_label: "demo.pack".into(),
+            mode: "threaded",
+            shards: 1,
+        };
+        stats.register(&obs.registry);
+        src.register_metrics(&obs.registry);
+        assert_eq!(handle(&src, &stats, &obs, 1, &get("/q/cpu", "idx=1")).status, 200);
+        assert_eq!(handle(&src, &stats, &obs, 1, &get("/q/none", "idx=1")).status, 404);
+        let resp = handle(&src, &stats, &obs, 1, &get("/metrics", ""));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("neats_serve_requests_total{endpoint=\"query\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("neats_serve_errors_total{endpoint=\"query\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE neats_store_cache_hits_total counter"), "{text}");
+        // The trace ring saw every request handled above.
+        let resp = handle(&src, &stats, &obs, 1, &get("/debug/requests", ""));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"path\": \"/metrics\""), "{text}");
+        assert!(text.contains("\"parse_us\""), "{text}");
+        assert!(text.contains("\"write_us\""), "{text}");
+    }
+
+    #[test]
+    fn slow_query_threshold_flags_and_counts() {
+        let src = Source::from(demo_store());
+        let stats = ServerStats::new();
+        let obs = Obs {
+            // 0µs threshold would mean "off"; 1ns-rounding makes every
+            // request slow at 1µs only if it takes ≥1µs — a range render
+            // over 500 points reliably does.
+            slow_query_us: 1,
+            ..Obs::disabled()
+        };
+        let obs = Obs {
+            ring: neats_core::TraceRing::new(4),
+            ..obs
+        };
+        assert_eq!(
+            handle(&src, &stats, &obs, 1, &get("/q/cpu", "idx=0..500")).status,
+            200
+        );
+        assert_eq!(stats.slow_queries.load(std::sync::atomic::Ordering::Relaxed), 1);
+        let entries = obs.ring.entries();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].slow);
+        assert_eq!(entries[0].path, "/q/cpu");
     }
 
     #[test]
     fn series_json_lists_catalog() {
         let src = Source::from(demo_store());
         let stats = ServerStats::new();
-        let resp = handle(&src, &stats, 1, &get("/series", ""));
+        let obs = Obs::disabled();
+        let resp = handle(&src, &stats, &obs, 1, &get("/series", ""));
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"name\": \"cpu\""), "{text}");
         assert!(text.contains("\"points\": 500"), "{text}");
@@ -543,11 +733,12 @@ mod tests {
         let ing = Ingestor::open(&dir, IngestConfig::default()).unwrap();
         let src = Source::from(ing);
         let stats = ServerStats::new();
+        let obs = Obs::disabled();
 
         // Three batches: cpu×2 (consecutive lines coalesce), mem×1, then a
         // stale cpu point (timestamp went backwards) and a malformed line.
         let body = b"cpu 1000 5\ncpu 1001 6\nmem 500 -3\ncpu 900 1\nbroken\n";
-        let resp = handle(&src, &stats, 1, &post("/write", body));
+        let resp = handle(&src, &stats, &obs, 1, &post("/write", body));
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.starts_with("#0 ok 2\n"), "{text}");
@@ -564,10 +755,11 @@ mod tests {
 
         // /series and /stats reflect the live state.
         let text =
-            String::from_utf8(handle(&src, &stats, 1, &get("/series", "")).body).unwrap();
+            String::from_utf8(handle(&src, &stats, &obs, 1, &get("/series", "")).body).unwrap();
         assert!(text.contains("\"name\": \"cpu\""), "{text}");
         assert!(text.contains("\"name\": \"mem\""), "{text}");
-        let text = String::from_utf8(handle(&src, &stats, 1, &get("/stats", "")).body).unwrap();
+        let text =
+            String::from_utf8(handle(&src, &stats, &obs, 1, &get("/stats", "")).body).unwrap();
         assert!(text.contains("\"live\": true"), "{text}");
         assert!(text.contains("\"head_points\": 3"), "{text}");
         assert!(text.contains("\"write\": {\"requests\": 1"), "{text}");

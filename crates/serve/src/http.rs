@@ -55,6 +55,9 @@ pub struct Request {
     pub keep_alive: bool,
     /// The request body (empty unless `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// Bytes this request occupied on the wire (head + body) — feeds the
+    /// `bytes_in` counter on `/stats` and `/metrics`.
+    pub wire_bytes: usize,
 }
 
 /// A parse-level failure, carrying the status the connection is closed with.
@@ -129,7 +132,11 @@ impl Conn {
         };
         let head: Vec<u8> = self.buf[..head_end].to_vec();
         let consumed = head_end;
-        let parsed = parse_head(&head);
+        let parsed = {
+            // The parse stage of a request trace (no-op without a span).
+            let _parse = neats_core::obs::stage(neats_core::obs::Stage::Parse);
+            parse_head(&head)
+        };
         // Drain the head bytes even when parsing fails, so a pipelined
         // follow-up can't replay them (the connection closes anyway).
         self.buf.drain(..consumed);
@@ -143,12 +150,14 @@ impl Conn {
             let _ = self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
         }
         let body = self.fill_body(content_length, limits, should_abort)?;
+        let wire_bytes = consumed + body.len();
         Ok(ReadOutcome::Request(Request {
             method,
             path,
             query,
             keep_alive,
             body,
+            wire_bytes,
         }))
     }
 
@@ -510,19 +519,22 @@ fn response_head(resp: &Response, keep_alive: bool) -> String {
     )
 }
 
-/// Serializes `resp` onto `stream`. The caller is expected to have set a
-/// write timeout on the stream — without one, a client that stops reading
+/// Serializes `resp` onto `stream`, returning the bytes written (head +
+/// body; feeds the `bytes_out` counter). The caller is expected to have set
+/// a write timeout on the stream — without one, a client that stops reading
 /// (write-side slowloris) would pin the writing thread forever.
 pub fn write_response(
     stream: &mut TcpStream,
     resp: &Response,
     keep_alive: bool,
-) -> std::io::Result<()> {
+) -> std::io::Result<usize> {
     // Two writes instead of concatenating — a large range body would
     // otherwise be copied a second time on every response.
-    stream.write_all(response_head(resp, keep_alive).as_bytes())?;
+    let head = response_head(resp, keep_alive);
+    stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
-    stream.flush()
+    stream.flush()?;
+    Ok(head.len() + resp.body.len())
 }
 
 /// Appends the serialized `resp` to `out` — the reactor's per-connection

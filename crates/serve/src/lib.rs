@@ -15,6 +15,8 @@
 //! | `POST /q` | many queries (one per body line), one framed response |
 //! | `POST /write` | live point ingestion (one `<series> <t> <v>` per line) |
 //! | `GET /stats` | cache hit rate + per-endpoint latency percentiles, JSON |
+//! | `GET /metrics` | every counter, Prometheus text exposition (0.0.4) |
+//! | `GET /debug/requests` | recent requests with per-stage timings, JSON |
 //!
 //! The server mounts a [`Source`]: either a read-only packfile
 //! ([`neats_store::Store`], the original mode — `POST /write` answers 405)
@@ -66,8 +68,19 @@
 //!   connections, finishes in-flight requests (a half-received request is
 //!   answered 408), then [`Server::run`] returns with the open-connection
 //!   counter at exactly zero.
-//! * **Observability** — per-endpoint request/error counters and latency
-//!   histograms ([`neats_core::AtomicHistogram`]) served on `/stats`.
+//! * **Observability** — every counter lives in one
+//!   [`neats_core::Registry`] built at [`Server::bind`]: per-endpoint
+//!   request/error counters and latency histograms
+//!   ([`neats_core::AtomicHistogram`]), connection/byte counters, the
+//!   store's cache counters, and — on a live source — the ingest
+//!   write-path families (WAL append/fsync latency, seal durations,
+//!   degraded transitions). `/stats` renders them as JSON, `GET /metrics`
+//!   as Prometheus text, both reading the same atomics. Each request is
+//!   traced through stage spans (parse → route → cache → decode → render →
+//!   write) into a fixed-size lock-free ring served at
+//!   `GET /debug/requests`; requests over the slow-query threshold
+//!   ([`ServeConfig::slow_query_us`], env [`SLOW_QUERY_ENV`]) are counted,
+//!   flagged in the ring, and logged to stderr.
 //!
 //! ## Ingest → serve → query roundtrip
 //!
@@ -115,7 +128,7 @@ mod stats;
 pub use http::{Limits, Method, Request, Response};
 pub use server::{
     ReactorMode, ServeConfig, Server, ServerHandle, MAX_CONNS_ENV, REACTOR_ENV, SHARDS_ENV,
-    SHED_WATERMARK_ENV, THREADS_ENV,
+    SHED_WATERMARK_ENV, SLOW_QUERY_ENV, THREADS_ENV, TRACE_RING_ENV,
 };
 pub use source::Source;
 pub use stats::{Endpoint, EndpointStats, ServerStats};

@@ -102,8 +102,9 @@ pub(crate) fn run(
         })
         .collect::<std::io::Result<_>>()?;
     std::thread::scope(|s| {
-        for shard in &shards {
-            s.spawn(|| shard_loop(shard, source, shared, limits, shards.len()));
+        for (idx, shard) in shards.iter().enumerate() {
+            let n = shards.len();
+            s.spawn(move || shard_loop(shard, idx, source, shared, limits, n));
         }
         // The accept loop mirrors the threaded path: non-blocking accept
         // with a short tick so shutdown is observed even if the wake-up
@@ -177,6 +178,8 @@ struct PendingBody {
     keep_alive: bool,
     /// Body bytes still expected (`Content-Length`).
     need: usize,
+    /// Size of the already-drained head, for the `bytes_in` counter.
+    head_bytes: usize,
 }
 
 /// One registered connection's full state.
@@ -416,11 +419,13 @@ struct ShardCtx<'a> {
 /// the graceful contract.
 fn shard_loop(
     shard: &ReactorShard,
+    idx: usize,
     source: &Source,
     shared: &Arc<Shared>,
     limits: &Limits,
     threads: usize,
 ) {
+    let depth_gauge = shared.obs.shard_depths.get(idx);
     let now = Instant::now();
     let mut ctx = ShardCtx {
         poller: &shard.poller,
@@ -464,6 +469,11 @@ fn shard_loop(
         while let Some(stream) = shard.inbox.try_pop() {
             shared.queued.fetch_sub(1, Ordering::Relaxed);
             register(&mut ctx, stream, now);
+        }
+        // Published once per wake-up: exact enough for a scrape, free for
+        // the hot path.
+        if let Some(g) = depth_gauge {
+            g.store(ctx.conns.live as u64, Ordering::Relaxed);
         }
         for ev in events.iter() {
             handle_event(&mut ctx, ev.key, ev.readable, ev.writable);
@@ -606,12 +616,14 @@ fn process_buffer(ctx: &mut ShardCtx<'_>, key: usize) {
             }
             let body: Vec<u8> = conn.rbuf[..pb.need].to_vec();
             conn.rbuf.drain(..pb.need);
+            let wire_bytes = pb.head_bytes + body.len();
             let req = Request {
                 method: pb.method,
                 path: pb.path,
                 query: pb.query,
                 keep_alive: pb.keep_alive,
                 body,
+                wire_bytes,
             };
             dispatch(ctx, key, req);
             continue;
@@ -631,7 +643,16 @@ fn process_buffer(ctx: &mut ShardCtx<'_>, key: usize) {
                     fail(ctx, key, 431, "request head too large");
                     return;
                 }
-                let parsed = http::parse_head(&conn.rbuf[..end]);
+                // Arm the request trace at head parse. If this request's
+                // body completes in a later event, another connection's
+                // parse may re-arm the span in between and this request
+                // loses its parse time — a bounded inaccuracy the
+                // single-threaded-per-shard design accepts.
+                neats_core::obs::span_begin();
+                let parsed = {
+                    let _parse = neats_core::obs::stage(neats_core::obs::Stage::Parse);
+                    http::parse_head(&conn.rbuf[..end])
+                };
                 // Drain the head even when parsing fails, so a pipelined
                 // follow-up can't replay it (the connection closes anyway).
                 conn.rbuf.drain(..end);
@@ -657,6 +678,7 @@ fn process_buffer(ctx: &mut ShardCtx<'_>, key: usize) {
                             query,
                             keep_alive,
                             need: content_length,
+                            head_bytes: end,
                         });
                     }
                 }
@@ -671,7 +693,13 @@ fn dispatch(ctx: &mut ShardCtx<'_>, key: usize, req: Request) {
     // connections would die with it); the panicking request gets a 500 and
     // its connection closes — identical to the threaded path.
     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        handler::handle(ctx.source, &ctx.shared.stats, ctx.threads, &req)
+        handler::handle(
+            ctx.source,
+            &ctx.shared.stats,
+            &ctx.shared.obs,
+            ctx.threads,
+            &req,
+        )
     }));
     let (resp, close_after) = match result {
         Ok(resp) => (resp, false),
@@ -708,7 +736,10 @@ fn flush(ctx: &mut ShardCtx<'_>, key: usize) {
                 conn.dead = true;
                 return;
             }
-            Ok(n) => conn.wpos += n,
+            Ok(n) => {
+                conn.wpos += n;
+                ctx.shared.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+            }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) if e.kind() == ErrorKind::WouldBlock => break,
             Err(_) => {

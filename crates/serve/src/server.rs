@@ -35,9 +35,10 @@
 
 use crate::http::{Conn, HttpError, Limits, ReadOutcome, Response};
 use crate::source::Source;
-use crate::stats::ServerStats;
+use crate::stats::{Obs, ServerStats};
 use crate::{handler, http, reactor};
 use neats_core::parallel::{effective_threads_env, Queue};
+use neats_core::{Registry, TraceRing};
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
@@ -58,6 +59,13 @@ pub const SHED_WATERMARK_ENV: &str = "NEATS_SERVE_SHED_WATERMARK";
 pub const REACTOR_ENV: &str = "NEATS_SERVE_REACTOR";
 /// Environment variable naming the default reactor shard count.
 pub const SHARDS_ENV: &str = "NEATS_SERVE_SHARDS";
+/// Environment variable naming the default slow-query threshold in
+/// microseconds (requests at or above it are logged to stderr and flagged
+/// in `/debug/requests`); `0` or unset disables the log.
+pub const SLOW_QUERY_ENV: &str = "NEATS_SLOW_QUERY_US";
+/// Environment variable naming the default trace-ring capacity (recent
+/// requests kept for `GET /debug/requests`); `0` disables tracing.
+pub const TRACE_RING_ENV: &str = "NEATS_TRACE_RING";
 
 /// How [`Server::run`] multiplexes connections.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -114,6 +122,18 @@ pub struct ServeConfig {
     /// when the store is opened with thread-sharded caching — owns its own
     /// slice of the segment-view cache. Ignored in threaded mode.
     pub shards: usize,
+    /// Slow-query threshold in microseconds: a request whose traced total
+    /// reaches it is logged to stderr and flagged in `/debug/requests`.
+    /// `None` = automatic ([`SLOW_QUERY_ENV`], else off); `Some(0)` = off.
+    pub slow_query_us: Option<u64>,
+    /// Recent requests kept in the trace ring behind `GET /debug/requests`.
+    /// `None` = automatic ([`TRACE_RING_ENV`], else 256); `Some(0)`
+    /// disables tracing.
+    pub trace_ring: Option<usize>,
+    /// What this server serves, for `/stats` and the `neats_build_info`
+    /// metric — conventionally the pack path or ingest directory. Purely
+    /// informational; empty renders as `""`.
+    pub source_label: String,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +149,9 @@ impl Default for ServeConfig {
             queue_watermark: 0,
             reactor: ReactorMode::Auto,
             shards: 0,
+            slow_query_us: None,
+            trace_ring: None,
+            source_label: String::new(),
         }
     }
 }
@@ -146,6 +169,22 @@ fn resolve_mode(configured: ReactorMode) -> ReactorMode {
     }
 }
 
+/// `None` means automatic: the environment variable, else `fallback`
+/// (unlike [`resolve_knob`], an explicit or environment `0` is meaningful —
+/// it disables the feature).
+fn resolve_opt_knob<T: Copy + std::str::FromStr>(
+    configured: Option<T>,
+    env: &str,
+    fallback: T,
+) -> T {
+    configured.unwrap_or_else(|| {
+        std::env::var(env)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(fallback)
+    })
+}
+
 /// `0` means automatic: the environment variable, else `fallback`.
 fn resolve_knob(configured: usize, env: &str, fallback: usize) -> usize {
     if configured != 0 {
@@ -156,6 +195,70 @@ fn resolve_knob(configured: usize, env: &str, fallback: usize) -> usize {
         .and_then(|v| v.trim().parse().ok())
         .filter(|&n| n != 0)
         .unwrap_or(fallback)
+}
+
+/// Assembles the observability bundle at bind time: creates the metrics
+/// registry, registers every serve/store/ingest family, and resolves the
+/// tracing knobs. Registration order here is `/metrics` render order.
+fn build_obs(
+    source: &Source,
+    stats: &ServerStats,
+    cfg: &ServeConfig,
+    threads: usize,
+    shards: usize,
+) -> Obs {
+    let registry = Arc::new(Registry::new());
+    let mode = match resolve_mode(cfg.reactor) {
+        ReactorMode::Auto if cfg!(target_os = "linux") => "reactor",
+        ReactorMode::Reactor => "reactor",
+        ReactorMode::Auto | ReactorMode::Threaded => "threaded",
+    };
+    let source_label = cfg.source_label.clone();
+    registry.gauge_fn(
+        "neats_build_info",
+        "Serving metadata as labels; the value is always 1.",
+        &[
+            ("version", env!("CARGO_PKG_VERSION")),
+            ("mode", mode),
+            ("source", &source_label),
+        ],
+        || 1.0,
+    );
+    registry
+        .gauge(
+            "neats_serve_threads",
+            "Resolved worker-thread count (the threaded pool size).",
+            &[],
+        )
+        .store(threads as u64, Ordering::Relaxed);
+    registry
+        .gauge("neats_serve_shards", "Resolved reactor shard count.", &[])
+        .store(shards as u64, Ordering::Relaxed);
+    stats.register(&registry);
+    source.register_metrics(&registry);
+    let shard_depths: Vec<Arc<AtomicU64>> = if mode == "reactor" {
+        (0..shards)
+            .map(|i| {
+                let idx = i.to_string();
+                registry.gauge(
+                    "neats_serve_shard_connections",
+                    "Connections currently registered with each reactor shard.",
+                    &[("shard", idx.as_str())],
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Obs {
+        registry,
+        ring: TraceRing::new(resolve_opt_knob(cfg.trace_ring, TRACE_RING_ENV, 256)),
+        slow_query_us: resolve_opt_knob(cfg.slow_query_us, SLOW_QUERY_ENV, 0),
+        shard_depths,
+        source_label,
+        mode,
+        shards,
+    }
 }
 
 pub(crate) struct Shared {
@@ -170,6 +273,7 @@ pub(crate) struct Shared {
     /// or not yet registered by their shard (reactor mode).
     pub(crate) queued: AtomicU64,
     pub(crate) stats: ServerStats,
+    pub(crate) obs: Obs,
 }
 
 /// A bound, not-yet-running server. [`Server::run`] serves until a
@@ -259,15 +363,19 @@ impl Server {
         let addr = listener.local_addr()?;
         let threads = effective_threads_env(cfg.threads, THREADS_ENV);
         let shards = resolve_knob(cfg.shards, SHARDS_ENV, threads);
+        let source = source.into();
+        let stats = ServerStats::new();
+        let obs = build_obs(&source, &stats, &cfg, threads, shards);
         Ok(Server {
             listener,
-            source: source.into(),
+            source,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
                 accept_exited: AtomicBool::new(false),
                 open_conns: AtomicU64::new(0),
                 queued: AtomicU64::new(0),
-                stats: ServerStats::new(),
+                stats,
+                obs,
             }),
             addr,
             threads,
@@ -503,13 +611,17 @@ fn serve_connection(
     let mut conn = Conn::new(stream);
     let should_abort = || shared.shutdown.load(Ordering::SeqCst);
     loop {
+        // Arm the request trace before reading: the parse stage runs inside
+        // read_request. Only stage-guarded code accumulates, so time blocked
+        // waiting for the next keep-alive request attributes nowhere.
+        neats_core::obs::span_begin();
         match conn.read_request(limits, &should_abort) {
             Ok(ReadOutcome::Request(req)) => {
                 // A handler panic must not take down the worker (the pool is
                 // fixed — a dead worker would shrink capacity forever); the
                 // panicking request gets a 500 and its connection closes.
                 let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    handler::handle(source, &shared.stats, threads, &req)
+                    handler::handle(source, &shared.stats, &shared.obs, threads, &req)
                 }));
                 let (resp, close_after) = match result {
                     Ok(resp) => (resp, false),
@@ -523,8 +635,14 @@ fn serve_connection(
                 let keep = req.keep_alive
                     && !close_after
                     && (!should_abort() || conn.has_buffered_request());
-                if http::write_response(conn.stream(), &resp, keep).is_err() || !keep {
-                    break;
+                match http::write_response(conn.stream(), &resp, keep) {
+                    Ok(n) => {
+                        shared.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                        if !keep {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
                 }
             }
             Ok(ReadOutcome::Closed) => break,
@@ -534,12 +652,18 @@ fn serve_connection(
                     // Slow-drip or idle deadline — the slowloris defenses.
                     shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                 }
-                let _ =
-                    http::write_response(conn.stream(), &Response::error(status, &reason), false);
+                if let Ok(n) =
+                    http::write_response(conn.stream(), &Response::error(status, &reason), false)
+                {
+                    shared.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
                 break;
             }
         }
     }
+    // Discard any span left armed by a request that never reached the
+    // handler — this worker thread is pooled.
+    let _ = neats_core::obs::span_take();
     shared.stats.active.fetch_sub(1, Ordering::Relaxed);
     shared.open_conns.fetch_sub(1, Ordering::Relaxed);
 }

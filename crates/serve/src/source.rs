@@ -15,6 +15,8 @@ use std::ops::Range;
 use std::sync::Arc;
 
 /// What the server serves: a sealed pack or a live ingestion directory.
+/// Cloning is cheap (an `Arc` bump) — metric scrape closures hold clones.
+#[derive(Clone)]
 pub enum Source {
     /// An immutable packfile, served zero-copy. Writes are rejected.
     Pack(Arc<Store>),
@@ -156,6 +158,78 @@ impl Source {
         match self {
             Source::Pack(s) => s.quarantined_count(),
             Source::Live(i) => i.quarantined_count(),
+        }
+    }
+
+    /// Total quarantine insertions observed (monotone per store generation;
+    /// a live source's counter restarts when a seal swaps generations).
+    pub fn quarantine_events(&self) -> u64 {
+        match self {
+            Source::Pack(s) => s.quarantine_events(),
+            Source::Live(i) => i.quarantine_events(),
+        }
+    }
+
+    /// Registers the source's counters into `reg` as scrape-time closures
+    /// (each holds a clone of this source). A live source additionally
+    /// registers the full ingest write-path families — see
+    /// [`Ingestor::register_metrics`].
+    pub fn register_metrics(&self, reg: &neats_core::Registry) {
+        let s = self.clone();
+        reg.counter_fn(
+            "neats_store_cache_hits_total",
+            "Segment-view cache lookups served from an open view (current generation).",
+            &[],
+            move || s.cache_stats().hits,
+        );
+        let s = self.clone();
+        reg.counter_fn(
+            "neats_store_cache_misses_total",
+            "Segment-view cache lookups that had to open the segment (current generation).",
+            &[],
+            move || s.cache_stats().misses,
+        );
+        let s = self.clone();
+        reg.counter_fn(
+            "neats_store_cache_evictions_total",
+            "Segment views evicted to make room (LRU per shard, current generation).",
+            &[],
+            move || s.cache_stats().evictions,
+        );
+        let s = self.clone();
+        reg.gauge_fn(
+            "neats_store_cache_entries",
+            "Segment views currently cached.",
+            &[],
+            move || s.cache_stats().entries as f64,
+        );
+        let s = self.clone();
+        reg.gauge_fn(
+            "neats_store_quarantined_segments",
+            "Segments currently quarantined (failed validation; isolated from serving).",
+            &[],
+            move || s.quarantined_count() as f64,
+        );
+        let s = self.clone();
+        reg.counter_fn(
+            "neats_store_quarantine_events_total",
+            "Quarantine insertions observed (current store generation).",
+            &[],
+            move || s.quarantine_events(),
+        );
+        let s = self.clone();
+        reg.gauge_fn("neats_store_series", "Live series count.", &[], move || {
+            s.series_count() as f64
+        });
+        let s = self.clone();
+        reg.gauge_fn(
+            "neats_store_points",
+            "Total points across all series (sealed + heads on a live source).",
+            &[],
+            move || s.total_points() as f64,
+        );
+        if let Source::Live(ing) = self {
+            ing.register_metrics(reg);
         }
     }
 }

@@ -49,6 +49,7 @@ pub struct HttpResponse {
     pub body: String,
     pub keep_alive: bool,
     pub retry_after: Option<u32>,
+    pub content_type: Option<String>,
 }
 
 /// A minimal blocking HTTP/1.1 client over one connection (keep-alive:
@@ -145,12 +146,14 @@ impl Client {
         let mut content_length = 0usize;
         let mut keep_alive = true;
         let mut retry_after = None;
+        let mut content_type = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else { continue };
             match name.trim().to_ascii_lowercase().as_str() {
                 "content-length" => content_length = value.trim().parse().expect("content length"),
                 "connection" => keep_alive = value.trim().eq_ignore_ascii_case("keep-alive"),
                 "retry-after" => retry_after = value.trim().parse().ok(),
+                "content-type" => content_type = Some(value.trim().to_string()),
                 _ => {}
             }
         }
@@ -163,6 +166,6 @@ impl Client {
         }
         let body = String::from_utf8(self.buf[..content_length].to_vec()).expect("body utf8");
         self.buf.drain(..content_length);
-        HttpResponse { status, body, keep_alive, retry_after }
+        HttpResponse { status, body, keep_alive, retry_after, content_type }
     }
 }

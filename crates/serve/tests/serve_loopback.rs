@@ -182,7 +182,17 @@ fn protocol_examples() {
     // curl http://$ADDR/stats
     let r = client.get("/stats");
     assert_eq!(r.status, 200);
-    for key in ["\"uptime_s\"", "\"cache\"", "\"hit_rate\"", "\"endpoints\"", "\"p99_us\""] {
+    for key in [
+        "\"uptime_s\"",
+        "\"cache\"",
+        "\"hit_rate\"",
+        "\"evictions\"",
+        "\"endpoints\"",
+        "\"p99_us\"",
+        "\"p999_us\"",
+        "\"mode\"",
+        "\"slow_queries\"",
+    ] {
         assert!(r.body.contains(key), "missing {key} in {}", r.body);
     }
 

@@ -63,6 +63,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to open (validate) the segment.
     pub misses: u64,
+    /// Entries evicted to make room (LRU per shard).
+    pub evictions: u64,
     /// Views currently cached.
     pub entries: usize,
 }
@@ -87,6 +89,7 @@ pub(crate) struct SegmentCache {
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Next thread slot to hand out under [`CacheSharding::ByThread`]. Global
@@ -123,6 +126,7 @@ impl SegmentCache {
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -161,6 +165,7 @@ impl SegmentCache {
         open: impl FnOnce() -> Result<SegmentView, StoreError>,
     ) -> Result<Arc<SegmentView>, StoreError> {
         if self.shard_cap > 0 {
+            let _probe = neats_core::obs::stage(neats_core::obs::Stage::Cache);
             let mut shard = self.shards[self.shard_of(key)].lock().expect("cache lock");
             if let Some((stamp, view)) = shard.entries.get_mut(&key) {
                 *stamp = self.tick.fetch_add(1, Ordering::Relaxed);
@@ -169,7 +174,12 @@ impl SegmentCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let view = Arc::new(open()?);
+        let view = {
+            // Opening = checksum + structural validation: the "segment
+            // decode" stage of a request trace.
+            let _decode = neats_core::obs::stage(neats_core::obs::Stage::Decode);
+            Arc::new(open()?)
+        };
         if self.shard_cap > 0 {
             let stamp = self.tick.fetch_add(1, Ordering::Relaxed);
             let mut shard = self.shards[self.shard_of(key)].lock().expect("cache lock");
@@ -182,6 +192,7 @@ impl SegmentCache {
                     .map(|(k, _)| k)
                 {
                     shard.entries.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
             shard.entries.insert(key, (stamp, Arc::clone(&view)));
@@ -193,6 +204,7 @@ impl SegmentCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()

@@ -8,6 +8,7 @@ use neats_core::Estimate;
 use std::collections::{HashMap, HashSet};
 use std::ops::Range;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Options for [`Store::open_with`].
@@ -53,6 +54,10 @@ pub struct Store {
     /// of re-running (and re-failing) its checksum on every query, while
     /// every other segment keeps serving.
     quarantined: Mutex<HashSet<(u32, u32)>>,
+    /// Times a segment *entered* quarantine (monotone, unlike the set size,
+    /// which `clear_quarantine` can shrink) — the event counter `/metrics`
+    /// exposes.
+    quarantine_events: AtomicU64,
 }
 
 impl Store {
@@ -81,6 +86,7 @@ impl Store {
             catalog_offset,
             cache: SegmentCache::new(options.cache_capacity, options.cache_sharding),
             quarantined: Mutex::new(HashSet::new()),
+            quarantine_events: AtomicU64::new(0),
         })
     }
 
@@ -165,10 +171,14 @@ impl Store {
         match opened {
             Ok(view) => Ok(view),
             Err(StoreError::Corrupt(_) | StoreError::Wire(_)) => {
-                self.quarantined
+                if self
+                    .quarantined
                     .lock()
                     .expect("quarantine lock")
-                    .insert(key);
+                    .insert(key)
+                {
+                    self.quarantine_events.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(self.quarantine_error(si, seg))
             }
             Err(e) => Err(e),
@@ -186,6 +196,12 @@ impl Store {
     /// load and now fail fast; see [`StoreError::Quarantined`]).
     pub fn quarantined_count(&self) -> usize {
         self.quarantined.lock().expect("quarantine lock").len()
+    }
+
+    /// Total times a segment entered quarantine since open (monotone — not
+    /// reduced by [`Self::clear_quarantine`]).
+    pub fn quarantine_events(&self) -> u64 {
+        self.quarantine_events.load(Ordering::Relaxed)
     }
 
     /// The quarantined segments, as `(series name, segment index)` pairs
