@@ -25,6 +25,14 @@
 //!   clients: requests/s and client-observed p50/p99 latency across worker
 //!   threads × batch size, every response diffed against the `Store`
 //!   oracle, written machine-readable to `BENCH_serve.json`.
+//! * `bench_all` — the unified [`suite`]: every codec (NeaTS flavours and
+//!   all baselines behind one [`suite::Codec`] trait) × every shape (the
+//!   16 paper datasets plus 8 adversarial generators), conformance-checked
+//!   inline, written to `BENCH_all.json` + `BENCHMARKS.md`. Also reachable
+//!   as `neats bench all`; extra knobs `NEATS_BENCH_CODECS` /
+//!   `NEATS_BENCH_SHAPES` (substring filters), `NEATS_BENCH_SCAN_LEN` /
+//!   `NEATS_BENCH_SCANS`, `NEATS_BENCH_SEED`, and `NEATS_BENCH_CHECK`
+//!   (schema-drift gate against a committed artifact).
 //!
 //! Scale knobs (environment variables):
 //!
@@ -49,6 +57,7 @@
 
 #![warn(missing_docs)]
 pub mod json;
+pub mod suite;
 use lossless_baselines::paper_competitors;
 use neats_core::NeaTSCompressor;
 use std::time::Instant;

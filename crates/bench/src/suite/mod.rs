@@ -1,0 +1,16 @@
+//! The unified codec suite behind `neats bench all`.
+//!
+//! One [`Codec`](codecs::Codec) trait covers NeaTS (lossless and lossy,
+//! owned and zero-copy view) and every baseline compressor in the
+//! evaluation; [`shapes::Shape`] widens the dataset matrix with adversarial
+//! inputs; [`matrix`] sweeps the full cross-product, checks conformance
+//! inline, and renders the committed `BENCH_all.json` / `BENCHMARKS.md`
+//! artifacts.
+
+pub mod codecs;
+pub mod matrix;
+pub mod shapes;
+
+pub use codecs::{all_codecs, Codec, CodecArchive};
+pub use matrix::{run_matrix, MatrixConfig, MatrixReport};
+pub use shapes::Shape;

@@ -1,0 +1,350 @@
+//! The widened dataset matrix: the paper's 16 evaluation datasets plus
+//! adversarial shapes that stress the corners real traffic hits — constant
+//! runs, spikes, regime switches, NaN-sentinel encodings, extreme
+//! magnitudes, denormal-scale noise, and (for the ingest boundary, not the
+//! value codecs) out-of-order timestamps and raw NaN-bearing float input.
+//!
+//! Every generator is deterministic given `(n, seed)`, so conformance
+//! failures shrink to a reproducible `(shape, seed)` pair and the committed
+//! benchmark tables are regenerable bit-for-bit.
+
+use timeseries::gen::Signal;
+use timeseries::{Dataset, TimeSeries};
+
+/// One cell-row of the benchmark/conformance matrix: a deterministic
+/// time-series generator with a stable display name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// One of the paper's 16 evaluation datasets.
+    Paper(Dataset),
+    /// A single repeated value — the best case every codec must not
+    /// mishandle (zero-entropy input has historically broken bit-width
+    /// selection logic).
+    Constant,
+    /// A flat baseline with rare, huge spikes: stresses codecs that size
+    /// their encodings from a global maximum.
+    Spikes,
+    /// Abrupt switches between a smooth sine, a random walk, and a flat
+    /// regime — partition-based codecs must re-synchronise at each switch.
+    RegimeSwitch,
+    /// A smooth signal in which a sensor's NaN readings were encoded as a
+    /// large sentinel value (the common wire convention once values are
+    /// scaled to integers): huge value jumps at random positions.
+    NanSentinel,
+    /// Values spanning an enormous magnitude range, up to ±2^55: stresses
+    /// positivity-shift and bit-width arithmetic far beyond any real
+    /// dataset while leaving the ε headroom the paper's shifted-domain
+    /// algebra requires.
+    Extreme,
+    /// Denormal-scale readings: almost every scaled value lands in
+    /// {-1, 0, 1} — the high-precision/low-signal regime of instruments
+    /// whose noise floor exceeds their resolution.
+    Denormal,
+    /// A noiseless piecewise-linear sawtooth — the ideal case for learned
+    /// codecs, worth tracking so a regression in the *easy* path is seen.
+    Sawtooth,
+    /// Full-range white noise — incompressible; ratios near (or above)
+    /// 100% are correct here and codecs must not corrupt or crash.
+    WhiteNoise,
+}
+
+impl Shape {
+    /// Every shape of the matrix: the 16 paper datasets followed by the 8
+    /// adversarial generators (24 total).
+    pub fn all() -> Vec<Shape> {
+        let mut v: Vec<Shape> = Dataset::ALL.iter().map(|&d| Shape::Paper(d)).collect();
+        v.extend(Self::ADVERSARIAL);
+        v
+    }
+
+    /// The adversarial (non-paper) shapes.
+    pub const ADVERSARIAL: [Shape; 8] = [
+        Shape::Constant,
+        Shape::Spikes,
+        Shape::RegimeSwitch,
+        Shape::NanSentinel,
+        Shape::Extreme,
+        Shape::Denormal,
+        Shape::Sawtooth,
+        Shape::WhiteNoise,
+    ];
+
+    /// Stable display name (the paper abbreviation, or a lowercase tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Paper(d) => d.abbrev(),
+            Shape::Constant => "constant",
+            Shape::Spikes => "spikes",
+            Shape::RegimeSwitch => "regimes",
+            Shape::NanSentinel => "nan-sentinel",
+            Shape::Extreme => "extreme",
+            Shape::Denormal => "denormal",
+            Shape::Sawtooth => "sawtooth",
+            Shape::WhiteNoise => "white-noise",
+        }
+    }
+
+    /// Looks a shape up by its [`Self::name`].
+    pub fn by_name(name: &str) -> Option<Shape> {
+        Self::all().into_iter().find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Generates `n` points with the shape's default seed.
+    pub fn generate(self, n: usize) -> TimeSeries {
+        self.generate_seeded(n, 0)
+    }
+
+    /// Generates `n` points deterministically from `(self, seed)`.
+    pub fn generate_seeded(self, n: usize, seed: u64) -> TimeSeries {
+        match self {
+            Shape::Paper(d) => {
+                if seed == 0 {
+                    d.generate(n)
+                } else {
+                    d.generate_seeded(n, seed)
+                }
+            }
+            Shape::Constant => TimeSeries::from_values(vec![424_242; n]),
+            Shape::Spikes => spikes(n, seed),
+            Shape::RegimeSwitch => regime_switch(n, seed),
+            Shape::NanSentinel => nan_sentinel(n, seed),
+            Shape::Extreme => extreme(n, seed),
+            Shape::Denormal => denormal(n, seed),
+            Shape::Sawtooth => sawtooth(n),
+            Shape::WhiteNoise => white_noise(n, seed),
+        }
+    }
+}
+
+/// The sentinel integer a scaled-domain pipeline typically stores for a NaN
+/// reading (large enough to be unmistakable, small enough that range
+/// arithmetic — shift + ε — stays clear of `i64` overflow).
+pub const NAN_SENTINEL: i64 = 1_000_000_000_000_000; // 10^15
+
+fn spikes(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0xA11CE);
+    let values = (0..n)
+        .map(|_| {
+            let base = sig.gauss_with(1000.0, 2.0).round() as i64;
+            if sig.bernoulli(0.003) {
+                base + sig.uniform_in(1e7, 5e8) as i64
+            } else {
+                base
+            }
+        })
+        .collect();
+    TimeSeries::from_values(values)
+}
+
+fn regime_switch(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0x5EED);
+    let mut values = Vec::with_capacity(n);
+    let mut level = 0i64;
+    let mut regime = 0usize;
+    while values.len() < n {
+        let run = sig.uniform_usize(100, 1500).min(n - values.len());
+        match regime % 3 {
+            // Smooth sine around the current level.
+            0 => {
+                let amp = sig.uniform_in(100.0, 5000.0);
+                let period = sig.uniform_in(40.0, 400.0);
+                for t in 0..run {
+                    values.push(
+                        level
+                            + (amp * (std::f64::consts::TAU * t as f64 / period).sin()).round()
+                                as i64,
+                    );
+                }
+            }
+            // Random walk.
+            1 => {
+                for _ in 0..run {
+                    level += sig.gauss_with(0.0, 30.0).round() as i64;
+                    values.push(level);
+                }
+            }
+            // Dead-flat hold.
+            _ => {
+                for _ in 0..run {
+                    values.push(level);
+                }
+            }
+        }
+        // The switch itself is a discontinuity.
+        level += sig.gauss_with(0.0, 1e5).round() as i64;
+        regime += 1;
+    }
+    TimeSeries::from_values(values)
+}
+
+fn nan_sentinel(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0xDEAD);
+    let values = (0..n)
+        .map(|t| {
+            if sig.bernoulli(0.02) {
+                NAN_SENTINEL
+            } else {
+                (2000.0 * (t as f64 / 500.0).sin()).round() as i64
+                    + sig.gauss_with(0.0, 3.0).round() as i64
+            }
+        })
+        .collect();
+    TimeSeries::from_values(values)
+}
+
+fn extreme(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0xFEED);
+    // A walk whose step magnitudes are log-uniform over ~18 decades, clamped
+    // to ±2^55 so downstream shift+ε arithmetic has headroom.
+    let bound = 1i64 << 55;
+    let mut v: i64 = 0;
+    let values = (0..n)
+        .map(|_| {
+            let mag = 10f64.powf(sig.uniform_in(0.0, 18.0));
+            let step = if sig.bernoulli(0.5) { mag } else { -mag };
+            v = v.saturating_add(step as i64).clamp(-bound, bound);
+            v
+        })
+        .collect();
+    TimeSeries::from_values(values)
+}
+
+fn denormal(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0x0DD);
+    // What `checked_scale` produces for readings at the instrument's noise
+    // floor: almost all mass on {-1, 0, 1}, occasional 2s.
+    let values = (0..n).map(|_| sig.gauss_with(0.0, 0.7).round() as i64).collect();
+    TimeSeries::from_values(values)
+}
+
+fn sawtooth(n: usize) -> TimeSeries {
+    TimeSeries::from_values((0..n).map(|t| ((t % 977) as i64) * 13 - 6000).collect())
+}
+
+fn white_noise(n: usize, seed: u64) -> TimeSeries {
+    let mut sig = Signal::new(seed ^ 0xF00F);
+    // Uniform over ±2^40: wide enough to defeat every model, safe for all
+    // shift arithmetic.
+    let values =
+        (0..n).map(|_| (sig.uniform_in(-1.0, 1.0) * (1u64 << 40) as f64) as i64).collect();
+    TimeSeries::from_values(values)
+}
+
+// ---------------------------------------------------------------------------
+// Raw-input adversarial generators for the *ingest boundary* (these produce
+// inputs that must be REJECTED with typed errors, so they cannot be part of
+// the value-codec matrix above).
+// ---------------------------------------------------------------------------
+
+/// A float stream in which some readings are NaN/±∞ — what a flaky sensor
+/// or a lossy upstream JSON decode actually delivers. Returns the values
+/// and the index of the first non-finite one.
+pub fn nan_heavy_f64(n: usize, seed: u64) -> (Vec<f64>, usize) {
+    let mut sig = Signal::new(seed ^ 0xBAD);
+    let mut values: Vec<f64> = (0..n).map(|t| (t as f64 / 50.0).sin() * 100.0).collect();
+    let mut first = usize::MAX;
+    // At least one NaN, plus a sprinkle of NaN/±inf.
+    let forced = sig.uniform_usize(0, n.max(1));
+    for (i, v) in values.iter_mut().enumerate() {
+        if i == forced || sig.bernoulli(0.05) {
+            *v = match sig.uniform_usize(0, 3) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            first = first.min(i);
+        }
+    }
+    (values, first)
+}
+
+/// A timestamp stream that is mostly increasing but contains at least one
+/// inversion or duplicate. Returns the stamps and the index of the first
+/// out-of-order one (the index a typed rejection must report).
+pub fn out_of_order_timestamps(n: usize, seed: u64) -> (Vec<u64>, usize) {
+    assert!(n >= 2, "need at least two stamps to misorder");
+    let mut sig = Signal::new(seed ^ 0xBEEF);
+    let mut stamps = Vec::with_capacity(n);
+    let mut t = 1_700_000_000u64;
+    for _ in 0..n {
+        t += sig.uniform_usize(1, 30) as u64;
+        stamps.push(t);
+    }
+    // Corrupt one position: a duplicate or a backwards jump.
+    let at = sig.uniform_usize(1, n);
+    stamps[at] = if sig.bernoulli(0.5) {
+        stamps[at - 1] // duplicate
+    } else {
+        stamps[at - 1].saturating_sub(sig.uniform_usize(1, 1000) as u64)
+    };
+    // Positions after `at` may accidentally still be ordered relative to the
+    // corrupted one; the first violation is exactly `at`.
+    (stamps, at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_at_least_20_named_unique_shapes() {
+        let all = Shape::all();
+        assert!(all.len() >= 20, "only {} shapes", all.len());
+        let mut names: Vec<&str> = all.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate shape names");
+        for s in &all {
+            assert_eq!(Shape::by_name(s.name()), Some(*s));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        for shape in Shape::all() {
+            let a = shape.generate_seeded(800, 3);
+            let b = shape.generate_seeded(800, 3);
+            assert_eq!(a, b, "{}", shape.name());
+            assert_eq!(a.len(), 800, "{}", shape.name());
+        }
+    }
+
+    #[test]
+    fn adversarial_shapes_have_their_advertised_character() {
+        let c = Shape::Constant.generate(500);
+        assert_eq!(c.delta(), 1);
+
+        let s = Shape::Spikes.generate(20_000);
+        let (lo, hi) = s.min_max().unwrap();
+        assert!(hi - lo > 10_000_000, "no spike in range [{lo}, {hi}]");
+
+        let ns = Shape::NanSentinel.generate(5000);
+        assert!(ns.values().iter().filter(|&&v| v == NAN_SENTINEL).count() > 10);
+
+        let e = Shape::Extreme.generate(5000);
+        let (lo, hi) = e.min_max().unwrap();
+        assert!(hi > 1 << 50 || lo < -(1 << 50), "extremes too tame [{lo}, {hi}]");
+
+        let d = Shape::Denormal.generate(5000);
+        let small = d.values().iter().filter(|v| v.abs() <= 1).count();
+        assert!(small > 4000, "denormal shape not concentrated: {small}/5000");
+
+        let w = Shape::WhiteNoise.generate(5000);
+        assert!(w.delta() > 1 << 39);
+    }
+
+    #[test]
+    fn raw_generators_mark_first_violation() {
+        for seed in 0..20 {
+            let (vals, first) = nan_heavy_f64(300, seed);
+            assert!(first < 300);
+            assert!(!vals[first].is_finite());
+            assert!(vals[..first].iter().all(|v| v.is_finite()));
+
+            let (stamps, at) = out_of_order_timestamps(300, seed);
+            assert!(at > 0 && at < 300);
+            assert!(stamps[at] <= stamps[at - 1]);
+            assert!(stamps[..at].windows(2).all(|w| w[1] > w[0]));
+        }
+    }
+}

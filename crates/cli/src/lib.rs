@@ -20,6 +20,8 @@
 //! neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
 //! neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]
 //!                   [--slow-query-us U] [--trace-ring N]
+//! neats bench all   [--n N] [--queries Q] [--seed S] [--codecs LIST] [--shapes LIST]
+//!                   [--out FILE.json] [--md FILE.md] [--check COMMITTED.json]
 //! ```
 //!
 //! `query` and `stat` serve any archive flavor (`.neats` or `.neatsl`)
@@ -46,6 +48,14 @@
 //! `listening on <addr>` (the actual port when bound with `:0`) and serves
 //! until killed. Endpoints and the wire grammar are specified in
 //! `docs/PROTOCOL.md` at the repository root.
+//!
+//! `bench all` runs the unified codec × shape matrix ([`bench::suite`]):
+//! every NeaTS flavor and every baseline codec over the paper's 16 datasets
+//! plus 8 adversarial generators, conformance-checked inline, emitting
+//! `BENCH_all.json` (schema-versioned records) and `BENCHMARKS.md` (the
+//! committed competitive table). `--check` re-validates a committed JSON
+//! artifact against the fresh sweep's schema and rosters — the CI smoke
+//! gate. Unset knobs fall back to the `NEATS_BENCH_*` environment.
 //!
 //! Input text files contain one decimal value per line (the format the
 //! paper's datasets ship in) or `timestamp,value` CSV lines (timestamps
@@ -222,6 +232,25 @@ pub enum Command {
         /// Request-trace ring capacity (0 disables, `None` = env/default).
         trace_ring: Option<usize>,
     },
+    /// Run the full codec × shape conformance + benchmark matrix.
+    BenchAll {
+        /// Points per generated series (`None` = `NEATS_BENCH_N`/default).
+        n: Option<usize>,
+        /// Timed random-access queries per cell (`None` = env/default).
+        queries: Option<usize>,
+        /// Generator seed (`None` = env/default).
+        seed: Option<u64>,
+        /// Comma-separated codec-name substring filter.
+        codecs: Option<String>,
+        /// Comma-separated shape-name substring filter.
+        shapes: Option<String>,
+        /// JSON artifact path (`None` = `NEATS_BENCH_OUT` or `BENCH_all.json`).
+        out: Option<String>,
+        /// Markdown artifact path (`None` = `NEATS_BENCH_MD` or `BENCHMARKS.md`).
+        md: Option<String>,
+        /// Committed JSON artifact to schema-check after the sweep.
+        check: Option<String>,
+    },
 }
 
 /// Which function families to allow.
@@ -263,7 +292,9 @@ pub const USAGE: &str = "usage:
   neats store query <pack> <series> <index | a..b | @time>...
   neats ingest      <dir> <in...> [--digits D] [--fsync always|never|N] [--no-seal]
   neats serve       <pack | dir> [--addr HOST:PORT] [--threads T] [--cache N]
-                    [--slow-query-us U] [--trace-ring N]";
+                    [--slow-query-us U] [--trace-ring N]
+  neats bench all   [--n N] [--queries Q] [--seed S] [--codecs LIST] [--shapes LIST]
+                    [--out FILE.json] [--md FILE.md] [--check COMMITTED.json]";
 
 /// Parses an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
@@ -282,6 +313,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut trace_ring: Option<usize> = None;
     let mut fsync = FsyncPolicy::Always;
     let mut no_seal = false;
+    let mut bench_n: Option<usize> = None;
+    let mut bench_queries: Option<usize> = None;
+    let mut bench_seed: Option<u64> = None;
+    let mut bench_codecs: Option<String> = None;
+    let mut bench_shapes: Option<String> = None;
+    let mut bench_out: Option<String> = None;
+    let mut bench_md: Option<String> = None;
+    let mut bench_check: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -359,6 +398,60 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     })?),
                     None => return err("--fsync needs always, never, or a record count"),
                 };
+            }
+            "--n" => {
+                i += 1;
+                bench_n = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--n needs a point count".into(),
+                ))?);
+            }
+            "--queries" => {
+                i += 1;
+                bench_queries = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--queries needs a query count".into(),
+                ))?);
+            }
+            "--seed" => {
+                i += 1;
+                bench_seed = Some(args.get(i).and_then(|v| v.parse().ok()).ok_or(CliError(
+                    "--seed needs a non-negative integer".into(),
+                ))?);
+            }
+            "--codecs" => {
+                i += 1;
+                bench_codecs = Some(args.get(i).cloned().ok_or(CliError(
+                    "--codecs needs a comma-separated name filter".into(),
+                ))?);
+            }
+            "--shapes" => {
+                i += 1;
+                bench_shapes = Some(args.get(i).cloned().ok_or(CliError(
+                    "--shapes needs a comma-separated name filter".into(),
+                ))?);
+            }
+            "--out" => {
+                i += 1;
+                bench_out = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or(CliError("--out needs a file path".into()))?,
+                );
+            }
+            "--md" => {
+                i += 1;
+                bench_md = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or(CliError("--md needs a file path".into()))?,
+                );
+            }
+            "--check" => {
+                i += 1;
+                bench_check = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or(CliError("--check needs a committed json path".into()))?,
+                );
             }
             "--sneats" => sneats = true,
             "--append" => append = true,
@@ -482,6 +575,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 no_seal,
             })
         }
+        Some("bench") => match pos.get(1).copied() {
+            Some("all") => Ok(Command::BenchAll {
+                n: bench_n,
+                queries: bench_queries,
+                seed: bench_seed,
+                codecs: bench_codecs,
+                shapes: bench_shapes,
+                out: bench_out,
+                md: bench_md,
+                check: bench_check,
+            }),
+            other => err(format!("unknown bench subcommand {other:?}\n{USAGE}")),
+        },
         Some("serve") => Ok(Command::Serve {
             pack: get_pos(1, "pack")?,
             addr: addr.unwrap_or_else(|| "127.0.0.1:8462".to_string()),
@@ -909,6 +1015,84 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), CliError> {
             // it to.
             server.run().map_err(|e| CliError(format!("serve: {e}")))
         }
+        Command::BenchAll {
+            n,
+            queries,
+            seed,
+            codecs,
+            shapes,
+            out: out_path,
+            md: md_path,
+            check,
+        } => {
+            use bench::suite::matrix::{
+                check_committed, run_matrix_with, MatrixConfig, SCHEMA_VERSION,
+            };
+            // Flags override the NEATS_BENCH_* environment, which in turn
+            // falls back to the library defaults — one config path for the
+            // CLI, the `bench_all` binary, and CI.
+            let mut config = MatrixConfig::from_env();
+            if let Some(n) = n {
+                config.n = n;
+            }
+            if let Some(q) = queries {
+                config.queries = q;
+            }
+            if let Some(s) = seed {
+                config.seed = s;
+            }
+            if codecs.is_some() {
+                config.codec_filter = codecs;
+            }
+            if shapes.is_some() {
+                config.shape_filter = shapes;
+            }
+            writeln!(
+                out,
+                "bench all: n={} queries={} scans={}x{} seed={}",
+                config.n, config.queries, config.scans, config.scan_len, config.seed
+            )?;
+            let report = run_matrix_with(config, |cell| {
+                let _ = writeln!(
+                    out,
+                    "  {:<14} {:<14} ratio {:>7.2}%  ra p50 {:>7.0} ns  p99 {:>8.0} ns  \
+                     scan {:>8.1} Mv/s",
+                    cell.shape,
+                    cell.codec,
+                    cell.ratio_pct,
+                    cell.ra_p50_ns,
+                    cell.ra_p99_ns,
+                    cell.scan_mvps
+                );
+            })
+            .map_err(|e| CliError(format!("conformance failure: {e}")))?;
+            let out_path = out_path
+                .or_else(|| std::env::var("NEATS_BENCH_OUT").ok())
+                .unwrap_or_else(|| "BENCH_all.json".into());
+            let md_path = md_path
+                .or_else(|| std::env::var("NEATS_BENCH_MD").ok())
+                .unwrap_or_else(|| "BENCHMARKS.md".into());
+            std::fs::write(&out_path, report.to_json().render())?;
+            std::fs::write(&md_path, report.to_markdown())?;
+            writeln!(
+                out,
+                "wrote {out_path} and {md_path}: {} cells ({} codecs x {} shapes), \
+                 all conformant",
+                report.cells.len(),
+                report.codecs.len(),
+                report.shapes.len()
+            )?;
+            if let Some(committed) = check.or_else(|| std::env::var("NEATS_BENCH_CHECK").ok()) {
+                check_committed(&committed, &report).map_err(|msg| {
+                    CliError(format!(
+                        "schema drift: {msg} — regenerate with `neats bench all` and commit \
+                         the updated artifacts"
+                    ))
+                })?;
+                writeln!(out, "schema check: {committed} matches schema v{SCHEMA_VERSION}")?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -932,8 +1116,7 @@ fn load_series_file(path: &str, digits: u8) -> Result<(Vec<u64>, Vec<i64>), CliE
         let stamps = (0..ts.len() as u64).collect();
         return Ok((stamps, ts.values().to_vec()));
     }
-    let scale = 10f64.powi(digits as i32);
-    let mut stamps = Vec::new();
+    let mut stamps: Vec<u64> = Vec::new();
     let mut values = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -950,12 +1133,34 @@ fn load_series_file(path: &str, digits: u8) -> Result<(Vec<u64>, Vec<i64>), CliE
             .trim()
             .parse()
             .map_err(|_| CliError(format!("{path}:{}: bad timestamp {t:?}", lineno + 1)))?;
+        // Reject out-of-order/duplicate timestamps at parse time with the
+        // exact line, instead of letting the store's batch check point at a
+        // batch-relative index later.
+        if stamps.last().is_some_and(|&p| t <= p) {
+            return Err(CliError(format!(
+                "{path}:{}: timestamp {t} does not increase past the previous line",
+                lineno + 1
+            )));
+        }
         let v = v.trim();
-        let v: f64 = v
+        let parsed: f64 = v
             .parse()
             .map_err(|_| CliError(format!("{path}:{}: bad value {v:?}", lineno + 1)))?;
+        // `checked_scale` rejects NaN/inf (which f64's parser accepts) and
+        // scaled-domain overflow — both would otherwise corrupt silently.
+        let scaled = timeseries::checked_scale(parsed, digits).map_err(|kind| {
+            CliError(format!(
+                "{path}:{}: value {v:?} rejected: {}",
+                lineno + 1,
+                match kind {
+                    timeseries::ValueErrorKind::NonFinite => "not finite",
+                    timeseries::ValueErrorKind::OutOfRange =>
+                        "does not fit the scaled 64-bit integer domain",
+                }
+            ))
+        })?;
         stamps.push(t);
-        values.push((v * scale).round() as i64);
+        values.push(scaled);
     }
     Ok((stamps, values))
 }
@@ -1567,6 +1772,85 @@ mod tests {
         assert_eq!(body.trim().parse::<i64>().unwrap(), values[123]);
         let logged = String::from_utf8(log.0.lock().unwrap().clone()).unwrap();
         assert!(logged.contains("serving 1 series (400 points)"), "{logged}");
+    }
+
+    #[test]
+    fn parse_bench_all() {
+        assert_eq!(
+            parse_args(&argv(
+                "bench all --n 2000 --queries 100 --seed 7 --codecs NeaTS,Gorilla \
+                 --shapes constant --out a.json --md b.md --check c.json"
+            ))
+            .unwrap(),
+            Command::BenchAll {
+                n: Some(2000),
+                queries: Some(100),
+                seed: Some(7),
+                codecs: Some("NeaTS,Gorilla".into()),
+                shapes: Some("constant".into()),
+                out: Some("a.json".into()),
+                md: Some("b.md".into()),
+                check: Some("c.json".into()),
+            }
+        );
+        // Everything defaults to the NEATS_BENCH_* environment.
+        assert_eq!(
+            parse_args(&argv("bench all")).unwrap(),
+            Command::BenchAll {
+                n: None,
+                queries: None,
+                seed: None,
+                codecs: None,
+                shapes: None,
+                out: None,
+                md: None,
+                check: None,
+            }
+        );
+        assert!(parse_args(&argv("bench")).is_err());
+        assert!(parse_args(&argv("bench ratios")).is_err());
+        assert!(parse_args(&argv("bench all --n lots")).is_err());
+        assert!(parse_args(&argv("bench all --codecs")).is_err()); // missing value
+    }
+
+    #[test]
+    fn bench_all_end_to_end_with_schema_check() {
+        let dir = std::env::temp_dir().join("neats_cli_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_all.json");
+        let md = dir.join("BENCHMARKS.md");
+        let base = format!(
+            "bench all --n 400 --queries 20 --codecs Gorilla,PLA --shapes constant,sawtooth \
+             --out {} --md {}",
+            json.display(),
+            md.display()
+        );
+        let mut log = Vec::new();
+        run(parse_args(&argv(&base)).unwrap(), &mut log).unwrap();
+        let text = String::from_utf8_lossy(&log);
+        assert!(text.contains("all conformant"), "{text}");
+        assert!(std::fs::read_to_string(&json).unwrap().contains("\"schema\": 1"));
+        assert!(std::fs::read_to_string(&md).unwrap().contains("| codec | mode |"));
+
+        // Re-running with --check against the just-written artifact passes…
+        let mut log = Vec::new();
+        run(
+            parse_args(&argv(&format!("{base} --check {}", json.display()))).unwrap(),
+            &mut log,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&log).contains("schema check"), "wanted check line");
+
+        // …and a sweep covering a codec the artifact lacks reports drift.
+        let widened = format!(
+            "bench all --n 400 --queries 20 --codecs Gorilla,PLA,Chimp --shapes constant \
+             --out {} --md {} --check {}",
+            dir.join("fresh.json").display(),
+            dir.join("fresh.md").display(),
+            json.display()
+        );
+        let e = run(parse_args(&argv(&widened)).unwrap(), &mut Vec::new()).unwrap_err();
+        assert!(e.0.contains("schema drift"), "{e}");
     }
 
     #[test]

@@ -45,20 +45,30 @@ pub struct AlpCompressed {
     fractional_digits: u8,
     blocks: Vec<AlpBlock>,
     payload: BitBuf,
-    /// Exception positions (absolute index) and raw IEEE bits.
+    /// Exception positions (absolute index) and raw scaled-integer values.
+    ///
+    /// Exceptions carry the original `i64`, not IEEE bits: integers beyond
+    /// 2^53 have no exact f64, so a float-bits exception would silently
+    /// round them (a real corruption this shipped with until the extreme
+    /// adversarial shape caught it).
     exc_pos: Vec<u32>,
-    exc_val: Vec<u64>,
+    exc_val: Vec<i64>,
 }
 
-/// Round-trip test: does `d / 10^e` recover `x` exactly?
+/// End-to-end round-trip test: does packing `d = round(x · 10^e)` and
+/// decoding back through `d / 10^e → · 10^digits → round` recover the
+/// original scaled integer `v` exactly? Checking the full integer pipeline
+/// (rather than only `d / 10^e == x`) is what keeps the codec lossless for
+/// values whose `f64` image `x` has already lost precision.
 #[inline]
-fn survives(x: f64, e: i32) -> Option<i64> {
+fn survives(v: i64, x: f64, e: i32, scale: f64) -> Option<i64> {
     let scaled = x * 10f64.powi(e);
     if !scaled.is_finite() || scaled.abs() >= (1u64 << 51) as f64 {
         return None;
     }
     let d = scaled.round();
-    if d / 10f64.powi(e) == x {
+    let back = (d / 10f64.powi(e) * scale).round();
+    if back == v as f64 && back as i64 == v {
         Some(d as i64)
     } else {
         None
@@ -74,12 +84,15 @@ impl Compressor for Alp {
 
     fn compress(&self, ts: &TimeSeries) -> AlpCompressed {
         let digits = ts.fractional_digits();
+        let scale = 10f64.powi(digits as i32);
         let doubles = ts.to_f64();
         let mut blocks = Vec::with_capacity(doubles.len() / ALP_BLOCK + 1);
         let mut payload = BitBuf::new();
         let mut exc_pos = Vec::new();
         let mut exc_val = Vec::new();
-        for (bi, chunk) in doubles.chunks(ALP_BLOCK).enumerate() {
+        for (bi, (chunk, raw)) in
+            doubles.chunks(ALP_BLOCK).zip(ts.values().chunks(ALP_BLOCK)).enumerate()
+        {
             // Pick the exponent with the fewest exceptions, then the
             // smallest packed width (sampling every value is fine at this
             // scale; real ALP samples).
@@ -88,8 +101,8 @@ impl Compressor for Alp {
                 let mut exceptions = 0usize;
                 let mut lo = i64::MAX;
                 let mut hi = i64::MIN;
-                for &x in chunk {
-                    match survives(x, e) {
+                for (&x, &v) in chunk.iter().zip(raw) {
+                    match survives(v, x, e, scale) {
                         Some(d) => {
                             lo = lo.min(d);
                             hi = hi.max(d);
@@ -114,7 +127,8 @@ impl Compressor for Alp {
             }
             let (e, _, _) = best.expect("at least one exponent tried");
             // Second pass: encode with exponent e.
-            let decoded: Vec<Option<i64>> = chunk.iter().map(|&x| survives(x, e)).collect();
+            let decoded: Vec<Option<i64>> =
+                chunk.iter().zip(raw).map(|(&x, &v)| survives(v, x, e, scale)).collect();
             let base = decoded.iter().flatten().copied().min().unwrap_or(0);
             let spread = decoded.iter().flatten().copied().max().unwrap_or(0) - base;
             let width = bits_for(spread as u64) as u8;
@@ -126,7 +140,7 @@ impl Compressor for Alp {
                     None => {
                         payload.push_bits(0, width as usize);
                         exc_pos.push((bi * ALP_BLOCK + k) as u32);
-                        exc_val.push(chunk[k].to_bits());
+                        exc_val.push(raw[k]);
                     }
                 }
             }
@@ -138,30 +152,33 @@ impl Compressor for Alp {
 }
 
 impl AlpCompressed {
-    /// Decodes the whole block containing `k` and returns the values plus
-    /// the block's base index.
+    /// Decodes the whole block containing `k` and returns the scaled-integer
+    /// values plus the block's base index. Exceptions are patched in the
+    /// integer domain, after the float → integer conversion, so they stay
+    /// exact even beyond f64's 2^53 integer range.
     ///
     /// Random access deliberately goes through full-block decoding: the real
     /// ALP decodes 1024-value vectors as a unit, and the paper measures it
     /// under the block-wise random-access protocol (§IV-A2, "excluding DAC,
     /// LeCo, and NeaTS" from native access).
-    fn decode_block(&self, b: usize) -> (usize, Vec<f64>) {
+    fn decode_block(&self, b: usize) -> (usize, Vec<i64>) {
         let blk = &self.blocks[b];
         let base_idx = b * ALP_BLOCK;
         let count = (self.n - base_idx).min(ALP_BLOCK);
         let pow = 10f64.powi(blk.exponent);
+        let scale = 10f64.powi(self.fractional_digits as i32);
         let w = blk.width as usize;
         let mut o = blk.offset as usize;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let d = if w == 0 { 0 } else { self.payload.get_bits(o, w) as i64 };
             o += w;
-            out.push((d + blk.base) as f64 / pow);
+            out.push(((d + blk.base) as f64 / pow * scale).round() as i64);
         }
         // Patch exceptions for this block.
         let end = self.blocks.get(b + 1).map_or(self.exc_pos.len(), |nb| nb.first_exception as usize);
         for e in blk.first_exception as usize..end {
-            out[self.exc_pos[e] as usize - base_idx] = f64::from_bits(self.exc_val[e]);
+            out[self.exc_pos[e] as usize - base_idx] = self.exc_val[e];
         }
         (base_idx, out)
     }
@@ -185,17 +202,15 @@ impl CompressedSeries for AlpCompressed {
     }
 
     fn get(&self, k: usize) -> i64 {
-        let scale = 10f64.powi(self.fractional_digits as i32);
         let (base_idx, block) = self.decode_block(k / ALP_BLOCK);
-        (block[k - base_idx] * scale).round() as i64
+        block[k - base_idx]
     }
 
     fn decompress(&self) -> Vec<i64> {
-        let scale = 10f64.powi(self.fractional_digits as i32);
         let mut out = Vec::with_capacity(self.n);
         for b in 0..self.blocks.len() {
             let (_, block) = self.decode_block(b);
-            out.extend(block.into_iter().map(|v| (v * scale).round() as i64));
+            out.extend(block);
         }
         out
     }
@@ -204,14 +219,13 @@ impl CompressedSeries for AlpCompressed {
         if count == 0 {
             return;
         }
-        let scale = 10f64.powi(self.fractional_digits as i32);
         let end = start + count;
         let mut b = start / ALP_BLOCK;
         while b * ALP_BLOCK < end {
             let (base_idx, block) = self.decode_block(b);
             let lo = start.max(base_idx) - base_idx;
             let hi = end.min(base_idx + block.len()) - base_idx;
-            out.extend(block[lo..hi].iter().map(|&v| (v * scale).round() as i64));
+            out.extend_from_slice(&block[lo..hi]);
             b += 1;
         }
     }
@@ -264,12 +278,25 @@ mod tests {
     #[test]
     fn huge_magnitudes_become_exceptions() {
         // Values beyond 2⁵¹ cannot be represented as packed pseudodecimals
-        // (the round-trip guard rejects them) → exception path, still
-        // lossless because f64 holds them exactly (multiples of 2¹⁶ here).
+        // (the round-trip guard rejects them) → exception path.
         let values: Vec<i64> = (0..300).map(|k| (1i64 << 52) + (k << 16)).collect();
         let ts = TimeSeries::from_values(values);
         let c = Alp.compress(&ts);
         assert_eq!(c.decompress(), ts.values());
+        assert!(c.exception_count() > 0);
+    }
+
+    #[test]
+    fn values_beyond_f64_integer_range_stay_exact() {
+        // Regression: odd values past 2⁵³ have no exact f64, so exceptions
+        // stored as float bits silently rounded them (off-by-2 corruption
+        // caught by the extreme adversarial shape). Exceptions now carry
+        // the raw i64.
+        let values: Vec<i64> =
+            (0..2100).map(|k| (3i64 << 53) + 2 * k + 1 - (k % 7) * (1 << 20)).collect();
+        assert!(values.iter().any(|&v| v as f64 as i64 != v), "test data must defeat f64");
+        let ts = TimeSeries::from_values(values);
+        let c = roundtrip(&ts);
         assert!(c.exception_count() > 0);
     }
 }

@@ -100,17 +100,30 @@ impl AdaptiveApprox {
     /// Compresses `ts` under error bound `eps`.
     pub fn compress(ts: &TimeSeries, eps: u64) -> Self {
         let values = ts.values();
-        let e = eps as f64;
-        let mut segments = Vec::new();
-        let mut starts = Vec::new();
-        let mut i = 0usize;
-        while i < values.len() {
-            let (seg, len) = fit_segment(&values[i..], e);
-            starts.push(i as u64);
-            segments.push(seg);
-            i += len;
+        // Past 2^53 the f64 fit/eval round trip costs a few ULPs; the fit
+        // is tightened by `float_eval_slack` as a first estimate and the
+        // measured integer-domain error closes the loop, mirroring
+        // `NeaTSLossy::compress_with_threads`.
+        let mut slack = neats_core::fit::float_eval_slack(values, 0);
+        loop {
+            let fit_eps = eps.saturating_sub(slack);
+            let e = fit_eps as f64;
+            let mut segments = Vec::new();
+            let mut starts = Vec::new();
+            let mut i = 0usize;
+            while i < values.len() {
+                let (seg, len) = fit_segment(&values[i..], e);
+                starts.push(i as u64);
+                segments.push(seg);
+                i += len;
+            }
+            let out = Self { n: values.len(), eps, starts: EliasFano::new(&starts), segments };
+            let overshoot = out.max_error(ts).saturating_sub(eps.saturating_add(1));
+            if overshoot == 0 || fit_eps == 0 {
+                return out;
+            }
+            slack = slack.saturating_add(overshoot.max(slack).max(1));
         }
-        Self { n: values.len(), eps, starts: EliasFano::new(&starts), segments }
     }
 
     /// Number of data points represented.
@@ -283,6 +296,21 @@ mod tests {
             // round() + anchored eval keeps |err| ≤ eps + 1 (rounding slack)
             assert!(aa.max_error(&ts) <= eps + 1, "eps {eps}: err {}", aa.max_error(&ts));
         }
+    }
+
+    #[test]
+    fn error_bound_holds_beyond_f64_exact_integer_range() {
+        // Regression: same f64-precision issue as PLA — see
+        // `neats_core::fit::float_eval_slack`.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: i64 = 3 << 53;
+        let ts = TimeSeries::from_values(
+            (0..4000).map(|_| { v += rng.random_range(-(1i64 << 42)..(1i64 << 42)); v }).collect(),
+        );
+        let eps = ts.delta() / 200;
+        let aa = AdaptiveApprox::compress(&ts, eps);
+        assert_eq!(aa.eps(), eps);
+        assert!(aa.max_error(&ts) <= eps + 1, "err {} > {}", aa.max_error(&ts), eps + 1);
     }
 
     #[test]

@@ -24,14 +24,29 @@ impl Pla {
     /// Builds the minimum-segment PLA under error bound `eps`.
     pub fn compress(ts: &TimeSeries, eps: u64) -> Self {
         let values = ts.values();
-        let frags = if values.is_empty() {
-            Vec::new()
-        } else {
-            greedy_partition(values, Kind::Linear, eps, 0)
-        };
-        let starts: Vec<u64> = frags.iter().map(|f| f.start as u64).collect();
-        let params: Vec<(f64, f64)> = frags.iter().map(|f| (f.params.m, f.params.b)).collect();
-        Self { n: values.len(), eps, starts: EliasFano::new(&starts), params }
+        // Past 2^53 the f64 fit/eval round trip costs a few ULPs; the fit
+        // is tightened by `float_eval_slack` as a first estimate and the
+        // measured integer-domain error closes the loop (slope error over a
+        // long segment can exceed any fixed ULP multiple), mirroring
+        // `NeaTSLossy::compress_with_threads`.
+        let mut slack = neats_core::fit::float_eval_slack(values, 0);
+        loop {
+            let fit_eps = eps.saturating_sub(slack);
+            let frags = if values.is_empty() {
+                Vec::new()
+            } else {
+                greedy_partition(values, Kind::Linear, fit_eps, 0)
+            };
+            let starts: Vec<u64> = frags.iter().map(|f| f.start as u64).collect();
+            let params: Vec<(f64, f64)> =
+                frags.iter().map(|f| (f.params.m, f.params.b)).collect();
+            let out = Self { n: values.len(), eps, starts: EliasFano::new(&starts), params };
+            let overshoot = out.max_error(ts).saturating_sub(eps.saturating_add(1));
+            if overshoot == 0 || fit_eps == 0 {
+                return out;
+            }
+            slack = slack.saturating_add(overshoot.max(slack).max(1));
+        }
     }
 
     /// Number of data points represented.
@@ -130,6 +145,22 @@ mod tests {
             let pla = Pla::compress(&ts, eps);
             assert!(pla.max_error(&ts) <= eps + 1, "eps {eps}: {}", pla.max_error(&ts));
         }
+    }
+
+    #[test]
+    fn error_bound_holds_beyond_f64_exact_integer_range() {
+        // Regression: values past 2^53 lose integer precision in the f64
+        // fit/eval round trip, which used to push the reconstruction a few
+        // units outside ε + 1. The fit is now tightened by the slack.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: i64 = -(3 << 53);
+        let ts = TimeSeries::from_values(
+            (0..4000).map(|_| { v += rng.random_range(-(1i64 << 42)..(1i64 << 42)); v }).collect(),
+        );
+        let eps = ts.delta() / 200;
+        let pla = Pla::compress(&ts, eps);
+        assert_eq!(pla.eps(), eps);
+        assert!(pla.max_error(&ts) <= eps + 1, "err {} > {}", pla.max_error(&ts), eps + 1);
     }
 
     #[test]

@@ -144,6 +144,38 @@ pub fn floor_to_i64(f: f64) -> i64 {
     f.floor() as i64
 }
 
+/// Estimated integer error of the f64 round trip every lossy fitter in the
+/// workspace takes: input conversion (`y as f64`, ≤ ½ ULP) plus model
+/// evaluation (a few ULPs of the result's magnitude). Zero whenever every
+/// (shifted) value sits within f64's exact integer range `±2^53` — i.e. for
+/// every realistic scaled-decimal series. For magnitudes beyond that a
+/// lossy compressor must tighten its fitting ε by at least this much, or
+/// the float-space guarantee fails to transfer to the integer domain and
+/// reconstruction can land just outside the promised ε + 1 (the lossless
+/// path absorbs the same rounding in its corrections; lossy paths have
+/// none).
+///
+/// This is a starting *estimate*, not a proven bound: fitted-slope error
+/// amplified over a long fragment can exceed any fixed ULP multiple (seen
+/// in practice as ~10 ULPs on a 2^55-magnitude walk). Callers therefore
+/// measure the integer-domain max error after encoding and retighten until
+/// the stored ε actually holds — see `NeaTSLossy::compress_with_threads`.
+/// When ε itself is smaller than the conversion error of the magnitudes
+/// involved the bound is not representable in f64 arithmetic at all and
+/// tightening saturates at a zero-ε fit (best effort).
+pub fn float_eval_slack(values: &[i64], shift: i64) -> u64 {
+    let max_abs = values
+        .iter()
+        .map(|&y| y.unsigned_abs().max(y.saturating_add(shift).unsigned_abs()))
+        .max()
+        .unwrap_or(0);
+    if max_abs <= 1u64 << 53 {
+        return 0;
+    }
+    let ulp = 1u64 << (63 - max_abs.leading_zeros() as u64).saturating_sub(52);
+    4 * ulp
+}
+
 /// Maximum absolute residual of `frag` over `values` (its true L∞ error).
 pub fn max_abs_residual(values: &[i64], frag: &Fragment, shift: i64) -> u64 {
     (frag.start..frag.end)

@@ -52,9 +52,32 @@ impl NeaTSLossy {
     ) -> Self {
         let values = ts.values();
         let shift = positivity_shift(values, eps);
-        let cfg = PartitionConfig::lossy(kinds, eps, shift).with_threads(threads);
-        let part = partition(values, &cfg);
-        Self::encode(&part, values.len(), shift, eps)
+        // The fitter sees `y as f64` and the decoder re-evaluates the model
+        // in f64; past 2^53 both sides lose integer precision, so the fit
+        // must be tightened or reconstruction can land outside the promised
+        // ε + 1 (the lossless path absorbs the same rounding in its
+        // corrections; the lossy path has none). `float_eval_slack` is only
+        // an estimate — slope error amplified over a long fragment can
+        // exceed a fixed ULP multiple — so the bound is enforced by
+        // *measuring* the integer-domain error and retightening until the
+        // stored contract (≤ ε + 1, the +1 absorbing model-evaluation
+        // rounding) actually holds. Values within ±2^53 take the first
+        // iteration (slack 0, error within ε + 1 by construction).
+        let mut slack = crate::fit::float_eval_slack(values, shift);
+        loop {
+            let fit_eps = eps.saturating_sub(slack);
+            let cfg = PartitionConfig::lossy(kinds, fit_eps, shift).with_threads(threads);
+            let part = partition(values, &cfg);
+            let out = Self::encode(&part, values.len(), shift, eps);
+            let overshoot = out.max_error(ts).saturating_sub(eps.saturating_add(1));
+            if overshoot == 0 || fit_eps == 0 {
+                // `fit_eps == 0` is the unsatisfiable corner (ε smaller than
+                // the f64 conversion error of the magnitudes involved):
+                // return the best float-exact fit rather than loop.
+                return out;
+            }
+            slack = slack.saturating_add(overshoot.max(slack).max(1));
+        }
     }
 
     fn encode(part: &Partition, n: usize, shift: i64, eps: u64) -> Self {
@@ -309,6 +332,27 @@ mod tests {
             // +1 slack for floor/float edge (documented deviation)
             assert!(l.max_error(&ts) <= eps + 1, "eps={eps} err={}", l.max_error(&ts));
         }
+    }
+
+    #[test]
+    fn error_bound_holds_beyond_f64_exact_integer_range() {
+        // Regression: values past 2^53 are not exactly representable in
+        // f64, so the fitter's float-space ε-guarantee used to miss the
+        // integer-domain bound by a few ULPs (a unit or two at 2^55).
+        // The fit is now tightened by the representation slack.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: i64 = 3 << 53;
+        let values: Vec<i64> = (0..4000)
+            .map(|_| {
+                v += rng.random_range(-(1i64 << 42)..(1i64 << 42));
+                v
+            })
+            .collect();
+        let ts = TimeSeries::from_values(values);
+        let eps = ts.delta() / 200;
+        let l = NeaTSLossy::compress(&ts, &Kind::NEATS_DEFAULT, eps);
+        assert_eq!(l.eps(), eps, "stored bound must be the requested one");
+        assert!(l.max_error(&ts) <= eps + 1, "err {} > {}", l.max_error(&ts), eps + 1);
     }
 
     #[test]

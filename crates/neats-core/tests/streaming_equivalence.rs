@@ -1,0 +1,102 @@
+//! Streaming/batch equivalence: a [`NeaTSWriter`] must produce chunks that
+//! are **byte-identical** to what the batch builder produces for the same
+//! slice of the input, whatever mix of `push`/`extend` calls delivered the
+//! values and wherever `flush` forced a short chunk. This pins down the
+//! strongest possible claim about the streaming path: it is the batch
+//! pipeline applied per chunk, with no hidden state leaking across
+//! boundaries — so everything proven about batch archives (layout,
+//! view-equivalence, conformance) transfers to streamed ones chunk by
+//! chunk.
+
+use neats_core::{NeaTS, NeaTSBuilder, NeaTSWriter};
+use proptest::prelude::*;
+use timeseries::{CompressedSeries, TimeSeries};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn series_values(deltas: &[i64]) -> Vec<i64> {
+    let mut v = 0i64;
+    deltas.iter().map(|&d| { v += d; v }).collect()
+}
+
+/// Feeds `values` into a writer as `push(..)` up to `split` (flushing at the
+/// requested positions) then one `extend(..)` for the rest, and checks every
+/// resulting chunk against a fresh batch build of the same slice.
+fn assert_streaming_equals_batch(
+    builder: &NeaTSBuilder,
+    values: &[i64],
+    chunk_size: usize,
+    split: usize,
+    flush_at: &[usize],
+) -> Result<(), TestCaseError> {
+    let mut w = NeaTSWriter::new(builder.clone(), chunk_size);
+    for (k, &v) in values[..split].iter().enumerate() {
+        w.push(v);
+        if flush_at.contains(&k) {
+            w.flush();
+        }
+    }
+    w.extend(values[split..].iter().copied());
+    w.flush();
+    prop_assert!(w.buffered().is_empty());
+    prop_assert_eq!(w.len(), values.len());
+
+    let mut base = 0usize;
+    for (i, chunk) in w.chunks().iter().enumerate() {
+        let slice = &values[base..base + chunk.len()];
+        let batch = builder.build(&TimeSeries::from_values(slice.to_vec()));
+        prop_assert_eq!(
+            chunk.to_bytes(),
+            batch.to_bytes(),
+            "chunk {} ([{}, {})) differs from the batch build",
+            i,
+            base,
+            base + chunk.len()
+        );
+        base += chunk.len();
+    }
+    prop_assert_eq!(base, values.len(), "chunks do not tile the stream");
+
+    let finished = w.finish();
+    prop_assert_eq!(finished.decompress(), values.to_vec());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary streams × chunk sizes × push/extend split points ×
+    /// flush-forced boundaries, for the default builder and for SNeaTS
+    /// model selection, across partitioner thread counts.
+    #[test]
+    fn writer_chunks_are_byte_identical_to_batch_builds(
+        deltas in prop::collection::vec(-50i64..=50, 1..700),
+        chunk_size in 8usize..300,
+        split_seed in 0usize..10_000,
+        flush_seeds in prop::collection::vec(0usize..10_000, 0..4),
+        sneats in any::<bool>(),
+        threads_idx in 0usize..THREADS.len(),
+    ) {
+        let values = series_values(&deltas);
+        let n = values.len();
+        let split = split_seed % (n + 1);
+        let flush_at: Vec<usize> = flush_seeds.iter().map(|s| s % n).collect();
+        let mut builder = NeaTS::builder().threads(THREADS[threads_idx]);
+        if sneats {
+            builder = builder.model_selection(Default::default());
+        }
+        assert_streaming_equals_batch(&builder, &values, chunk_size, split, &flush_at)?;
+    }
+}
+
+/// The doc-level claim on a fixed, human-checkable case: uneven flush-forced
+/// boundaries (100 | 1024 | 376 | …) still yield chunks the batch builder
+/// reproduces byte for byte, with both the default and the SNeaTS builder.
+#[test]
+fn flush_forced_boundaries_match_batch_builds() {
+    let values = series_values(&vec![3i64; 2600]);
+    for builder in [NeaTS::builder(), NeaTS::builder().model_selection(Default::default())] {
+        assert_streaming_equals_batch(&builder, &values, 1024, values.len(), &[99, 1499])
+            .expect("byte equivalence");
+    }
+}

@@ -8,6 +8,8 @@ use crate::types::TimeSeries;
 use std::io::BufRead;
 use std::path::Path;
 
+use crate::types::ValueErrorKind;
+
 /// Errors from [`load_fixed_precision`].
 #[derive(Debug)]
 pub enum LoadError {
@@ -20,6 +22,18 @@ pub enum LoadError {
         /// The line's text, for the error message.
         content: String,
     },
+    /// A line that parsed as a float but is not storable: NaN/infinite
+    /// (Rust's float parser accepts the literals `NaN` and `inf`) or too
+    /// large for the scaled 64-bit integer domain. Without this typed
+    /// rejection a `NaN` line would silently load as `0`.
+    Value {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The line's text, for the error message.
+        content: String,
+        /// Why the value was rejected.
+        kind: ValueErrorKind,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -29,6 +43,15 @@ impl std::fmt::Display for LoadError {
             LoadError::Parse { line, content } => {
                 write!(f, "line {line}: cannot parse {content:?} as a number")
             }
+            LoadError::Value { line, content, kind } => match kind {
+                ValueErrorKind::NonFinite => {
+                    write!(f, "line {line}: value {content:?} is not finite")
+                }
+                ValueErrorKind::OutOfRange => write!(
+                    f,
+                    "line {line}: value {content:?} does not fit the scaled 64-bit integer domain"
+                ),
+            },
         }
     }
 }
@@ -51,7 +74,6 @@ pub fn load_fixed_precision(path: &Path, fractional_digits: u8) -> Result<TimeSe
 
 /// Parses decimal values from any reader (one per line).
 pub fn parse_lines<R: BufRead>(reader: R, fractional_digits: u8) -> Result<TimeSeries, LoadError> {
-    let scale = 10f64.powi(fractional_digits as i32);
     let mut values = Vec::new();
     for (i, line) in reader.lines().enumerate() {
         let line = line?;
@@ -62,7 +84,9 @@ pub fn parse_lines<R: BufRead>(reader: R, fractional_digits: u8) -> Result<TimeS
         let v: f64 = trimmed
             .parse()
             .map_err(|_| LoadError::Parse { line: i + 1, content: trimmed.to_string() })?;
-        values.push((v * scale).round() as i64);
+        values.push(crate::types::checked_scale(v, fractional_digits).map_err(|kind| {
+            LoadError::Value { line: i + 1, content: trimmed.to_string(), kind }
+        })?);
     }
     Ok(TimeSeries::from_scaled(values, fractional_digits))
 }
@@ -84,6 +108,28 @@ mod tests {
         let err = parse_lines(std::io::Cursor::new(input), 0).unwrap_err();
         match err {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_nan_and_oversized_lines_typed() {
+        // Rust's float parser happily accepts "NaN"/"inf"; the loader must
+        // reject them instead of storing 0.
+        for text in ["1.0\nNaN\n", "1.0\ninf\n", "1.0\n-inf\n"] {
+            match parse_lines(std::io::Cursor::new(text), 2).unwrap_err() {
+                LoadError::Value { line, kind, .. } => {
+                    assert_eq!(line, 2);
+                    assert_eq!(kind, ValueErrorKind::NonFinite);
+                }
+                other => panic!("unexpected error {other}"),
+            }
+        }
+        match parse_lines(std::io::Cursor::new("7e300\n"), 0).unwrap_err() {
+            LoadError::Value { line, kind, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(kind, ValueErrorKind::OutOfRange);
+            }
             other => panic!("unexpected error {other}"),
         }
     }

@@ -19,4 +19,7 @@ pub mod io;
 pub mod types;
 
 pub use datasets::Dataset;
-pub use types::{compression_ratio_pct, mape_pct, AnyCompressor, CompressedSeries, Compressor, TimeSeries};
+pub use types::{
+    checked_scale, compression_ratio_pct, mape_pct, AnyCompressor, CompressedSeries, Compressor,
+    TimeSeries, ValueError, ValueErrorKind,
+};

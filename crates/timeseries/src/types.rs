@@ -27,10 +27,35 @@ impl TimeSeries {
 
     /// Converts floating-point values with a fixed number of fractional
     /// digits into the scaled-integer representation.
+    ///
+    /// This is the *trusted-input* constructor for values known to be finite
+    /// and in range (the synthetic generators, test fixtures). Data crossing
+    /// a system boundary — file loaders, ingest endpoints — must go through
+    /// [`Self::try_from_f64`] instead, which rejects NaN/infinite and
+    /// unrepresentably-large values with a typed error rather than silently
+    /// folding them (`NaN as i64` is `0`, overflow saturates).
+    ///
+    /// # Panics
+    /// If any value is non-finite or its scaled magnitude does not fit in
+    /// `i64` — a trusted caller handing over such a value is a bug, not an
+    /// input error.
     pub fn from_f64(values: &[f64], fractional_digits: u8) -> Self {
-        let scale = 10f64.powi(fractional_digits as i32);
-        let values = values.iter().map(|&v| (v * scale).round() as i64).collect();
-        Self { values, fractional_digits }
+        Self::try_from_f64(values, fractional_digits)
+            .unwrap_or_else(|e| panic!("TimeSeries::from_f64 on untrusted input: {e}"))
+    }
+
+    /// Fallible conversion from floating-point values: every value is
+    /// checked through [`checked_scale`] and the first offending one is
+    /// reported with its index.
+    pub fn try_from_f64(values: &[f64], fractional_digits: u8) -> Result<Self, ValueError> {
+        let mut out = Vec::with_capacity(values.len());
+        for (index, &v) in values.iter().enumerate() {
+            out.push(
+                checked_scale(v, fractional_digits)
+                    .map_err(|kind| ValueError { index, value: v, kind })?,
+            );
+        }
+        Ok(Self { values: out, fractional_digits })
     }
 
     /// Number of data points.
@@ -82,6 +107,67 @@ impl TimeSeries {
     pub fn delta(&self) -> u64 {
         self.min_max().map_or(0, |(lo, hi)| hi.abs_diff(lo) + 1)
     }
+}
+
+/// Why a floating-point input value was rejected by [`checked_scale`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueErrorKind {
+    /// NaN or ±infinity — there is no meaningful scaled integer for it.
+    NonFinite,
+    /// The scaled magnitude does not fit in `i64` (e.g. `1e300` at any
+    /// digit count, or a merely-large value at a high digit count).
+    OutOfRange,
+}
+
+/// A typed rejection of one floating-point input value, carrying enough
+/// context (position and offending value) for an ingest boundary to report
+/// precisely what was wrong — instead of the silent `NaN → 0` /
+/// saturating-cast corruption an unchecked `as i64` would produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ValueError {
+    /// 0-based position of the offending value in the input slice.
+    pub index: usize,
+    /// The offending value itself.
+    pub value: f64,
+    /// What was wrong with it.
+    pub kind: ValueErrorKind,
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            ValueErrorKind::NonFinite => {
+                write!(f, "value {} at index {} is not finite", self.value, self.index)
+            }
+            ValueErrorKind::OutOfRange => write!(
+                f,
+                "value {} at index {} does not fit the scaled 64-bit integer domain",
+                self.value, self.index
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+/// Scales one value by `10^fractional_digits` and rounds to the integer
+/// domain, rejecting non-finite input and overflow with a typed error.
+///
+/// This is the single conversion rule every untrusted-input path shares
+/// (file loaders, the CLI's CSV reader, [`TimeSeries::try_from_f64`]), so
+/// boundaries cannot drift on what they accept.
+pub fn checked_scale(value: f64, fractional_digits: u8) -> Result<i64, ValueErrorKind> {
+    if !value.is_finite() {
+        return Err(ValueErrorKind::NonFinite);
+    }
+    let scaled = (value * 10f64.powi(fractional_digits as i32)).round();
+    // The exact f64 boundary values: ±2^63 is representable; anything with
+    // |scaled| ≥ 2^63 cannot round-trip through i64 (2^63 - 1 itself is not
+    // an f64, the nearest are 2^63 - 1024 and 2^63).
+    if scaled < -(2f64.powi(63)) || scaled >= 2f64.powi(63) {
+        return Err(ValueErrorKind::OutOfRange);
+    }
+    Ok(scaled as i64)
 }
 
 /// A compressed, randomly-accessible representation of a time series.
@@ -194,6 +280,48 @@ mod tests {
         assert_eq!(ts.values(), &[125, -350, 0]);
         assert_eq!(ts.fractional_digits(), 2);
         assert_eq!(ts.to_f64(), vec![1.25, -3.5, 0.0]);
+    }
+
+    #[test]
+    fn try_from_f64_rejects_non_finite_with_position() {
+        let err = TimeSeries::try_from_f64(&[1.0, f64::NAN, 3.0], 2).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert_eq!(err.kind, ValueErrorKind::NonFinite);
+        assert!(err.value.is_nan());
+        let err = TimeSeries::try_from_f64(&[f64::INFINITY], 0).unwrap_err();
+        assert_eq!(err.kind, ValueErrorKind::NonFinite);
+        let err = TimeSeries::try_from_f64(&[2.0, f64::NEG_INFINITY], 0).unwrap_err();
+        assert_eq!((err.index, err.kind), (1, ValueErrorKind::NonFinite));
+    }
+
+    #[test]
+    fn try_from_f64_rejects_overflow_with_position() {
+        // 1e300 overflows at any scale; 1e18 overflows once scaled by 10^2.
+        for (vals, digits) in [(vec![1e300], 0u8), (vec![0.5, 9.3e18], 0), (vec![1e18], 2)] {
+            let err = TimeSeries::try_from_f64(&vals, digits).unwrap_err();
+            assert_eq!(err.kind, ValueErrorKind::OutOfRange, "{vals:?} @ {digits}");
+        }
+        // The extremes that *do* fit must be accepted, not saturated.
+        let max_exact = (i64::MAX as f64 * 0.99).floor();
+        let ts = TimeSeries::try_from_f64(&[max_exact, -max_exact], 0).unwrap();
+        assert_eq!(ts.values()[0], max_exact as i64);
+    }
+
+    #[test]
+    fn checked_scale_boundary_values() {
+        assert_eq!(checked_scale(1.25, 2), Ok(125));
+        assert_eq!(checked_scale(-0.0, 5), Ok(0));
+        // Denormals round to zero rather than erroring.
+        assert_eq!(checked_scale(f64::MIN_POSITIVE / 4.0, 9), Ok(0));
+        assert_eq!(checked_scale(f64::NAN, 0), Err(ValueErrorKind::NonFinite));
+        assert_eq!(checked_scale(2f64.powi(63), 0), Err(ValueErrorKind::OutOfRange));
+        assert_eq!(checked_scale(-(2f64.powi(63)), 0), Ok(i64::MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "untrusted input")]
+    fn from_f64_panics_on_nan_instead_of_zeroing() {
+        let _ = TimeSeries::from_f64(&[f64::NAN], 0);
     }
 
     #[test]
